@@ -1,0 +1,274 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment harness at
+// a benchmark-friendly scale and reports domain-specific metrics alongside
+// ns/op; run the cmd/vmq binary ("vmq experiment -name all -frames 0") for
+// the full paper-scale output recorded in EXPERIMENTS.md.
+package vmq_test
+
+import (
+	"testing"
+
+	"vmq/internal/detect"
+	"vmq/internal/experiments"
+	"vmq/internal/filters"
+	"vmq/internal/query"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+)
+
+// benchConfig keeps a single iteration around a second of CPU.
+func benchConfig() experiments.Config {
+	return experiments.Config{Frames: 1000, Seed: 20, Repetitions: 3}
+}
+
+// BenchmarkTableII regenerates Table II (dataset characteristics).
+func BenchmarkTableII(b *testing.B) {
+	var rows []experiments.TableIIRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableII(benchConfig())
+	}
+	b.StopTimer()
+	r := rows[2] // detrac, the densest stream
+	b.ReportMetric(r.MeasuredMean, "obj/frame")
+	b.ReportMetric(r.MeasuredStd, "std")
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (count-filter accuracy).
+func BenchmarkFigure7(b *testing.B) {
+	var rows []experiments.Figure7Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure7(benchConfig())
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Dataset == "detrac" && r.Filter == "OD-CF" {
+			b.ReportMetric(r.Exact, "detrac-ODCF-exact")
+			b.ReportMetric(r.Within2, "detrac-ODCF-±2")
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figures 8–10 (per-class CCF accuracy).
+func BenchmarkFigure11(b *testing.B) {
+	var rows []experiments.Figure11Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure11(benchConfig())
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Dataset == "jackson" && r.Filter == "IC-CCF" && r.Class == "car" {
+			b.ReportMetric(r.Exact, "jackson-ICCCF-car-exact")
+		}
+	}
+}
+
+// BenchmarkFigure15 regenerates Figures 12–14 (per-class CLF f1).
+func BenchmarkFigure15(b *testing.B) {
+	var rows []experiments.Figure15Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure15(benchConfig())
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Dataset == "detrac" && r.Class == "car" {
+			b.ReportMetric(r.F1, r.Filter+"-f1")
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III (q1–q7 cascade execution).
+func BenchmarkTableIII(b *testing.B) {
+	var rows []experiments.TableIIIRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableIII(benchConfig())
+	}
+	b.StopTimer()
+	var minSpeedup, minAcc = 1e9, 1.0
+	for _, r := range rows {
+		if r.Speedup < minSpeedup {
+			minSpeedup = r.Speedup
+		}
+		if r.Accuracy < minAcc {
+			minAcc = r.Accuracy
+		}
+	}
+	b.ReportMetric(minSpeedup, "min-speedup-x")
+	b.ReportMetric(minAcc, "min-accuracy")
+}
+
+// BenchmarkTableIV regenerates Table IV (aggregate CV variance reduction).
+func BenchmarkTableIV(b *testing.B) {
+	var rows []experiments.TableIVRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableIV(benchConfig())
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.MeanReduction, r.Query+"-varRed-x")
+	}
+}
+
+// BenchmarkTableIVHighFidelity runs the control-variate ablation with the
+// near-saturation filter calibration, showing paper-scale reductions.
+func BenchmarkTableIVHighFidelity(b *testing.B) {
+	var rows []experiments.TableIVRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableIVHighFidelity(benchConfig())
+	}
+	b.StopTimer()
+	var maxRed float64
+	for _, r := range rows {
+		if r.MeanReduction > maxRed {
+			maxRed = r.MeanReduction
+		}
+	}
+	b.ReportMetric(maxRed, "max-varRed-x")
+}
+
+// BenchmarkPlanner runs the automatic filter-selection optimizer across
+// q1–q7 (the paper's future-work direction).
+func BenchmarkPlanner(b *testing.B) {
+	var rows []experiments.PlannerRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Planner(benchConfig())
+	}
+	b.StopTimer()
+	var minAcc = 1.0
+	for _, r := range rows {
+		if r.Accuracy < minAcc {
+			minAcc = r.Accuracy
+		}
+	}
+	b.ReportMetric(minAcc, "min-accuracy")
+}
+
+// BenchmarkConstraintAccuracy regenerates the Section IV-A constraint
+// comparison (paper: 99 % agreement).
+func BenchmarkConstraintAccuracy(b *testing.B) {
+	var r experiments.ConstraintAccuracyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ConstraintAccuracy(benchConfig())
+	}
+	b.StopTimer()
+	b.ReportMetric(r.Agreement, "agreement")
+}
+
+// BenchmarkBranchTradeoff runs the branch-placement ablation (grid
+// 56/28/14) the paper discusses in Section IV.
+func BenchmarkBranchTradeoff(b *testing.B) {
+	var rows []experiments.BranchTradeoffRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.BranchTradeoff(benchConfig())
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		switch r.GridSize {
+		case 56:
+			b.ReportMetric(r.SpatialF1, "g56-f1")
+		case 14:
+			b.ReportMetric(r.SpatialF1, "g14-f1")
+		}
+	}
+}
+
+// BenchmarkUnexpectedObjects runs the anomaly-flagging experiment from the
+// evaluation introduction.
+func BenchmarkUnexpectedObjects(b *testing.B) {
+	var r experiments.UnexpectedObjectsResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.UnexpectedObjects(benchConfig())
+	}
+	b.StopTimer()
+	b.ReportMetric(r.Recall, "recall")
+}
+
+// --- Micro-benchmarks: per-operation costs of the building blocks ---
+
+// BenchmarkFilterEvaluateOD measures one OD filter forward pass
+// (calibrated backend) on a dense Detrac frame.
+func BenchmarkFilterEvaluateOD(b *testing.B) {
+	p := video.Detrac()
+	backend := filters.NewODFilter(p, 1, nil)
+	f := video.NewStream(p, 2).Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backend.Evaluate(f)
+	}
+}
+
+// BenchmarkFilterEvaluateIC measures one IC filter forward pass.
+func BenchmarkFilterEvaluateIC(b *testing.B) {
+	p := video.Detrac()
+	backend := filters.NewICFilter(p, 1, nil)
+	f := video.NewStream(p, 2).Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backend.Evaluate(f)
+	}
+}
+
+// BenchmarkCascadeFrame measures the full per-frame cascade decision
+// (filter evaluate + predicate check) for a q5-style spatial query.
+func BenchmarkCascadeFrame(b *testing.B) {
+	p := video.Jackson()
+	q, err := vql.Parse(`SELECT FRAMES FROM jackson
+		WHERE COUNT(car) = 1 AND COUNT(person) = 1 AND car LEFT OF person`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := query.MustBind(q, p)
+	backend := filters.NewODFilter(p, 1, nil)
+	frames := video.NewStream(p, 3).Take(256)
+	tol := query.Tolerances{Location: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := frames[i%len(frames)]
+		out := backend.Evaluate(f)
+		_ = plan.Where.EvalFilter(out, f.Bounds, tol)
+	}
+}
+
+// BenchmarkOracleDetect measures the Mask R-CNN stand-in (ground-truth
+// copy; its 200 ms cost is virtual).
+func BenchmarkOracleDetect(b *testing.B) {
+	p := video.Detrac()
+	o := detect.NewOracle(nil)
+	f := video.NewStream(p, 4).Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Detect(f)
+	}
+}
+
+// BenchmarkParse measures VQL parsing throughput.
+func BenchmarkParse(b *testing.B) {
+	src := `SELECT COUNT(FRAMES) FROM detrac
+		WHERE COUNT(*) = 3 AND car IN QUADRANT(LOWER LEFT) AND bus IN QUADRANT(UPPER LEFT)
+		WINDOW HOPPING (SIZE 5000, ADVANCE BY 5000)`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vql.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamNext measures synthetic frame generation.
+func BenchmarkStreamNext(b *testing.B) {
+	s := video.NewStream(video.Detrac(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}
+
+// BenchmarkRender measures frame rasterisation at the trained-backend
+// resolution.
+func BenchmarkRender(b *testing.B) {
+	s := video.NewStream(video.Jackson(), 6)
+	f := s.Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		video.Render(f, 48, 48, 1)
+	}
+}

@@ -1,0 +1,304 @@
+// Command vmq runs video monitoring queries and the paper's experiment
+// suite from the command line.
+//
+// Usage:
+//
+//	vmq datasets
+//	vmq query   -q 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' [-frames N] [-ctol K] [-ltol K] [-brute]
+//	vmq aggregate -q 'SELECT COUNT(FRAMES) FROM jackson WHERE car LEFT OF person' [-window N] [-samples K]
+//	vmq experiment -name tableII|fig7|fig11|fig15|tableIII|tableIV|constraint|branch|anomaly|all [-frames N] [-reps N]
+//	vmq train   [-dataset jackson] [-frames N] [-epochs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmq/internal/experiments"
+	"vmq/internal/filters"
+	"vmq/internal/metrics"
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+
+	"vmq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datasets":
+		err = cmdDatasets()
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "aggregate":
+		err = cmdAggregate(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "vmq: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vmq <command> [flags]
+
+commands:
+  datasets     list the benchmark dataset profiles (Table II)
+  query        run a monitoring query through the filter cascade
+  aggregate    run a windowed aggregate with control variates
+  experiment   regenerate a paper table/figure (tableII, fig7, fig11,
+               fig15, tableIII, tableIV, constraint, branch, anomaly, all)
+  train        train a real CNN filter and report its accuracy`)
+}
+
+func cmdDatasets() error {
+	rows := experiments.TableII(experiments.Config{Frames: 3000})
+	fmt.Print(experiments.FormatTableII(rows))
+	return nil
+}
+
+func profileOf(q *vql.Query) (video.Profile, error) {
+	p, ok := video.ProfileByName(q.Source)
+	if !ok {
+		return video.Profile{}, fmt.Errorf("unknown dataset %q (try: coral, jackson, detrac)", q.Source)
+	}
+	return p, nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	src := fs.String("q", "", "VQL query text")
+	frames := fs.Int("frames", 3000, "number of stream frames to process")
+	ctol := fs.Int("ctol", 1, "count tolerance (0=exact CCF, 1=CCF-1, 2=CCF-2)")
+	ltol := fs.Int("ltol", 1, "location tolerance (0=exact CLF, 1=CLF-1, 2=CLF-2)")
+	seed := fs.Uint64("seed", 42, "stream seed")
+	brute := fs.Bool("brute", false, "also run the brute-force baseline for comparison")
+	explain := fs.Bool("explain", false, "print the execution plan and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *src == "" {
+		return fmt.Errorf("query: -q is required")
+	}
+	q, err := vmq.ParseQuery(*src)
+	if err != nil {
+		return err
+	}
+	p, err := profileOf(q)
+	if err != nil {
+		return err
+	}
+	sess := vmq.NewSession(p, *seed)
+	sess.Tol = vmq.Tolerances{Count: *ctol, Location: *ltol}
+
+	plan, err := sess.Bind(q)
+	if err != nil {
+		return err
+	}
+	if *explain {
+		fmt.Print(plan.Describe(sess.Backend, sess.Tol))
+		return nil
+	}
+	framesSlice := sess.Stream.Take(*frames)
+	truth := vmq.GroundTruth(plan, framesSlice)
+	trueCount := 0
+	for _, t := range truth {
+		if t {
+			trueCount++
+		}
+	}
+
+	// Re-run over a fresh identical stream so the engine sees the frames.
+	sess2 := vmq.NewSession(p, *seed)
+	sess2.Tol = sess.Tol
+	res, err := sess2.RunQuery(q, *frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("frames: %d  true frames: %d  matched: %d  accuracy: %.3f\n",
+		res.FramesTotal, trueCount, len(res.Matched), vmq.Score(res, truth))
+	fmt.Printf("filter passed: %d (selectivity %.3f)  detector calls: %d\n",
+		res.FilterPassed, res.Selectivity(), res.DetectorCalls)
+	fmt.Printf("virtual pipeline time: %v\n", res.VirtualTime)
+	if *brute {
+		sess3 := vmq.NewSession(p, *seed)
+		bres, err := sess3.RunQueryBrute(q, *frames)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("brute force: %v (%0.1fx speedup)\n",
+			bres.VirtualTime, bres.VirtualTime.Seconds()/res.VirtualTime.Seconds())
+	}
+	return nil
+}
+
+func cmdAggregate(args []string) error {
+	fs := flag.NewFlagSet("aggregate", flag.ExitOnError)
+	src := fs.String("q", "", "VQL aggregate query text")
+	window := fs.Int("window", 5000, "window size when the query has no WINDOW clause")
+	samples := fs.Int("samples", 300, "detector samples per window")
+	seed := fs.Uint64("seed", 42, "stream seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *src == "" {
+		return fmt.Errorf("aggregate: -q is required")
+	}
+	q, err := vmq.ParseQuery(*src)
+	if err != nil {
+		return err
+	}
+	p, err := profileOf(q)
+	if err != nil {
+		return err
+	}
+	sess := vmq.NewSession(p, *seed)
+	res, err := sess.RunAggregate(q, *window, *samples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("window: %d frames, %d detector samples, %d control variate(s)\n",
+		res.WindowSize, res.Samples, res.Controls)
+	fmt.Printf("plain estimate:   %.4f/frame (stderr %.4f)\n", res.Plain.Mean, res.Plain.StdErr())
+	fmt.Printf("CV estimate:      %.4f/frame (variance reduced %.1fx, beta %v)\n",
+		res.CV.Estimate, res.CV.Reduction, res.CV.Beta)
+	fmt.Printf("ground truth:     %.4f/frame\n", res.TruePerFrameMean)
+	fmt.Printf("per-sample cost:  %v (filter + detector)\n", res.VirtualTimePerSample)
+	if q.Select.Kind == vql.SelectFrameCount {
+		fmt.Printf("window total:     %.1f frames estimated, %.1f true\n",
+			res.CV.Estimate*float64(res.WindowSize), res.TruePerFrameMean*float64(res.WindowSize))
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	name := fs.String("name", "all", "experiment name")
+	frames := fs.Int("frames", 0, "frames per dataset (0 = paper test-split size)")
+	reps := fs.Int("reps", 0, "aggregate repetitions (0 = 20)")
+	seed := fs.Uint64("seed", 20, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Frames: *frames, Seed: *seed, Repetitions: *reps}
+	run := func(n string) error {
+		switch n {
+		case "tableII":
+			fmt.Print(experiments.FormatTableII(experiments.TableII(cfg)))
+		case "fig7":
+			fmt.Print(experiments.FormatFigure7(experiments.Figure7(cfg)))
+		case "fig11":
+			fmt.Print(experiments.FormatFigure11(experiments.Figure11(cfg)))
+		case "fig15":
+			fmt.Print(experiments.FormatFigure15(experiments.Figure15(cfg)))
+		case "tableIII":
+			fmt.Print(experiments.FormatTableIII(experiments.TableIII(cfg)))
+		case "tableIV":
+			fmt.Print(experiments.FormatTableIV(experiments.TableIV(cfg)))
+		case "tableIVhf":
+			fmt.Print(experiments.FormatTableIV(experiments.TableIVHighFidelity(cfg)))
+		case "constraint":
+			fmt.Print(experiments.FormatConstraintAccuracy(experiments.ConstraintAccuracy(cfg)))
+		case "branch":
+			fmt.Print(experiments.FormatBranchTradeoff(experiments.BranchTradeoff(cfg)))
+		case "anomaly":
+			fmt.Print(experiments.FormatUnexpectedObjects(experiments.UnexpectedObjects(cfg)))
+		case "planner":
+			fmt.Print(experiments.FormatPlanner(experiments.Planner(cfg)))
+		case "trained":
+			rows, sweep := experiments.TrainedComparison(cfg)
+			fmt.Print(experiments.FormatTrainedComparison(rows, sweep))
+		case "samplers":
+			fmt.Print(experiments.FormatSamplerAblation(experiments.SamplerAblation(cfg)))
+		default:
+			return fmt.Errorf("unknown experiment %q", n)
+		}
+		return nil
+	}
+	if *name == "all" {
+		for _, n := range []string{"tableII", "fig7", "fig11", "fig15", "tableIII", "tableIV", "tableIVhf", "constraint", "branch", "anomaly", "planner", "samplers", "trained"} {
+			if err := run(n); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return run(*name)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dataset := fs.String("dataset", "jackson", "dataset profile")
+	frames := fs.Int("frames", 300, "training frames")
+	epochs := fs.Int("epochs", 3, "training epochs")
+	img := fs.Int("img", 32, "rasterisation size (pixels)")
+	test := fs.Int("test", 150, "evaluation frames")
+	tech := fs.String("tech", "ic", "filter family: ic or od")
+	save := fs.String("save", "", "write trained weights to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, ok := video.ProfileByName(*dataset)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	family := filters.IC
+	if *tech == "od" {
+		family = filters.OD
+	}
+	fmt.Printf("training %s filter on %s (%d frames, %d epochs, %dx%d px)...\n",
+		family, p.Name, *frames, *epochs, *img, *img)
+	backend := filters.TrainFilter(family, p, filters.TrainedConfig{
+		Frames: *frames, Epochs: *epochs, Img: *img, Channels: 16, Seed: 1,
+	}, simclock.New())
+
+	s := video.NewStream(p, 999)
+	var total metrics.CountAccuracy
+	perClass := map[video.Class]*metrics.CountAccuracy{}
+	for _, cm := range p.Classes {
+		perClass[cm.Class] = &metrics.CountAccuracy{}
+	}
+	for i := 0; i < *test; i++ {
+		f := s.Next()
+		out := backend.Evaluate(f)
+		total.Observe(f.Count()-len(p.Static), out.Total)
+		for _, cm := range p.Classes {
+			perClass[cm.Class].Observe(f.CountClass(cm.Class), out.Counts[cm.Class])
+		}
+	}
+	fmt.Printf("total count:  %s\n", total.String())
+	for _, cm := range p.Classes {
+		fmt.Printf("%-12s %s\n", cm.Class.String()+":", perClass[cm.Class].String())
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := backend.SaveWeights(f); err != nil {
+			return err
+		}
+		fmt.Printf("weights saved to %s\n", *save)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package vmq_test
+
+import (
+	"fmt"
+
+	"vmq"
+)
+
+// ExampleParseQuery shows the VQL dialect round-tripping through the
+// parser.
+func ExampleParseQuery() {
+	q, err := vmq.ParseQuery(`
+		select frames from jackson
+		where count(car) = 1 and car left of person`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	// Output: SELECT FRAMES FROM jackson WHERE (COUNT(car) = 1 AND car LEFT OF person)
+}
+
+// ExampleSession_RunQuery runs a monitoring query through the filter
+// cascade and reports how much detector work the filters saved.
+func ExampleSession_RunQuery() {
+	q, _ := vmq.ParseQuery(`SELECT FRAMES FROM jackson
+		WHERE COUNT(car) = 1 AND COUNT(person) = 1`)
+	sess := vmq.NewSession(vmq.Jackson(), 42)
+	sess.Tol = vmq.Tolerances{} // exact CCF
+	res, err := sess.RunQuery(q, 2000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("frames=%d detector-calls=%d matches=%d\n",
+		res.FramesTotal, res.DetectorCalls, len(res.Matched))
+	// Output: frames=2000 detector-calls=233 matches=233
+}
+
+// ExampleSession_RunAggregate estimates a windowed aggregate with control
+// variates.
+func ExampleSession_RunAggregate() {
+	q, _ := vmq.ParseQuery(`SELECT COUNT(FRAMES) FROM jackson
+		WHERE car IN QUADRANT(LOWER RIGHT)
+		WINDOW HOPPING (SIZE 2000, ADVANCE BY 2000)`)
+	sess := vmq.NewSession(vmq.Jackson(), 42)
+	res, err := sess.RunAggregate(q, 0, 200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("window=%d samples=%d controls=%d reduction>1=%v\n",
+		res.WindowSize, res.Samples, res.Controls, res.CV.Reduction > 1)
+	// Output: window=2000 samples=200 controls=1 reduction>1=true
+}

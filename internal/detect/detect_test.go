@@ -1,0 +1,173 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"vmq/internal/geom"
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+)
+
+func denseFrame() *video.Frame {
+	// Three cars, two of them heavily overlapping, plus a person.
+	return &video.Frame{
+		CameraID: "t",
+		Bounds:   geom.Rect{X0: 0, Y0: 0, X1: 448, Y1: 448},
+		Objects: []video.Object{
+			{TrackID: 1, Class: video.Car, Color: video.Red, Box: geom.Rect{X0: 10, Y0: 10, X1: 110, Y1: 60}},
+			{TrackID: 2, Class: video.Car, Color: video.Blue, Box: geom.Rect{X0: 15, Y0: 12, X1: 112, Y1: 62}},
+			{TrackID: 3, Class: video.Car, Color: video.White, Box: geom.Rect{X0: 300, Y0: 300, X1: 380, Y1: 350}},
+			{TrackID: 4, Class: video.Person, Color: video.Green, Box: geom.Rect{X0: 200, Y0: 100, X1: 230, Y1: 180}},
+		},
+	}
+}
+
+func TestOracleExactAndCharges(t *testing.T) {
+	clk := simclock.New()
+	o := NewOracle(clk)
+	f := denseFrame()
+	dets := o.Detect(f)
+	if len(dets) != len(f.Objects) {
+		t.Fatalf("Oracle returned %d detections, want %d", len(dets), len(f.Objects))
+	}
+	for i, d := range dets {
+		if d.Box != f.Objects[i].Box || d.Class != f.Objects[i].Class || d.Score != 1 {
+			t.Fatalf("detection %d differs from ground truth", i)
+		}
+	}
+	if clk.Elapsed() != 200*time.Millisecond {
+		t.Fatalf("Oracle charged %v, want 200ms", clk.Elapsed())
+	}
+	if o.Cost().Name != "mask-rcnn" {
+		t.Fatal("Oracle cost mislabelled")
+	}
+}
+
+func TestOracleNilClock(t *testing.T) {
+	o := NewOracle(nil)
+	if got := o.Detect(denseFrame()); len(got) != 4 {
+		t.Fatal("nil-clock Oracle failed")
+	}
+}
+
+func TestSimYOLOMergesOverlaps(t *testing.T) {
+	clk := simclock.New()
+	y := NewSimYOLO(clk, 1)
+	y.MissProb = 0 // isolate merging behaviour
+	f := denseFrame()
+	dets := y.Detect(f)
+	// Cars 1 and 2 overlap far above 0.45 IoU: they must merge.
+	if n := CountClass(dets, video.Car); n != 2 {
+		t.Fatalf("SimYOLO car count = %d, want 2 (one merged pair)", n)
+	}
+	if n := CountClass(dets, video.Person); n != 1 {
+		t.Fatalf("SimYOLO person count = %d, want 1", n)
+	}
+	if clk.Calls("yolo-full") != 1 {
+		t.Fatal("SimYOLO did not charge clock")
+	}
+}
+
+func TestSimYOLOLocalizationStaysClose(t *testing.T) {
+	y := NewSimYOLO(nil, 2)
+	y.MissProb = 0
+	y.MergeIoU = 1.1 // disable merging
+	f := denseFrame()
+	dets := y.Detect(f)
+	if len(dets) != 4 {
+		t.Fatalf("got %d detections", len(dets))
+	}
+	for i, d := range dets {
+		if geom.IoU(d.Box, f.Objects[i].Box) < 0.7 {
+			t.Fatalf("detection %d drifted: IoU %v", i, geom.IoU(d.Box, f.Objects[i].Box))
+		}
+	}
+}
+
+func TestSimYOLOMisses(t *testing.T) {
+	y := NewSimYOLO(nil, 3)
+	y.MissProb = 1
+	if dets := y.Detect(denseFrame()); len(dets) != 0 {
+		t.Fatalf("MissProb=1 still detected %d", len(dets))
+	}
+}
+
+func TestSimYOLOUndercountsDenseScenes(t *testing.T) {
+	// Over a Detrac-like stream the mean SimYOLO count must fall below the
+	// true mean — the behaviour the paper reports for full YOLOv2.
+	s := video.NewStream(video.Detrac(), 5)
+	y := NewSimYOLO(nil, 4)
+	var trueSum, yoloSum float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		f := s.Next()
+		trueSum += float64(f.Count())
+		yoloSum += float64(len(y.Detect(f)))
+	}
+	if yoloSum >= trueSum {
+		t.Fatalf("SimYOLO did not undercount: %v vs true %v", yoloSum/n, trueSum/n)
+	}
+}
+
+func TestNoisyDetector(t *testing.T) {
+	f := denseFrame()
+	// MissProb drops detections on average.
+	n := NewNoisy(NewOracle(nil), 0.5, 0, 0, 1)
+	total := 0
+	for i := 0; i < 200; i++ {
+		total += len(n.Detect(f))
+	}
+	mean := float64(total) / 200
+	if mean < 1.2 || mean > 2.8 {
+		t.Fatalf("MissProb=0.5 kept %.2f of 4 detections on average", mean)
+	}
+	// Jitter perturbs boxes but keeps them canonical.
+	j := NewNoisy(NewOracle(nil), 0, 3, 0, 2)
+	moved := false
+	for _, d := range j.Detect(f) {
+		if d.Box.X0 > d.Box.X1 || d.Box.Y0 > d.Box.Y1 {
+			t.Fatal("jittered box not canonical")
+		}
+		if d.Box != f.Objects[0].Box {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("jitter had no effect")
+	}
+	// Colour confusion changes colours eventually.
+	c := NewNoisy(NewOracle(nil), 0, 0, 1, 3)
+	changed := false
+	for i := 0; i < 20 && !changed; i++ {
+		for k, d := range c.Detect(f) {
+			if d.Color != f.Objects[k].Color {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("colour confusion had no effect")
+	}
+	// Cost passes through.
+	if c.Cost() != NewOracle(nil).Cost() {
+		t.Fatal("Noisy changed the cost")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	o := NewOracle(nil)
+	dets := o.Detect(denseFrame())
+	if len(Boxes(dets, video.Car)) != 3 {
+		t.Fatal("Boxes(Car) wrong")
+	}
+	if len(Boxes(dets, -1)) != 4 {
+		t.Fatal("Boxes(all) wrong")
+	}
+	if CountClassColor(dets, video.Car, video.Red) != 1 {
+		t.Fatal("CountClassColor(Car,Red) wrong")
+	}
+	if CountClassColor(dets, video.Car, video.AnyColor) != 3 {
+		t.Fatal("CountClassColor(Car,Any) wrong")
+	}
+}

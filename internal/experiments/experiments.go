@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV) on the synthetic substrate: Table II (dataset
+// characteristics), Figure 7 (count-filter accuracy), Figures 8–10/11
+// (per-class CCF accuracy), Figures 12–14/15 (per-class CLF f1), Table III
+// (query execution times at the paper's filter combinations) and Table IV
+// (aggregate queries with control variates). Two further experiments cover
+// Section IV-A's constraint-accuracy comparison and the branch-depth /
+// grid-size trade-off the paper discusses in the text.
+//
+// Each experiment returns structured rows plus a Format helper that prints
+// the same layout the paper reports, so benches and the CLI share one
+// implementation.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vmq/internal/video"
+)
+
+// Config scales the experiments. The zero value selects the paper's test
+// split sizes (Table II); smaller Frames values give quick runs for tests
+// and benchmarks.
+type Config struct {
+	// Frames caps the number of test frames per dataset (0 = the paper's
+	// test split size).
+	Frames int
+	// Seed drives stream generation and samplers.
+	Seed uint64
+	// Repetitions is the number of times aggregate queries are re-run
+	// (paper: 100; 0 defaults to 20).
+	Repetitions int
+}
+
+func (c Config) framesFor(p video.Profile) int {
+	if c.Frames > 0 && c.Frames < p.TestSize {
+		return c.Frames
+	}
+	return p.TestSize
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 20
+	}
+	return c.Seed
+}
+
+func (c Config) reps() int {
+	if c.Repetitions <= 0 {
+		return 20
+	}
+	return c.Repetitions
+}
+
+// TableIIRow describes one dataset, mirroring Table II's columns.
+type TableIIRow struct {
+	Dataset      string
+	TrainSize    int
+	TestSize     int
+	MeasuredMean float64
+	MeasuredStd  float64
+	PaperMean    float64
+	PaperStd     float64
+	Classes      string
+}
+
+// TableII measures the synthetic datasets against Table II's published
+// object/frame statistics.
+func TableII(cfg Config) []TableIIRow {
+	var rows []TableIIRow
+	for _, p := range video.Profiles() {
+		n := cfg.framesFor(p)
+		s := video.NewStream(p, cfg.seed())
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			f := s.Next()
+			c := float64(f.Count() - len(p.Static))
+			sum += c
+			sumSq += c * c
+		}
+		mean := sum / float64(n)
+		std := math.Sqrt(math.Max(0, sumSq/float64(n)-mean*mean))
+		var classes []string
+		for _, cm := range p.Classes {
+			if cm.P == 1 {
+				classes = append(classes, cm.Class.String())
+			} else {
+				classes = append(classes, fmt.Sprintf("%s (%.0f%%)", cm.Class, cm.P*100))
+			}
+		}
+		rows = append(rows, TableIIRow{
+			Dataset:      p.Name,
+			TrainSize:    p.TrainSize,
+			TestSize:     p.TestSize,
+			MeasuredMean: mean,
+			MeasuredStd:  std,
+			PaperMean:    p.MeanObjs,
+			PaperStd:     p.StdObjs,
+			Classes:      strings.Join(classes, ", "),
+		})
+	}
+	return rows
+}
+
+// FormatTableII renders the rows in Table II's layout.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: Datasets and their characteristics\n")
+	fmt.Fprintf(&b, "%-9s %9s %9s %11s %9s %s\n", "Dataset", "Train", "Test", "Obj/Frame", "std", "Classes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %9d %9d %5.1f(%4.1f) %4.1f(%4.1f) %s\n",
+			r.Dataset, r.TrainSize, r.TestSize,
+			r.MeasuredMean, r.PaperMean, r.MeasuredStd, r.PaperStd, r.Classes)
+	}
+	b.WriteString("(measured(paper) per column)\n")
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quick keeps experiment tests fast; benches run larger slices.
+var quick = Config{Frames: 600, Seed: 20, Repetitions: 5}
+
+func TestTableII(t *testing.T) {
+	rows := TableII(Config{Frames: 3000, Seed: 20})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.MeasuredMean-r.PaperMean) > r.PaperMean*0.25+0.5 {
+			t.Errorf("%s: measured mean %.2f far from paper %.2f", r.Dataset, r.MeasuredMean, r.PaperMean)
+		}
+		if math.Abs(r.MeasuredStd-r.PaperStd) > r.PaperStd*0.4+0.5 {
+			t.Errorf("%s: measured std %.2f far from paper %.2f", r.Dataset, r.MeasuredStd, r.PaperStd)
+		}
+		if r.Classes == "" || r.TrainSize == 0 {
+			t.Errorf("%s: incomplete row %+v", r.Dataset, r)
+		}
+	}
+	out := FormatTableII(rows)
+	if !strings.Contains(out, "coral") || !strings.Contains(out, "detrac") {
+		t.Error("FormatTableII missing datasets")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	rows := Figure7(quick)
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	byKey := map[string]Figure7Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Filter] = r
+		if !(r.Exact <= r.Within1 && r.Within1 <= r.Within2) {
+			t.Errorf("%s/%s not monotone: %+v", r.Dataset, r.Filter, r)
+		}
+	}
+	// OD-COF collapses on Detrac relative to the CF filters.
+	if byKey["detrac/OD-COF"].Exact > byKey["detrac/IC-CF"].Exact-0.05 {
+		t.Errorf("OD-COF (%v) should trail IC-CF (%v) on detrac",
+			byKey["detrac/OD-COF"].Exact, byKey["detrac/IC-CF"].Exact)
+	}
+	// Jackson is easy for everyone.
+	for _, f := range []string{"OD-COF", "IC-CF", "OD-CF"} {
+		if byKey["jackson/"+f].Exact < 0.85 {
+			t.Errorf("jackson/%s exact = %v", f, byKey["jackson/"+f].Exact)
+		}
+	}
+	if s := FormatFigure7(rows); !strings.Contains(s, "OD-COF") {
+		t.Error("FormatFigure7 incomplete")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	rows := Figure11(quick)
+	// coral: 1 class, jackson: 2, detrac: 3 -> (1+2+3)*2 filters = 12.
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	byKey := map[string]Figure11Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Filter+"/"+r.Class] = r
+	}
+	// Rare classes are easier to count than common ones (paper: "higher
+	// accuracy for classes that are less popular").
+	if byKey["detrac/OD-CCF/truck"].Exact < byKey["detrac/OD-CCF/car"].Exact {
+		t.Errorf("rare truck (%v) should beat common car (%v) at exact counts",
+			byKey["detrac/OD-CCF/truck"].Exact, byKey["detrac/OD-CCF/car"].Exact)
+	}
+	if s := FormatFigure11(rows); !strings.Contains(s, "truck") {
+		t.Error("FormatFigure11 incomplete")
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	rows := Figure15(quick)
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	byKey := map[string]Figure15Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Filter+"/"+r.Class] = r
+		if !(r.F1 <= r.F1R1+1e-9 && r.F1R1 <= r.F1R2+1e-9) {
+			t.Errorf("%s/%s/%s tolerance not monotone: %+v", r.Dataset, r.Filter, r.Class, r)
+		}
+	}
+	// OD localisation far ahead of IC on every dataset's dominant class.
+	for _, k := range []string{"coral/person", "jackson/car", "detrac/car"} {
+		parts := strings.Split(k, "/")
+		od := byKey[parts[0]+"/OD-CLF/"+parts[1]]
+		ic := byKey[parts[0]+"/IC-CLF/"+parts[1]]
+		if od.F1 < ic.F1+0.1 {
+			t.Errorf("%s: OD f1 (%v) should be far above IC (%v)", k, od.F1, ic.F1)
+		}
+	}
+	// Rare classes localise worse (paper: lower f1 for person on Jackson,
+	// truck/bus on Detrac).
+	if byKey["detrac/OD-CLF/truck"].F1 > byKey["detrac/OD-CLF/car"].F1 {
+		t.Errorf("rare truck f1 (%v) above common car (%v)",
+			byKey["detrac/OD-CLF/truck"].F1, byKey["detrac/OD-CLF/car"].F1)
+	}
+	if s := FormatFigure15(rows); !strings.Contains(s, "OD-CLF") {
+		t.Error("FormatFigure15 incomplete")
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	rows := TableIII(quick)
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.Accuracy < 0.85 {
+			t.Errorf("%s: accuracy %.3f below 0.85 (combo %s, %d true frames)",
+				r.Query, r.Accuracy, r.Combo, r.TrueFrames)
+		}
+		if r.Speedup < 2 {
+			t.Errorf("%s: speedup %.1fx too small", r.Query, r.Speedup)
+		}
+		if r.FilterSeconds >= r.BruteSeconds {
+			t.Errorf("%s: cascade (%.1fs) not below brute force (%.1fs)",
+				r.Query, r.FilterSeconds, r.BruteSeconds)
+		}
+	}
+	// Count-only queries reach (near-)perfect accuracy as in the paper.
+	for _, r := range rows {
+		switch r.Query {
+		case "q1", "q3", "q4", "q6":
+			if r.Accuracy < 0.97 {
+				t.Errorf("%s: count query accuracy %.3f, want >= 0.97", r.Query, r.Accuracy)
+			}
+		}
+	}
+	if s := FormatTableIII(rows); !strings.Contains(s, "OD-CCF") {
+		t.Error("FormatTableIII incomplete")
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	// Rare predicates (a3, a5) need windows large enough that sampled
+	// frames include positives at all.
+	rows := TableIV(Config{Frames: 3000, Seed: 20, Repetitions: 4})
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanReduction <= 1 {
+			t.Errorf("%s: variance reduction %.2f not above 1", r.Query, r.MeanReduction)
+		}
+		// ~200ms detector + ~2ms filter.
+		if r.MsPerSample < 200 || r.MsPerSample > 210 {
+			t.Errorf("%s: ms/sample = %.1f", r.Query, r.MsPerSample)
+		}
+		if r.TrueValue > 0 {
+			relErr := math.Abs(r.MeanEstimate-r.TrueValue) / r.TrueValue
+			absErr := math.Abs(r.MeanEstimate - r.TrueValue)
+			// Rare predicates (a5) have very few positives per sample, so
+			// only an absolute-error bound is meaningful there.
+			if relErr > 0.35 && absErr > 15 {
+				t.Errorf("%s: estimate %.1f vs truth %.1f (relErr %.2f)",
+					r.Query, r.MeanEstimate, r.TrueValue, relErr)
+			}
+		}
+	}
+	// a3 uses three predicate leaves -> multiple control variates.
+	for _, r := range rows {
+		if r.Query == "a3" && r.Controls < 2 {
+			t.Errorf("a3 controls = %d, want multiple", r.Controls)
+		}
+	}
+	if s := FormatTableIV(rows); !strings.Contains(s, "varRed") {
+		t.Error("FormatTableIV incomplete")
+	}
+}
+
+func TestConstraintAccuracy(t *testing.T) {
+	r := ConstraintAccuracy(quick)
+	if r.Agreement < 0.9 {
+		t.Errorf("constraint agreement = %.3f, want >= 0.9 (paper: 0.99)", r.Agreement)
+	}
+	if !strings.Contains(FormatConstraintAccuracy(r), "0.99") {
+		t.Error("FormatConstraintAccuracy missing paper reference")
+	}
+}
+
+func TestBranchTradeoff(t *testing.T) {
+	rows := BranchTradeoff(Config{Frames: 1200, Seed: 20})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].GridSize != 56 || rows[2].GridSize != 14 {
+		t.Fatalf("grid order wrong: %+v", rows)
+	}
+	// Coarser grids must not improve spatial f1 beyond noise; the paper
+	// reports up to 8% degradation.
+	if rows[2].SpatialF1 > rows[0].SpatialF1+0.03 {
+		t.Errorf("grid 14 f1 (%v) above grid 56 (%v)", rows[2].SpatialF1, rows[0].SpatialF1)
+	}
+	if s := FormatBranchTradeoff(rows); !strings.Contains(s, "spatialF1") {
+		t.Error("FormatBranchTradeoff incomplete")
+	}
+}
+
+func TestSamplerAblation(t *testing.T) {
+	rows := SamplerAblation(Config{Frames: 2000, Seed: 20, Repetitions: 15})
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]SamplerRow{}
+	for _, r := range rows {
+		byName[r.Sampler] = r
+		// Every sampler's CV estimate should sit near the truth.
+		if r.Truth > 0 && math.Abs(r.MeanEst-r.Truth) > r.Truth*0.2+0.02 {
+			t.Errorf("%s: mean estimate %.4f vs truth %.4f", r.Sampler, r.MeanEst, r.Truth)
+		}
+	}
+	// Temporal spreading must not be substantially worse than uniform on
+	// an autocorrelated stream (and is typically better).
+	if byName["stratified"].CVStd > byName["uniform"].CVStd*1.5+0.01 {
+		t.Errorf("stratified cvStd %.4f much worse than uniform %.4f",
+			byName["stratified"].CVStd, byName["uniform"].CVStd)
+	}
+	if s := FormatSamplerAblation(rows); !strings.Contains(s, "stratified") {
+		t.Error("FormatSamplerAblation incomplete")
+	}
+}
+
+func TestTrainedComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN training skipped in -short mode")
+	}
+	rows, sweep := TrainedComparison(Config{Seed: 20})
+	if len(rows) != 4 || len(sweep) != 3 {
+		t.Fatalf("rows=%d sweep=%d", len(rows), len(sweep))
+	}
+	byName := map[string]TrainedRow{}
+	for _, r := range rows {
+		byName[r.Backend] = r
+	}
+	// The trained nets must be usable: near-perfect within ±1 counts and
+	// meaningful localisation.
+	for _, name := range []string{"IC trained", "OD trained"} {
+		if byName[name].CountW1 < 0.6 {
+			t.Errorf("%s count±1 = %v", name, byName[name].CountW1)
+		}
+		if byName[name].LocF1R1 < 0.4 {
+			t.Errorf("%s locF1 = %v", name, byName[name].LocF1R1)
+		}
+	}
+	// The mid threshold (the paper's 0.2) should not be the worst setting.
+	if sweep[1].LocF1R1 < sweep[0].LocF1R1 && sweep[1].LocF1R1 < sweep[2].LocF1R1 {
+		t.Errorf("threshold sweep inverted: %+v", sweep)
+	}
+	if s := FormatTrainedComparison(rows, sweep); !strings.Contains(s, "threshold") {
+		t.Error("FormatTrainedComparison incomplete")
+	}
+}
+
+func TestUnexpectedObjects(t *testing.T) {
+	r := UnexpectedObjects(Config{Frames: 2000, Seed: 20})
+	if r.Injected == 0 {
+		t.Fatal("no foreign objects injected")
+	}
+	if r.Recall < 0.8 || r.Precision < 0.8 {
+		t.Errorf("anomaly flagging p=%.3f r=%.3f too weak", r.Precision, r.Recall)
+	}
+	if FormatUnexpectedObjects(r) == "" {
+		t.Error("empty format")
+	}
+}

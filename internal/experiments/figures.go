@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vmq/internal/filters"
+	"vmq/internal/geom"
+	"vmq/internal/grid"
+	"vmq/internal/metrics"
+	"vmq/internal/video"
+)
+
+// Figure7Row is one bar group of Figure 7: the accuracy of a total-count
+// filter on one dataset at exact/±1/±2 tolerance.
+type Figure7Row struct {
+	Dataset string
+	Filter  string // "OD-COF", "IC-CF", "OD-CF"
+	Exact   float64
+	Within1 float64
+	Within2 float64
+}
+
+// Figure7 reproduces the count-filter accuracy comparison across the three
+// datasets.
+func Figure7(cfg Config) []Figure7Row {
+	var rows []Figure7Row
+	for _, p := range video.Profiles() {
+		n := cfg.framesFor(p)
+		backends := []struct {
+			name string
+			b    filters.Backend
+		}{
+			{"OD-COF", filters.NewCOFFilter(p, cfg.seed(), nil)},
+			{"IC-CF", filters.NewICFilter(p, cfg.seed(), nil)},
+			{"OD-CF", filters.NewODFilter(p, cfg.seed(), nil)},
+		}
+		accs := make([]metrics.CountAccuracy, len(backends))
+		s := video.NewStream(p, cfg.seed()+1)
+		for i := 0; i < n; i++ {
+			f := s.Next()
+			truth := f.Count()
+			for bi, be := range backends {
+				accs[bi].Observe(truth, be.b.Evaluate(f).Total)
+			}
+		}
+		for bi, be := range backends {
+			rows = append(rows, Figure7Row{
+				Dataset: p.Name, Filter: be.name,
+				Exact:   accs[bi].Accuracy(0),
+				Within1: accs[bi].Accuracy(1),
+				Within2: accs[bi].Accuracy(2),
+			})
+		}
+	}
+	return rows
+}
+
+// FormatFigure7 renders the rows as the bar values of Figure 7.
+func FormatFigure7(rows []Figure7Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Accuracy of object count filters\n")
+	fmt.Fprintf(&b, "%-9s %-7s %7s %7s %7s\n", "Dataset", "Filter", "exact", "±1", "±2")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-7s %7.3f %7.3f %7.3f\n", r.Dataset, r.Filter, r.Exact, r.Within1, r.Within2)
+	}
+	return b.String()
+}
+
+// Figure11Row is one bar group of Figures 8–10 (jointly Figure 11):
+// per-class count accuracy for the IC and OD CCF filters.
+type Figure11Row struct {
+	Dataset string
+	Filter  string // "IC-CCF", "OD-CCF"
+	Class   string
+	Exact   float64
+	Within1 float64
+	Within2 float64
+}
+
+// Figure11 reproduces the per-class CCF accuracy comparison (Figures 8,
+// 9 and 10 for Coral, Jackson and Detrac respectively).
+func Figure11(cfg Config) []Figure11Row {
+	var rows []Figure11Row
+	for _, p := range video.Profiles() {
+		n := cfg.framesFor(p)
+		ic := filters.NewICFilter(p, cfg.seed(), nil)
+		od := filters.NewODFilter(p, cfg.seed(), nil)
+		type key struct {
+			filter string
+			class  video.Class
+		}
+		accs := map[key]*metrics.CountAccuracy{}
+		for _, cm := range p.Classes {
+			accs[key{"IC-CCF", cm.Class}] = &metrics.CountAccuracy{}
+			accs[key{"OD-CCF", cm.Class}] = &metrics.CountAccuracy{}
+		}
+		s := video.NewStream(p, cfg.seed()+2)
+		for i := 0; i < n; i++ {
+			f := s.Next()
+			io, oo := ic.Evaluate(f), od.Evaluate(f)
+			for _, cm := range p.Classes {
+				truth := f.CountClass(cm.Class)
+				accs[key{"IC-CCF", cm.Class}].Observe(truth, io.Counts[cm.Class])
+				accs[key{"OD-CCF", cm.Class}].Observe(truth, oo.Counts[cm.Class])
+			}
+		}
+		for _, filter := range []string{"IC-CCF", "OD-CCF"} {
+			for _, cm := range p.Classes {
+				a := accs[key{filter, cm.Class}]
+				rows = append(rows, Figure11Row{
+					Dataset: p.Name, Filter: filter, Class: cm.Class.String(),
+					Exact: a.Accuracy(0), Within1: a.Accuracy(1), Within2: a.Accuracy(2),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// FormatFigure11 renders the per-class CCF accuracies.
+func FormatFigure11(rows []Figure11Row) string {
+	var b strings.Builder
+	b.WriteString("Figures 8-10 (11): CCF performance across data sets per class\n")
+	fmt.Fprintf(&b, "%-9s %-7s %-9s %7s %7s %7s\n", "Dataset", "Filter", "Class", "exact", "±1", "±2")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-7s %-9s %7.3f %7.3f %7.3f\n",
+			r.Dataset, r.Filter, r.Class, r.Exact, r.Within1, r.Within2)
+	}
+	return b.String()
+}
+
+// Figure15Row is one bar group of Figures 12–14 (jointly Figure 15):
+// per-class localisation f1 of the CLF filters at exact cell, Manhattan 1
+// and Manhattan 2 tolerance.
+type Figure15Row struct {
+	Dataset string
+	Filter  string // "IC-CLF", "OD-CLF"
+	Class   string
+	F1      float64
+	F1R1    float64
+	F1R2    float64
+}
+
+// Figure15 reproduces the CLF localisation comparison. Ground-truth maps
+// mark the grid cell of each object centre, matching the prediction
+// semantics of the filters.
+func Figure15(cfg Config) []Figure15Row {
+	var rows []Figure15Row
+	for _, p := range video.Profiles() {
+		n := cfg.framesFor(p)
+		ic := filters.NewICFilter(p, cfg.seed(), nil)
+		od := filters.NewODFilter(p, cfg.seed(), nil)
+		type key struct {
+			filter string
+			class  video.Class
+		}
+		prfs := map[key]*[3]metrics.PRF{}
+		for _, cm := range p.Classes {
+			prfs[key{"IC-CLF", cm.Class}] = &[3]metrics.PRF{}
+			prfs[key{"OD-CLF", cm.Class}] = &[3]metrics.PRF{}
+		}
+		s := video.NewStream(p, cfg.seed()+3)
+		for i := 0; i < n; i++ {
+			f := s.Next()
+			io, oo := ic.Evaluate(f), od.Evaluate(f)
+			for _, cm := range p.Classes {
+				truth := grid.FromCenters(classBoxes(f, cm.Class), f.Bounds, 56)
+				for r := 0; r <= 2; r++ {
+					tp, fp, fn := grid.Match(io.Map(cm.Class, 56), truth, r)
+					prfs[key{"IC-CLF", cm.Class}][r].Add(tp, fp, fn)
+					tp, fp, fn = grid.Match(oo.Map(cm.Class, 56), truth, r)
+					prfs[key{"OD-CLF", cm.Class}][r].Add(tp, fp, fn)
+				}
+			}
+		}
+		for _, filter := range []string{"IC-CLF", "OD-CLF"} {
+			for _, cm := range p.Classes {
+				pr := prfs[key{filter, cm.Class}]
+				rows = append(rows, Figure15Row{
+					Dataset: p.Name, Filter: filter, Class: cm.Class.String(),
+					F1: pr[0].F1(), F1R1: pr[1].F1(), F1R2: pr[2].F1(),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+func classBoxes(f *video.Frame, cls video.Class) []geom.Rect {
+	var out []geom.Rect
+	for _, o := range f.Objects {
+		if o.Class == cls {
+			out = append(out, o.Box)
+		}
+	}
+	return out
+}
+
+// FormatFigure15 renders the per-class CLF f1 scores.
+func FormatFigure15(rows []Figure15Row) string {
+	var b strings.Builder
+	b.WriteString("Figures 12-14 (15): CLF performance across data sets per class (f1)\n")
+	fmt.Fprintf(&b, "%-9s %-7s %-9s %7s %7s %7s\n", "Dataset", "Filter", "Class", "exact", "M1", "M2")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %-7s %-9s %7.3f %7.3f %7.3f\n",
+			r.Dataset, r.Filter, r.Class, r.F1, r.F1R1, r.F1R2)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/plan"
+	"vmq/internal/query"
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+)
+
+// PlannerRow compares the automatic filter-selection optimizer (package
+// plan) against the paper's hand-picked Table III combination for one
+// query.
+type PlannerRow struct {
+	Query       string
+	PaperCombo  string
+	ChosenTol   query.Tolerances
+	PaperTol    query.Tolerances
+	Accuracy    float64
+	PaperAcc    float64 // accuracy of the hand-picked combo on this run
+	Seconds     float64
+	PaperSec    float64 // virtual seconds of the hand-picked combo
+	CalibFrames int
+}
+
+// Planner runs q1–q7 with tolerances chosen automatically from a
+// calibration prefix (annotated by the oracle, as the paper annotates its
+// training data with Mask R-CNN) and compares against the hand-picked
+// combinations — the filter-ordering optimization the paper leaves as
+// future work.
+func Planner(cfg Config) []PlannerRow {
+	const calibSize = 3000
+	const targetRecall = 0.99
+	var rows []PlannerRow
+	for _, spec := range TableIIIQueries() {
+		p, ok := video.ProfileByName(spec.Dataset)
+		if !ok {
+			panic("experiments: unknown dataset " + spec.Dataset)
+		}
+		q, err := vql.Parse(spec.VQL)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", spec.Name, err))
+		}
+		pl := query.MustBind(q, p)
+		backend := filters.NewODFilter(p, cfg.seed(), nil)
+
+		// Calibration prefix, then the test stream continues from there.
+		src := video.NewStream(p, cfg.seed()+9)
+		calib := src.Take(calibSize)
+		best, _ := plan.Choose(pl, backend, detect.NewOracle(nil), calib, targetRecall)
+
+		n := cfg.framesFor(p)
+		frames := src.Take(n)
+		truth := query.GroundTruth(pl, frames)
+
+		run := func(tol query.Tolerances) (float64, time.Duration) {
+			eng := &query.Engine{Backend: backend, Detector: detect.NewOracle(nil), Tol: tol}
+			res := eng.Run(pl, frames)
+			return query.Score(res, truth), res.VirtualTime
+		}
+		acc, dur := run(best.Tol)
+		paperAcc, paperDur := run(spec.Tol)
+		rows = append(rows, PlannerRow{
+			Query:       spec.Name,
+			PaperCombo:  spec.Combo,
+			ChosenTol:   best.Tol,
+			PaperTol:    spec.Tol,
+			Accuracy:    acc,
+			PaperAcc:    paperAcc,
+			Seconds:     dur.Seconds(),
+			PaperSec:    paperDur.Seconds(),
+			CalibFrames: calibSize,
+		})
+	}
+	return rows
+}
+
+// FormatPlanner renders the optimizer comparison.
+func FormatPlanner(rows []PlannerRow) string {
+	var b strings.Builder
+	b.WriteString("Filter-selection optimizer vs Table III hand-picked combinations\n")
+	fmt.Fprintf(&b, "%-4s %-12s %-12s %7s %7s %9s %9s\n",
+		"q", "chosen", "hand-picked", "acc", "hpAcc", "time(s)", "hpTime(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %-12s %-12s %7.3f %7.3f %9.1f %9.1f\n",
+			r.Query, r.ChosenTol, r.PaperTol, r.Accuracy, r.PaperAcc, r.Seconds, r.PaperSec)
+	}
+	b.WriteString(fmt.Sprintf("(calibration: %d oracle-annotated frames = %v of virtual annotation time per query)\n",
+		rows[0].CalibFrames, time.Duration(rows[0].CalibFrames)*simclock.CostMaskRCNN.PerCall))
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanner(t *testing.T) {
+	rows := Planner(Config{Frames: 1000, Seed: 20})
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		// The optimizer must be at least as accurate as 0.85 everywhere
+		// and must never be wildly slower than the hand-picked combo.
+		if r.Accuracy < 0.85 {
+			t.Errorf("%s: optimizer accuracy %.3f", r.Query, r.Accuracy)
+		}
+		if r.Seconds > r.PaperSec*6+30 {
+			t.Errorf("%s: optimizer cost %.1fs vs hand-picked %.1fs", r.Query, r.Seconds, r.PaperSec)
+		}
+	}
+	// On at least one query the optimizer should find a strictly cheaper
+	// combination than the hand-picked one at equal accuracy (q1/q6-style
+	// exact filters on easy counts).
+	cheaper := false
+	for _, r := range rows {
+		if r.Accuracy >= r.PaperAcc && r.Seconds < r.PaperSec*0.8 {
+			cheaper = true
+		}
+	}
+	if !cheaper {
+		t.Error("optimizer never beat a hand-picked combination")
+	}
+	if s := FormatPlanner(rows); !strings.Contains(s, "hand-picked") {
+		t.Error("FormatPlanner incomplete")
+	}
+}

@@ -1,0 +1,198 @@
+// Package geom provides the small planar-geometry vocabulary shared by the
+// video substrate, the detectors and the spatial predicate algebra: points,
+// axis-aligned rectangles (bounding boxes), intersection-over-union and the
+// screen-region helpers (quadrants) used by the paper's example queries.
+//
+// Coordinates follow raster convention: x grows rightward, y grows downward,
+// and a Rect spans the half-open ranges [X0,X1) x [Y0,Y1).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in frame coordinates.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Rect is an axis-aligned rectangle spanning [X0,X1) x [Y0,Y1).
+// The zero Rect is empty.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// RectFromCenter builds a Rect centred at c with width w and height h.
+func RectFromCenter(c Point, w, h float64) Rect {
+	return Rect{c.X - w/2, c.Y - h/2, c.X + w/2, c.Y + h/2}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f;%.1f,%.1f]", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// W returns the width of r (never negative for a canonical rect).
+func (r Rect) W() float64 { return r.X1 - r.X0 }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.Y1 - r.Y0 }
+
+// Area returns the area of r, or 0 if r is empty or inverted.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Empty reports whether r encloses no area.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Canon returns r with coordinates reordered so X0<=X1 and Y0<=Y1.
+func (r Rect) Canon() Rect {
+	if r.X0 > r.X1 {
+		r.X0, r.X1 = r.X1, r.X0
+	}
+	if r.Y0 > r.Y1 {
+		r.Y0, r.Y1 = r.Y1, r.Y0
+	}
+	return r
+}
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point { return Point{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.X0 + d.X, r.Y0 + d.Y, r.X1 + d.X, r.Y1 + d.Y}
+}
+
+// Scale returns r with both axes scaled by sx, sy about the origin.
+func (r Rect) Scale(sx, sy float64) Rect {
+	return Rect{r.X0 * sx, r.Y0 * sy, r.X1 * sx, r.Y1 * sy}
+}
+
+// Intersect returns the overlap of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		math.Max(r.X0, s.X0), math.Max(r.Y0, s.Y0),
+		math.Min(r.X1, s.X1), math.Min(r.Y1, s.Y1),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the smallest rect containing both r and s. If either is
+// empty the other is returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		math.Min(r.X0, s.X0), math.Min(r.Y0, s.Y0),
+		math.Max(r.X1, s.X1), math.Max(r.Y1, s.Y1),
+	}
+}
+
+// Overlaps reports whether r and s share interior area.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X < r.X1 && p.Y >= r.Y0 && p.Y < r.Y1
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return false
+	}
+	return s.X0 >= r.X0 && s.Y0 >= r.Y0 && s.X1 <= r.X1 && s.Y1 <= r.Y1
+}
+
+// Clip returns r clipped to bounds.
+func (r Rect) Clip(bounds Rect) Rect { return r.Intersect(bounds) }
+
+// IoU returns the intersection-over-union of r and s in [0,1].
+func IoU(r, s Rect) float64 {
+	inter := r.Intersect(s).Area()
+	if inter == 0 {
+		return 0
+	}
+	union := r.Area() + s.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Quadrant identifies one quarter of the visible screen. The paper's
+// example queries constrain objects to screen quadrants ("two people in the
+// lower left quadrant").
+type Quadrant int
+
+// Screen quadrants in raster orientation (y grows downward).
+const (
+	UpperLeft Quadrant = iota
+	UpperRight
+	LowerLeft
+	LowerRight
+)
+
+// String implements fmt.Stringer.
+func (q Quadrant) String() string {
+	switch q {
+	case UpperLeft:
+		return "upper-left"
+	case UpperRight:
+		return "upper-right"
+	case LowerLeft:
+		return "lower-left"
+	case LowerRight:
+		return "lower-right"
+	default:
+		return fmt.Sprintf("Quadrant(%d)", int(q))
+	}
+}
+
+// QuadrantRect returns the sub-rectangle of frame covered by q.
+func QuadrantRect(frame Rect, q Quadrant) Rect {
+	cx, cy := frame.Center().X, frame.Center().Y
+	switch q {
+	case UpperLeft:
+		return Rect{frame.X0, frame.Y0, cx, cy}
+	case UpperRight:
+		return Rect{cx, frame.Y0, frame.X1, cy}
+	case LowerLeft:
+		return Rect{frame.X0, cy, cx, frame.Y1}
+	default: // LowerRight
+		return Rect{cx, cy, frame.X1, frame.Y1}
+	}
+}

@@ -1,0 +1,235 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if d := (Point{0, 0}).Dist(Point{3, 4}); !almostEq(d, 5) {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := (Point{0, 0}).Manhattan(Point{3, 4}); !almostEq(d, 7) {
+		t.Errorf("Manhattan = %v, want 7", d)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	if r.W() != 4 || r.H() != 2 {
+		t.Fatalf("W/H = %v/%v", r.W(), r.H())
+	}
+	if r.Area() != 8 {
+		t.Fatalf("Area = %v", r.Area())
+	}
+	if r.Empty() {
+		t.Fatal("non-empty rect reported Empty")
+	}
+	if !(Rect{}).Empty() {
+		t.Fatal("zero rect not Empty")
+	}
+	if (Rect{1, 1, 1, 5}).Area() != 0 {
+		t.Fatal("degenerate rect has nonzero area")
+	}
+	if c := r.Center(); c != (Point{2, 1}) {
+		t.Fatalf("Center = %v", c)
+	}
+}
+
+func TestRectCanon(t *testing.T) {
+	r := Rect{5, 7, 1, 2}.Canon()
+	if r != (Rect{1, 2, 5, 7}) {
+		t.Fatalf("Canon = %v", r)
+	}
+}
+
+func TestRectFromCenter(t *testing.T) {
+	r := RectFromCenter(Point{10, 10}, 4, 6)
+	if r != (Rect{8, 7, 12, 13}) {
+		t.Fatalf("RectFromCenter = %v", r)
+	}
+	if c := r.Center(); c != (Point{10, 10}) {
+		t.Fatalf("center roundtrip = %v", c)
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got := a.Intersect(b)
+	if got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != (Rect{0, 0, 15, 15}) {
+		t.Fatalf("Union = %v", u)
+	}
+	c := Rect{20, 20, 30, 30}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint rects intersect")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint rects Overlaps")
+	}
+	if !a.Overlaps(b) {
+		t.Fatal("overlapping rects not Overlaps")
+	}
+	// Union with empty.
+	if u := a.Union(Rect{}); u != a {
+		t.Fatalf("Union with empty = %v", u)
+	}
+	if u := (Rect{}).Union(a); u != a {
+		t.Fatalf("empty Union = %v", u)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if !r.Contains(Point{0, 0}) {
+		t.Error("corner not contained (half-open should include min corner)")
+	}
+	if r.Contains(Point{10, 10}) {
+		t.Error("max corner contained (half-open should exclude)")
+	}
+	if !r.ContainsRect(Rect{1, 1, 9, 9}) {
+		t.Error("inner rect not contained")
+	}
+	if r.ContainsRect(Rect{1, 1, 11, 9}) {
+		t.Error("escaping rect contained")
+	}
+	if r.ContainsRect(Rect{}) {
+		t.Error("empty rect contained")
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if v := IoU(a, a); !almostEq(v, 1) {
+		t.Errorf("self IoU = %v", v)
+	}
+	b := Rect{5, 0, 15, 10}
+	// inter = 50, union = 150.
+	if v := IoU(a, b); !almostEq(v, 50.0/150.0) {
+		t.Errorf("IoU = %v", v)
+	}
+	if v := IoU(a, Rect{20, 20, 30, 30}); v != 0 {
+		t.Errorf("disjoint IoU = %v", v)
+	}
+}
+
+func TestQuadrants(t *testing.T) {
+	frame := Rect{0, 0, 100, 100}
+	cases := []struct {
+		q    Quadrant
+		want Rect
+	}{
+		{UpperLeft, Rect{0, 0, 50, 50}},
+		{UpperRight, Rect{50, 0, 100, 50}},
+		{LowerLeft, Rect{0, 50, 50, 100}},
+		{LowerRight, Rect{50, 50, 100, 100}},
+	}
+	total := 0.0
+	for _, c := range cases {
+		got := QuadrantRect(frame, c.q)
+		if got != c.want {
+			t.Errorf("QuadrantRect(%v) = %v, want %v", c.q, got, c.want)
+		}
+		total += got.Area()
+	}
+	if !almostEq(total, frame.Area()) {
+		t.Errorf("quadrants do not tile frame: %v vs %v", total, frame.Area())
+	}
+	for _, c := range cases {
+		if c.q.String() == "" {
+			t.Error("empty quadrant name")
+		}
+	}
+	if Quadrant(42).String() != "Quadrant(42)" {
+		t.Error("unknown quadrant String")
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	return Rect{
+		rng.Float64() * 100, rng.Float64() * 100,
+		rng.Float64() * 100, rng.Float64() * 100,
+	}.Canon()
+}
+
+// Property: IoU is symmetric and bounded in [0,1].
+func TestIoUProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		v1, v2 := IoU(a, b), IoU(b, a)
+		if !almostEq(v1, v2) {
+			t.Fatalf("IoU not symmetric: %v vs %v", v1, v2)
+		}
+		if v1 < 0 || v1 > 1+1e-12 {
+			t.Fatalf("IoU out of range: %v", v1)
+		}
+	}
+}
+
+// Property: intersection area <= min area; union rect contains both.
+func TestIntersectUnionProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		inter := a.Intersect(b)
+		if inter.Area() > math.Min(a.Area(), b.Area())+1e-9 {
+			t.Fatalf("intersection larger than operand: %v %v %v", a, b, inter)
+		}
+		u := a.Union(b)
+		if !a.Empty() && !u.ContainsRect(a) {
+			t.Fatalf("union does not contain a: %v %v", u, a)
+		}
+		if !b.Empty() && !u.ContainsRect(b) {
+			t.Fatalf("union does not contain b: %v %v", u, b)
+		}
+	}
+}
+
+// Property via testing/quick: Canon is idempotent and never inverted.
+func TestCanonQuick(t *testing.T) {
+	f := func(x0, y0, x1, y1 float64) bool {
+		r := Rect{x0, y0, x1, y1}.Canon()
+		return r.X0 <= r.X1 && r.Y0 <= r.Y1 && r == r.Canon()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: translation preserves area.
+func TestTranslateQuick(t *testing.T) {
+	f := func(x0, y0, w, h, dx, dy float64) bool {
+		w, h = math.Abs(w), math.Abs(h)
+		if math.IsNaN(x0+y0+w+h+dx+dy) || math.IsInf(x0+y0+w+h+dx+dy, 0) {
+			return true
+		}
+		if w > 1e100 || h > 1e100 || math.Abs(x0) > 1e100 || math.Abs(y0) > 1e100 {
+			return true // avoid float overflow artifacts
+		}
+		r := Rect{x0, y0, x0 + w, y0 + h}
+		tr := r.Translate(Point{dx, dy})
+		return math.Abs(tr.Area()-r.Area()) <= 1e-6*math.Max(1, r.Area())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package grid implements the g×g activation-map machinery at the heart of
+// the paper's CLF filters: real-valued class activation maps, thresholding
+// into binary occupancy maps, the downscaling of detector bounding boxes
+// onto the grid that produces training labels ("the location map is
+// produced by down-scaling the locations of the Mask R-CNN bounding boxes
+// in the image to size 56×56"), and the Manhattan-distance-tolerant
+// matching used to score CLF-1 and CLF-2 variants.
+package grid
+
+import (
+	"fmt"
+
+	"vmq/internal/geom"
+)
+
+// Map is a real-valued g×g activation map (row-major).
+type Map struct {
+	G     int
+	Cells []float32
+}
+
+// NewMap allocates a zero g×g map.
+func NewMap(g int) *Map {
+	if g <= 0 {
+		panic(fmt.Sprintf("grid: non-positive size %d", g))
+	}
+	return &Map{G: g, Cells: make([]float32, g*g)}
+}
+
+// At returns the activation at row i, column j.
+func (m *Map) At(i, j int) float32 { return m.Cells[i*m.G+j] }
+
+// Set stores v at row i, column j.
+func (m *Map) Set(v float32, i, j int) { m.Cells[i*m.G+j] = v }
+
+// Threshold converts m into a binary occupancy map: cell (i,j) is occupied
+// iff m(i,j) >= t. The paper uses t = 0.2 for OD filters.
+func (m *Map) Threshold(t float32) *Binary {
+	b := NewBinary(m.G)
+	for i, v := range m.Cells {
+		if v >= t {
+			b.Cells[i] = true
+		}
+	}
+	return b
+}
+
+// Binary is a boolean g×g occupancy map.
+type Binary struct {
+	G     int
+	Cells []bool
+}
+
+// NewBinary allocates an empty g×g binary map.
+func NewBinary(g int) *Binary {
+	if g <= 0 {
+		panic(fmt.Sprintf("grid: non-positive size %d", g))
+	}
+	return &Binary{G: g, Cells: make([]bool, g*g)}
+}
+
+// At reports occupancy at row i, column j.
+func (b *Binary) At(i, j int) bool { return b.Cells[i*b.G+j] }
+
+// Set stores occupancy at row i, column j.
+func (b *Binary) Set(v bool, i, j int) { b.Cells[i*b.G+j] = v }
+
+// CountOn returns the number of occupied cells.
+func (b *Binary) CountOn() int {
+	n := 0
+	for _, v := range b.Cells {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// OnCells returns the (row, col) coordinates of occupied cells in
+// row-major order.
+func (b *Binary) OnCells() [][2]int {
+	var out [][2]int
+	for i := 0; i < b.G; i++ {
+		for j := 0; j < b.G; j++ {
+			if b.At(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (b *Binary) Clone() *Binary {
+	c := NewBinary(b.G)
+	copy(c.Cells, b.Cells)
+	return c
+}
+
+// Dilate returns b grown by Manhattan radius r: a cell is occupied in the
+// result iff some occupied cell of b lies within L1 distance r.
+func (b *Binary) Dilate(r int) *Binary {
+	if r <= 0 {
+		return b.Clone()
+	}
+	out := NewBinary(b.G)
+	for i := 0; i < b.G; i++ {
+		for j := 0; j < b.G; j++ {
+			if !b.At(i, j) {
+				continue
+			}
+			for di := -r; di <= r; di++ {
+				rem := r - abs(di)
+				for dj := -rem; dj <= rem; dj++ {
+					ni, nj := i+di, j+dj
+					if ni >= 0 && ni < b.G && nj >= 0 && nj < b.G {
+						out.Set(true, ni, nj)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CellRect returns the frame-coordinate rectangle covered by grid cell
+// (row i, col j) for a frame with the given bounds.
+func CellRect(bounds geom.Rect, g, i, j int) geom.Rect {
+	cw := bounds.W() / float64(g)
+	ch := bounds.H() / float64(g)
+	return geom.Rect{
+		X0: bounds.X0 + float64(j)*cw,
+		Y0: bounds.Y0 + float64(i)*ch,
+		X1: bounds.X0 + float64(j+1)*cw,
+		Y1: bounds.Y0 + float64(i+1)*ch,
+	}
+}
+
+// CellCenter returns the frame-coordinate centre of grid cell (i, j).
+func CellCenter(bounds geom.Rect, g, i, j int) geom.Point {
+	return CellRect(bounds, g, i, j).Center()
+}
+
+// CellOf returns the grid cell (row, col) containing point p, clamped to
+// the grid.
+func CellOf(bounds geom.Rect, g int, p geom.Point) (i, j int) {
+	j = int((p.X - bounds.X0) / bounds.W() * float64(g))
+	i = int((p.Y - bounds.Y0) / bounds.H() * float64(g))
+	if i < 0 {
+		i = 0
+	}
+	if i >= g {
+		i = g - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= g {
+		j = g - 1
+	}
+	return i, j
+}
+
+// FromBoxes downscales bounding boxes onto a g×g binary map: every cell
+// whose area intersects a box by at least minCover of the cell is marked
+// occupied. With minCover = 0 any positive overlap marks the cell, which
+// is the labelling the paper uses for ground-truth location maps.
+func FromBoxes(boxes []geom.Rect, bounds geom.Rect, g int, minCover float64) *Binary {
+	b := NewBinary(g)
+	cellArea := (bounds.W() / float64(g)) * (bounds.H() / float64(g))
+	for _, box := range boxes {
+		box = box.Clip(bounds)
+		if box.Empty() {
+			continue
+		}
+		i0, j0 := CellOf(bounds, g, geom.Point{X: box.X0, Y: box.Y0})
+		i1, j1 := CellOf(bounds, g, geom.Point{X: box.X1 - 1e-9, Y: box.Y1 - 1e-9})
+		for i := i0; i <= i1; i++ {
+			for j := j0; j <= j1; j++ {
+				if minCover <= 0 {
+					b.Set(true, i, j)
+					continue
+				}
+				cover := CellRect(bounds, g, i, j).Intersect(box).Area() / cellArea
+				if cover >= minCover {
+					b.Set(true, i, j)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// FromCenters marks only the cell containing each box centre. CLF
+// predictions conceptually localise object centres; centre maps give a
+// sparser representation used when evaluating spatial constraints.
+func FromCenters(boxes []geom.Rect, bounds geom.Rect, g int) *Binary {
+	b := NewBinary(g)
+	for _, box := range boxes {
+		c := box.Center()
+		if !bounds.Contains(c) {
+			continue
+		}
+		i, j := CellOf(bounds, g, c)
+		b.Set(true, i, j)
+	}
+	return b
+}
+
+// Match scores a predicted occupancy map against ground truth with
+// Manhattan tolerance radius r, returning true positives (predicted cells
+// with a truth cell within distance r), false positives (predicted cells
+// with none) and false negatives (truth cells with no predicted cell
+// within distance r). Radius 0 is exact-cell matching; radii 1 and 2
+// correspond to the paper's CLF-1 and CLF-2 scoring.
+func Match(pred, truth *Binary, r int) (tp, fp, fn int) {
+	if pred.G != truth.G {
+		panic("grid: Match size mismatch")
+	}
+	truthD := truth.Dilate(r)
+	predD := pred.Dilate(r)
+	for i := range pred.Cells {
+		if pred.Cells[i] {
+			if truthD.Cells[i] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+	}
+	for i := range truth.Cells {
+		if truth.Cells[i] && !predD.Cells[i] {
+			fn++
+		}
+	}
+	return tp, fp, fn
+}

@@ -1,0 +1,135 @@
+// Package metrics implements the evaluation measures of Section IV:
+// count-filter accuracy (the fraction of frames whose estimate equals the
+// true count, plus the ±1 and ±2 tolerance variants), and the precision /
+// recall / f1 score used for CLF grid localisation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// CountAccuracy accumulates exact and within-k count-filter accuracy over
+// frames. Tolerance index k holds the fraction of frames with
+// |estimate − truth| ≤ k, so index 0 is the paper's exact accuracy and
+// indices 1 and 2 its CF-1 and CF-2 variants.
+type CountAccuracy struct {
+	N      int
+	Within [3]int
+}
+
+// Observe records one frame's true count and filter estimate. The estimate
+// is rounded to the nearest integer first, as the paper's filters emit real
+// regression outputs.
+func (c *CountAccuracy) Observe(truth int, estimate float64) {
+	c.N++
+	diff := int(math.Abs(math.Round(estimate) - float64(truth)))
+	for k := 0; k < len(c.Within); k++ {
+		if diff <= k {
+			c.Within[k]++
+		}
+	}
+}
+
+// Accuracy returns the fraction of frames within tolerance k (0 ≤ k ≤ 2).
+func (c *CountAccuracy) Accuracy(k int) float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.Within[k]) / float64(c.N)
+}
+
+// String implements fmt.Stringer.
+func (c *CountAccuracy) String() string {
+	return fmt.Sprintf("exact %.3f, ±1 %.3f, ±2 %.3f (n=%d)",
+		c.Accuracy(0), c.Accuracy(1), c.Accuracy(2), c.N)
+}
+
+// PRF accumulates true positives, false positives and false negatives.
+type PRF struct {
+	TP, FP, FN int
+}
+
+// Add accumulates one observation batch.
+func (p *PRF) Add(tp, fp, fn int) {
+	p.TP += tp
+	p.FP += fp
+	p.FN += fn
+}
+
+// Merge accumulates another PRF.
+func (p *PRF) Merge(q PRF) { p.Add(q.TP, q.FP, q.FN) }
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (p *PRF) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there was no ground truth.
+func (p *PRF) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 0
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (p *PRF) F1() float64 {
+	pr, re := p.Precision(), p.Recall()
+	if pr+re == 0 {
+		return 0
+	}
+	return 2 * pr * re / (pr + re)
+}
+
+// String implements fmt.Stringer.
+func (p *PRF) String() string {
+	return fmt.Sprintf("p=%.3f r=%.3f f1=%.3f (tp=%d fp=%d fn=%d)",
+		p.Precision(), p.Recall(), p.F1(), p.TP, p.FP, p.FN)
+}
+
+// BoolAccuracy accumulates agreement between a predicted and a true
+// boolean per frame — used for query-level predicate accuracy.
+type BoolAccuracy struct {
+	N, Agree int
+	prf      PRF
+}
+
+// Observe records one (prediction, truth) pair.
+func (b *BoolAccuracy) Observe(pred, truth bool) {
+	b.N++
+	if pred == truth {
+		b.Agree++
+	}
+	switch {
+	case pred && truth:
+		b.prf.TP++
+	case pred && !truth:
+		b.prf.FP++
+	case !pred && truth:
+		b.prf.FN++
+	}
+}
+
+// Accuracy returns the agreement fraction.
+func (b *BoolAccuracy) Accuracy() float64 {
+	if b.N == 0 {
+		return 0
+	}
+	return float64(b.Agree) / float64(b.N)
+}
+
+// F1 returns the f1 score treating truth=true as the positive class.
+func (b *BoolAccuracy) F1() float64 { return b.prf.F1() }
+
+// Recall returns the recall over positive frames — the measure the paper's
+// Table III uses for count queries ("the fraction of frames that are
+// correctly identified by our filters over the number of frames in which
+// the query predicates are true").
+func (b *BoolAccuracy) Recall() float64 { return b.prf.Recall() }
+
+// Precision returns precision over predicted-positive frames.
+func (b *BoolAccuracy) Precision() float64 { return b.prf.Precision() }

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountAccuracy(t *testing.T) {
+	var c CountAccuracy
+	c.Observe(5, 5)   // exact
+	c.Observe(5, 6)   // within 1
+	c.Observe(5, 7.4) // within 2 (rounds to 7)
+	c.Observe(5, 9)   // miss
+	if c.N != 4 {
+		t.Fatalf("N = %d", c.N)
+	}
+	if got := c.Accuracy(0); got != 0.25 {
+		t.Fatalf("exact = %v", got)
+	}
+	if got := c.Accuracy(1); got != 0.5 {
+		t.Fatalf("±1 = %v", got)
+	}
+	if got := c.Accuracy(2); got != 0.75 {
+		t.Fatalf("±2 = %v", got)
+	}
+	if c.String() == "" {
+		t.Error("empty String")
+	}
+	var empty CountAccuracy
+	if empty.Accuracy(0) != 0 {
+		t.Error("empty accuracy not 0")
+	}
+}
+
+func TestCountAccuracyRounding(t *testing.T) {
+	var c CountAccuracy
+	c.Observe(3, 2.6) // rounds to 3: exact
+	if c.Accuracy(0) != 1 {
+		t.Fatal("rounding to nearest failed")
+	}
+}
+
+func TestCountAccuracyMonotone(t *testing.T) {
+	var c CountAccuracy
+	for i := 0; i < 50; i++ {
+		c.Observe(i%7, float64(i%5))
+	}
+	if !(c.Accuracy(0) <= c.Accuracy(1) && c.Accuracy(1) <= c.Accuracy(2)) {
+		t.Fatal("tolerance accuracy not monotone")
+	}
+}
+
+func TestPRF(t *testing.T) {
+	var p PRF
+	p.Add(8, 2, 4)
+	if got := p.Precision(); got != 0.8 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := p.Recall(); math.Abs(got-8.0/12.0) > 1e-12 {
+		t.Fatalf("recall = %v", got)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0/12.0)
+	if got := p.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Fatalf("f1 = %v, want %v", got, wantF1)
+	}
+	var q PRF
+	q.Merge(p)
+	if q != p {
+		t.Fatal("Merge failed")
+	}
+	var zero PRF
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Fatal("zero PRF not zero")
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestPerfectPRF(t *testing.T) {
+	var p PRF
+	p.Add(10, 0, 0)
+	if p.F1() != 1 {
+		t.Fatalf("perfect f1 = %v", p.F1())
+	}
+}
+
+func TestBoolAccuracy(t *testing.T) {
+	var b BoolAccuracy
+	b.Observe(true, true)   // tp
+	b.Observe(true, false)  // fp
+	b.Observe(false, true)  // fn
+	b.Observe(false, false) // tn
+	if b.Accuracy() != 0.5 {
+		t.Fatalf("accuracy = %v", b.Accuracy())
+	}
+	if b.Precision() != 0.5 || b.Recall() != 0.5 {
+		t.Fatalf("p/r = %v/%v", b.Precision(), b.Recall())
+	}
+	if b.F1() != 0.5 {
+		t.Fatalf("f1 = %v", b.F1())
+	}
+	var empty BoolAccuracy
+	if empty.Accuracy() != 0 {
+		t.Fatal("empty BoolAccuracy not 0")
+	}
+}

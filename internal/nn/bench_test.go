@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vmq/internal/tensor"
+)
+
+func benchNet(b *testing.B) (*CountLocNet, *tensor.Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	const img, d, classes = 32, 16, 2
+	net := NewCountLocNet(rng, ICBackbone(rng, 3, img, d), d, img/4, classes)
+	frame := tensor.New(3, img, img)
+	frame.RandN(rng, 1)
+	return net, frame
+}
+
+// BenchmarkCountLocNetForward measures one filter inference at the
+// trained-backend resolution (the real-CNN analogue of the paper's
+// 1.5 ms/frame figure).
+func BenchmarkCountLocNetForward(b *testing.B) {
+	net, frame := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(frame)
+	}
+}
+
+// BenchmarkCountLocNetTrainStep measures one full forward/backward/step
+// under the Eq. 2 multi-task loss.
+func BenchmarkCountLocNetTrainStep(b *testing.B) {
+	net, frame := benchNet(b)
+	opt := NewAdam(net.Params(), 1e-3, 0)
+	clabels := tensor.New(2)
+	mlabels := tensor.New(2, 8, 8)
+	loss := &MultiTaskLoss{Alpha: 1, Beta: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts, maps := net.Forward(frame)
+		_, gc, gm := loss.Eval(counts, clabels, maps, mlabels)
+		net.Backward(gc, gm)
+		opt.Step()
+	}
+}

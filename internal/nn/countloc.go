@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"math/rand/v2"
+
+	"vmq/internal/tensor"
+)
+
+// CountLocNet is the paper's branch architecture (Figures 2 and 4): a
+// convolutional backbone produces a feature map fm of shape d×g×g; global
+// average pooling followed by a fully connected layer with ReLU yields an
+// n-vector of per-class counts; and the class activation map for class c is
+//
+//	M_c(i,j) = Σ_k w_ck · fm_k(i,j)                      (Eq. 1)
+//
+// computed from the same FC weights, localising objects of class c on the
+// g×g grid. The IC filters instantiate the backbone with classifier-style
+// convolutions (VGG-like), the OD filters with detector-style convolutions
+// (Darknet-like); the head is identical.
+type CountLocNet struct {
+	Backbone *Sequential
+	FC       *Linear // maps d -> n classes
+	relu     ReLU
+
+	// TrainFCForMaps controls whether the localization loss also updates
+	// the FC weights. The paper fixes them ("we fix the weights of the
+	// fully connected layer and only back-propagate the error to the
+	// feature layers"), which is the default (false).
+	TrainFCForMaps bool
+
+	d, g    int // feature channels, grid size
+	classes int
+
+	lastFM     *tensor.Tensor // d×g×g
+	lastPooled *tensor.Tensor // d
+}
+
+// NewCountLocNet wires a backbone whose output is d×g×g to an n-class head.
+func NewCountLocNet(rng *rand.Rand, backbone *Sequential, d, g, classes int) *CountLocNet {
+	return &CountLocNet{
+		Backbone: backbone,
+		FC:       NewLinear(rng, d, classes),
+		d:        d,
+		g:        g,
+		classes:  classes,
+	}
+}
+
+// Grid returns the activation-map resolution g.
+func (n *CountLocNet) Grid() int { return n.g }
+
+// Classes returns the number of object classes.
+func (n *CountLocNet) Classes() int { return n.classes }
+
+// Forward runs the frame (CHW tensor) through backbone and head, returning
+// per-class counts (length classes, post-ReLU) and class activation maps
+// (classes×g×g).
+func (n *CountLocNet) Forward(frame *tensor.Tensor) (counts, maps *tensor.Tensor) {
+	fm := n.Backbone.Forward(frame)
+	if fm.Rank() != 3 || fm.Shape[0] != n.d || fm.Shape[1] != n.g || fm.Shape[2] != n.g {
+		panic("nn: backbone output shape does not match CountLocNet head")
+	}
+	n.lastFM = fm
+	n.lastPooled = tensor.GlobalAvgPool(fm)
+	raw := n.FC.Forward(n.lastPooled)
+	counts = n.relu.Forward(raw)
+
+	// Class activation maps from the FC weights (Eq. 1).
+	maps = tensor.New(n.classes, n.g, n.g)
+	plane := n.g * n.g
+	for c := 0; c < n.classes; c++ {
+		wrow := n.FC.W.Value.Data[c*n.d : (c+1)*n.d]
+		mplane := maps.Data[c*plane : (c+1)*plane]
+		for k := 0; k < n.d; k++ {
+			w := wrow[k]
+			if w == 0 {
+				continue
+			}
+			fplane := fm.Data[k*plane : (k+1)*plane]
+			for i := range mplane {
+				mplane[i] += w * fplane[i]
+			}
+		}
+	}
+	return counts, maps
+}
+
+// Backward accumulates gradients given the loss gradients with respect to
+// the count vector and the activation maps, and returns the gradient with
+// respect to the input frame (usually discarded).
+func (n *CountLocNet) Backward(gradCounts, gradMaps *tensor.Tensor) *tensor.Tensor {
+	// Count path: ReLU -> FC -> GAP.
+	gRaw := n.relu.Backward(gradCounts)
+	gPooled := n.FC.Backward(gRaw)
+	gFM := tensor.GlobalAvgPoolBackward(gPooled, n.d, n.g, n.g)
+
+	// Map path: dL/dfm_k(i,j) += Σ_c w_ck · gradMaps_c(i,j); the FC weight
+	// gradient from this path is only applied when TrainFCForMaps is set.
+	if gradMaps != nil {
+		plane := n.g * n.g
+		for c := 0; c < n.classes; c++ {
+			wrow := n.FC.W.Value.Data[c*n.d : (c+1)*n.d]
+			gplane := gradMaps.Data[c*plane : (c+1)*plane]
+			for k := 0; k < n.d; k++ {
+				w := wrow[k]
+				fgrad := gFM.Data[k*plane : (k+1)*plane]
+				for i := range gplane {
+					fgrad[i] += w * gplane[i]
+				}
+			}
+			if n.TrainFCForMaps {
+				grow := n.FC.W.Grad.Data[c*n.d : (c+1)*n.d]
+				for k := 0; k < n.d; k++ {
+					fplane := n.lastFM.Data[k*plane : (k+1)*plane]
+					var s float32
+					for i := range gplane {
+						s += gplane[i] * fplane[i]
+					}
+					grow[k] += s
+				}
+			}
+		}
+	}
+	return n.Backbone.Backward(gFM)
+}
+
+// Params returns all trainable parameters (backbone then head).
+func (n *CountLocNet) Params() []*Param {
+	return append(n.Backbone.Params(), n.FC.Params()...)
+}
+
+// FreezeFC marks the FC parameters frozen (used during the paper's
+// localization-phase schedule) or unfreezes them.
+func (n *CountLocNet) FreezeFC(frozen bool) {
+	n.FC.W.Frozen = frozen
+	n.FC.B.Frozen = frozen
+}
+
+// ICBackbone builds a small VGG-style classifier backbone for inC-channel
+// frames of size img×img producing d feature maps at grid g = img/4:
+// two conv+ReLU+maxpool stages, mirroring "the first five layers of VGG19"
+// at reproduction scale.
+func ICBackbone(rng *rand.Rand, inC, img, d int) *Sequential {
+	mid := d / 2
+	if mid < 4 {
+		mid = 4
+	}
+	return &Sequential{Layers: []Layer{
+		NewConv2D(rng, inC, mid, 3, 1, 1),
+		&ReLU{},
+		&MaxPool{K: 2},
+		NewConv2D(rng, mid, d, 3, 1, 1),
+		&ReLU{},
+		&MaxPool{K: 2},
+	}}
+}
+
+// ODBackbone builds a Darknet-style detector backbone with LeakyReLU
+// activations, mirroring "the first eight layers of Darknet-19" at
+// reproduction scale: three conv stages with two pooling steps, so
+// g = img/4 like the IC backbone (the paper branches both at a 56×56 grid).
+func ODBackbone(rng *rand.Rand, inC, img, d int) *Sequential {
+	mid := d / 2
+	if mid < 4 {
+		mid = 4
+	}
+	return &Sequential{Layers: []Layer{
+		NewConv2D(rng, inC, mid, 3, 1, 1),
+		NewLeakyReLU(0.1),
+		&MaxPool{K: 2},
+		NewConv2D(rng, mid, d, 3, 1, 1),
+		NewLeakyReLU(0.1),
+		&MaxPool{K: 2},
+		NewConv2D(rng, d, d, 1, 1, 0),
+		NewLeakyReLU(0.1),
+	}}
+}
+
+// CountOnlyNet is the OD-COF alternative of Section II-B1 (Figure 5 /
+// Table I): the detector features are max-pooled and passed through a
+// conv stack and GAP into a single regression head that predicts only the
+// total object count.
+type CountOnlyNet struct {
+	Net *Sequential
+}
+
+// NewCountOnlyNet builds the count-optimized classifier branch for
+// inC-channel img×img frames. The conv stack follows Table I's pattern
+// (1×1 and 3×3 LeakyReLU convolutions) scaled down to reproduction size.
+func NewCountOnlyNet(rng *rand.Rand, inC, img int) *CountOnlyNet {
+	return &CountOnlyNet{Net: &Sequential{Layers: []Layer{
+		NewConv2D(rng, inC, 16, 3, 1, 1),
+		NewLeakyReLU(0.1),
+		&MaxPool{K: 2},
+		NewConv2D(rng, 16, 32, 1, 1, 0),
+		NewLeakyReLU(0.1),
+		NewConv2D(rng, 32, 16, 3, 1, 1),
+		NewLeakyReLU(0.1),
+		&MaxPool{K: 2},
+		&GlobalAvgPool{},
+		NewLinear(rng, 16, 1),
+	}}}
+}
+
+// Forward predicts the total object count for the frame.
+func (n *CountOnlyNet) Forward(frame *tensor.Tensor) float64 {
+	out := n.Net.Forward(frame)
+	v := float64(out.Data[0])
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Train runs one SmoothL1 step on a single example and returns the loss.
+func (n *CountOnlyNet) TrainStep(frame *tensor.Tensor, count float64, opt Optimizer) float64 {
+	out := n.Net.Forward(frame)
+	target := tensor.FromSlice([]float32{float32(count)}, 1)
+	loss, grad := SmoothL1(out, target)
+	n.Net.Backward(grad)
+	opt.Step()
+	return loss
+}
+
+// Params returns the trainable parameters.
+func (n *CountOnlyNet) Params() []*Param { return n.Net.Params() }

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"vmq/internal/tensor"
+)
+
+// MSE returns the mean-squared error between pred and target along with the
+// gradient with respect to pred.
+func MSE(pred, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic("nn: MSE shape mismatch")
+	}
+	grad = tensor.New(pred.Shape...)
+	n := float64(pred.Len())
+	for i := range pred.Data {
+		d := float64(pred.Data[i]) - float64(target.Data[i])
+		loss += d * d
+		grad.Data[i] = float32(2 * d / n)
+	}
+	return loss / n, grad
+}
+
+// SmoothL1 returns the Huber-style smooth-L1 loss of Fast R-CNN used by the
+// paper's count objectives (Eq. 2 and Eq. 3):
+//
+//	l(d) = 0.5 d²   if |d| < 1
+//	       |d|-0.5  otherwise
+func SmoothL1(pred, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic("nn: SmoothL1 shape mismatch")
+	}
+	grad = tensor.New(pred.Shape...)
+	n := float64(pred.Len())
+	for i := range pred.Data {
+		d := float64(pred.Data[i]) - float64(target.Data[i])
+		switch {
+		case d > 1:
+			loss += d - 0.5
+			grad.Data[i] = float32(1 / n)
+		case d < -1:
+			loss += -d - 0.5
+			grad.Data[i] = float32(-1 / n)
+		default:
+			loss += 0.5 * d * d
+			grad.Data[i] = float32(d / n)
+		}
+	}
+	return loss / n, grad
+}
+
+// MultiTaskLoss is the IC training objective of Eq. 2:
+//
+//	L = Σ_c weight_c · (α·SmoothL1(x_c, x̂_c) + β·MSE(y_c − ŷ_c))
+//
+// where x are per-class count predictions, y the class activation maps and
+// ŷ the ground-truth location maps. Alpha weighs the count task, Beta the
+// localization task; ClassWeights holds weight_c (the fraction of training
+// frames containing class c). The paper's schedule starts with Beta = 0 and
+// then sets (α, β) = (1, 10), decaying β.
+type MultiTaskLoss struct {
+	Alpha, Beta  float64
+	ClassWeights []float64
+}
+
+// Eval computes the loss and the gradients with respect to the count vector
+// (length n) and the activation maps (n×g×g).
+func (m *MultiTaskLoss) Eval(counts, countLabels, maps, mapLabels *tensor.Tensor) (loss float64, gradCounts, gradMaps *tensor.Tensor) {
+	n := counts.Len()
+	if countLabels.Len() != n {
+		panic("nn: MultiTaskLoss count label length mismatch")
+	}
+	if !maps.SameShape(mapLabels) || maps.Shape[0] != n {
+		panic("nn: MultiTaskLoss map shape mismatch")
+	}
+	gradCounts = tensor.New(counts.Shape...)
+	gradMaps = tensor.New(maps.Shape...)
+	plane := maps.Len() / n
+	for c := 0; c < n; c++ {
+		w := 1.0
+		if len(m.ClassWeights) == n {
+			w = m.ClassWeights[c]
+		}
+		// Count term (SmoothL1 on the scalar count).
+		d := float64(counts.Data[c]) - float64(countLabels.Data[c])
+		var cl, cg float64
+		switch {
+		case d > 1:
+			cl, cg = d-0.5, 1
+		case d < -1:
+			cl, cg = -d-0.5, -1
+		default:
+			cl, cg = 0.5*d*d, d
+		}
+		loss += w * m.Alpha * cl
+		gradCounts.Data[c] = float32(w * m.Alpha * cg)
+		// Localization term (MSE on the class activation map).
+		if m.Beta != 0 {
+			var ml float64
+			for i := 0; i < plane; i++ {
+				md := float64(maps.Data[c*plane+i]) - float64(mapLabels.Data[c*plane+i])
+				ml += md * md
+				gradMaps.Data[c*plane+i] = float32(w * m.Beta * 2 * md / float64(plane))
+			}
+			loss += w * m.Beta * ml / float64(plane)
+		}
+	}
+	return loss, gradCounts, gradMaps
+}
+
+// BranchLoss is the OD branch objective of Eq. 3: per class, a SmoothL1
+// count term plus a grid term that separately balances cells that do and do
+// not contain an object:
+//
+//	L = Σ_c [ λcount·SmoothL1(count_c, coût_c)
+//	        + λgrid/g² · Σ_i ( λobj·𝟙obj·(x_ci−x̂_ci)² + λnoobj·𝟙noobj·(x_ci−x̂_ci)² ) ]
+type BranchLoss struct {
+	LambdaCount float64
+	LambdaGrid  float64
+	LambdaObj   float64
+	LambdaNoObj float64
+}
+
+// DefaultBranchLoss mirrors the YOLO-style balancing the paper describes:
+// object cells weighted above empty cells to counter the extreme class
+// imbalance of a 56×56 grid holding a handful of objects.
+func DefaultBranchLoss() BranchLoss {
+	return BranchLoss{LambdaCount: 1, LambdaGrid: 1, LambdaObj: 5, LambdaNoObj: 0.5}
+}
+
+// Eval computes the loss and gradients for counts (length n) and grid
+// predictions (n×g×g) given binary ground-truth masks (n×g×g, 1 where an
+// object of class c occupies cell i).
+func (b *BranchLoss) Eval(counts, countLabels, grid, gridLabels *tensor.Tensor) (loss float64, gradCounts, gradGrid *tensor.Tensor) {
+	n := counts.Len()
+	if countLabels.Len() != n || !grid.SameShape(gridLabels) || grid.Shape[0] != n {
+		panic("nn: BranchLoss shape mismatch")
+	}
+	gradCounts = tensor.New(counts.Shape...)
+	gradGrid = tensor.New(grid.Shape...)
+	plane := grid.Len() / n
+	g2 := float64(plane)
+	for c := 0; c < n; c++ {
+		d := float64(counts.Data[c]) - float64(countLabels.Data[c])
+		var cl, cg float64
+		switch {
+		case d > 1:
+			cl, cg = d-0.5, 1
+		case d < -1:
+			cl, cg = -d-0.5, -1
+		default:
+			cl, cg = 0.5*d*d, d
+		}
+		loss += b.LambdaCount * cl
+		gradCounts.Data[c] = float32(b.LambdaCount * cg)
+		for i := 0; i < plane; i++ {
+			idx := c*plane + i
+			md := float64(grid.Data[idx]) - float64(gridLabels.Data[idx])
+			lam := b.LambdaNoObj
+			if gridLabels.Data[idx] > 0.5 {
+				lam = b.LambdaObj
+			}
+			loss += b.LambdaGrid / g2 * lam * md * md
+			gradGrid.Data[idx] = float32(b.LambdaGrid / g2 * lam * 2 * md)
+		}
+	}
+	return loss, gradCounts, gradGrid
+}

@@ -1,0 +1,320 @@
+// Package nn is a small from-scratch neural-network library built on
+// package tensor. It provides exactly the pieces the paper's filter
+// architectures need: 2-D convolution, ReLU/LeakyReLU, max pooling, global
+// average pooling and fully connected layers with reverse-mode gradients;
+// the SmoothL1 and MSE losses combined into the paper's multi-task
+// objectives (Eq. 2 for IC filters, Eq. 3 for OD branch networks); and the
+// SGD-with-momentum and Adam optimizers used in Section IV.
+//
+// The library operates on single examples (CHW tensors); mini-batching is
+// done by accumulating gradients across calls before stepping the
+// optimizer, which keeps the implementation simple and is fast enough for
+// the laptop-scale frames the reproduction trains on.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"vmq/internal/tensor"
+)
+
+// Param is a trainable tensor with its accumulated gradient. Frozen
+// parameters keep accumulating gradients but are skipped by optimizers —
+// the paper freezes the FC weights while optimizing localization.
+type Param struct {
+	Name   string
+	Value  *tensor.Tensor
+	Grad   *tensor.Tensor
+	Frozen bool
+}
+
+// NewParam allocates a parameter and its gradient buffer.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Forward consumes an input tensor and
+// caches whatever the backward pass needs; Backward consumes the gradient
+// with respect to the output and returns the gradient with respect to the
+// input, accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Conv2D is a convolution layer with square kernels.
+type Conv2D struct {
+	W, B    *Param
+	P       tensor.ConvParams
+	lastIn  *tensor.Tensor
+	lastCol *tensor.Tensor
+}
+
+// NewConv2D builds a conv layer with He-initialised weights.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, padding int) *Conv2D {
+	l := &Conv2D{
+		W: NewParam(fmt.Sprintf("conv%dx%d.w", k, k), outC, inC, k, k),
+		B: NewParam(fmt.Sprintf("conv%dx%d.b", k, k), outC),
+		P: tensor.ConvParams{KH: k, KW: k, Stride: stride, Padding: padding},
+	}
+	fanIn := float64(inC * k * k)
+	l.W.Value.RandN(rng, math.Sqrt(2/fanIn))
+	return l
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	l.lastIn = in
+	l.lastCol = tensor.Im2Col(in, l.P)
+	outC := l.W.Value.Shape[0]
+	oh, ow := l.P.OutSize(in.Shape[1], in.Shape[2])
+	wmat := l.W.Value.Reshape(outC, l.W.Value.Len()/outC)
+	out := tensor.MatMul(wmat, l.lastCol)
+	for o := 0; o < outC; o++ {
+		b := l.B.Value.Data[o]
+		row := out.Data[o*oh*ow : (o+1)*oh*ow]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return out.Reshape(outC, oh, ow)
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	outC := l.W.Value.Shape[0]
+	gmat := gradOut.Reshape(outC, gradOut.Len()/outC)
+	// dW = gOut × colsᵀ ; accumulate.
+	dW := tensor.MatMulT2(gmat, l.lastCol)
+	l.W.Grad.AddInPlace(dW.Reshape(l.W.Value.Shape...))
+	// dB = row sums of gOut.
+	for o := 0; o < outC; o++ {
+		var s float32
+		for _, v := range gmat.Data[o*gmat.Shape[1] : (o+1)*gmat.Shape[1]] {
+			s += v
+		}
+		l.B.Grad.Data[o] += s
+	}
+	// dIn = Col2Im(Wᵀ × gOut).
+	wmat := l.W.Value.Reshape(outC, l.W.Value.Len()/outC)
+	dcols := tensor.MatMulT1(wmat, gmat)
+	c, h, w := l.lastIn.Shape[0], l.lastIn.Shape[1], l.lastIn.Shape[2]
+	return tensor.Col2Im(dcols, c, h, w, l.P)
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Linear is a fully connected layer mapping a length-in vector to
+// length-out.
+type Linear struct {
+	W, B   *Param // W: out×in
+	lastIn *tensor.Tensor
+}
+
+// NewLinear builds a linear layer with Xavier-initialised weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	l := &Linear{
+		W: NewParam("linear.w", out, in),
+		B: NewParam("linear.b", out),
+	}
+	l.W.Value.RandN(rng, math.Sqrt(1/float64(in)))
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(in *tensor.Tensor) *tensor.Tensor {
+	flat := in.Reshape(in.Len())
+	l.lastIn = flat
+	out, wrows := l.W.Value.Shape[0], l.W.Value.Shape[1]
+	if wrows != flat.Len() {
+		panic(fmt.Sprintf("nn: Linear input %d vs weights %v", flat.Len(), l.W.Value.Shape))
+	}
+	y := tensor.New(out)
+	for o := 0; o < out; o++ {
+		row := l.W.Value.Data[o*wrows : (o+1)*wrows]
+		var s float32
+		for i, v := range flat.Data {
+			s += row[i] * v
+		}
+		y.Data[o] = s + l.B.Value.Data[o]
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	out, in := l.W.Value.Shape[0], l.W.Value.Shape[1]
+	dIn := tensor.New(in)
+	for o := 0; o < out; o++ {
+		g := gradOut.Data[o]
+		l.B.Grad.Data[o] += g
+		wrow := l.W.Value.Data[o*in : (o+1)*in]
+		grow := l.W.Grad.Data[o*in : (o+1)*in]
+		for i := 0; i < in; i++ {
+			grow[i] += g * l.lastIn.Data[i]
+			dIn.Data[i] += g * wrow[i]
+		}
+	}
+	return dIn
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLU applies max(0,x).
+type ReLU struct{ mask []bool }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			l.mask[i] = false
+		} else {
+			l.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := gradOut.Clone()
+	for i := range g.Data {
+		if !l.mask[i] {
+			g.Data[i] = 0
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU applies x>0 ? x : slope*x, the activation of the paper's
+// OD-COF branch (Table I).
+type LeakyReLU struct {
+	Slope float32
+	mask  []bool
+}
+
+// NewLeakyReLU returns a LeakyReLU with the conventional 0.1 slope used by
+// Darknet when slope <= 0.
+func NewLeakyReLU(slope float32) *LeakyReLU {
+	if slope <= 0 {
+		slope = 0.1
+	}
+	return &LeakyReLU{Slope: slope}
+}
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := in.Clone()
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = v * l.Slope
+			l.mask[i] = false
+		} else {
+			l.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := gradOut.Clone()
+	for i := range g.Data {
+		if !l.mask[i] {
+			g.Data[i] *= l.Slope
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// MaxPool is non-overlapping k×k max pooling.
+type MaxPool struct {
+	K       int
+	inShape []int
+	argmax  []int
+}
+
+// Forward implements Layer.
+func (l *MaxPool) Forward(in *tensor.Tensor) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], in.Shape...)
+	out, arg := tensor.MaxPool2D(in, l.K)
+	l.argmax = arg
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2DBackward(gradOut, l.argmax, l.inShape)
+}
+
+// Params implements Layer.
+func (l *MaxPool) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces CHW to a length-C vector.
+type GlobalAvgPool struct{ c, h, w int }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool) Forward(in *tensor.Tensor) *tensor.Tensor {
+	l.c, l.h, l.w = in.Shape[0], in.Shape[1], in.Shape[2]
+	return tensor.GlobalAvgPool(in)
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return tensor.GlobalAvgPoolBackward(gradOut, l.c, l.h, l.w)
+}
+
+// Params implements Layer.
+func (l *GlobalAvgPool) Params() []*Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct{ Layers []Layer }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(in *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		in = l.Forward(in)
+	}
+	return in
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,456 @@
+package nn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"vmq/internal/tensor"
+)
+
+// numericGrad estimates dLoss/dx[i] by central differences.
+func numericGrad(f func() float64, x *tensor.Tensor, i int) float64 {
+	const h = 1e-3
+	orig := x.Data[i]
+	x.Data[i] = orig + h
+	lp := f()
+	x.Data[i] = orig - h
+	lm := f()
+	x.Data[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+func checkGrads(t *testing.T, name string, f func() float64, analytic *tensor.Tensor, x *tensor.Tensor, indices []int) {
+	t.Helper()
+	for _, i := range indices {
+		num := numericGrad(f, x, i)
+		got := float64(analytic.Data[i])
+		tol := 1e-2 * math.Max(1, math.Abs(num))
+		if math.Abs(num-got) > tol {
+			t.Errorf("%s grad[%d] = %v, numeric %v", name, i, got, num)
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	l := NewLinear(rng, 4, 3)
+	x := tensor.New(4)
+	x.RandN(rng, 1)
+	target := tensor.New(3)
+	target.RandN(rng, 1)
+
+	loss := func() float64 {
+		out := l.Forward(x)
+		v, _ := MSE(out, target)
+		return v
+	}
+	out := l.Forward(x)
+	_, g := MSE(out, target)
+	l.ZeroGradAll()
+	gIn := l.Backward(g)
+	checkGrads(t, "linear.in", loss, gIn, x, []int{0, 1, 2, 3})
+	checkGrads(t, "linear.W", loss, l.W.Grad, l.W.Value, []int{0, 5, 11})
+	checkGrads(t, "linear.B", loss, l.B.Grad, l.B.Value, []int{0, 2})
+}
+
+// ZeroGradAll is a test helper on Linear.
+func (l *Linear) ZeroGradAll() {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	c := NewConv2D(rng, 2, 3, 3, 1, 1)
+	x := tensor.New(2, 5, 5)
+	x.RandN(rng, 1)
+	target := tensor.New(3, 5, 5)
+	target.RandN(rng, 1)
+
+	loss := func() float64 {
+		out := c.Forward(x)
+		v, _ := MSE(out, target)
+		return v
+	}
+	out := c.Forward(x)
+	_, g := MSE(out, target)
+	for _, p := range c.Params() {
+		p.ZeroGrad()
+	}
+	gIn := c.Backward(g)
+	checkGrads(t, "conv.in", loss, gIn, x, []int{0, 12, 30, 49})
+	checkGrads(t, "conv.W", loss, c.W.Grad, c.W.Value, []int{0, 10, 26, 53})
+	checkGrads(t, "conv.B", loss, c.B.Grad, c.B.Value, []int{0, 2})
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	net := &Sequential{Layers: []Layer{
+		NewConv2D(rng, 1, 4, 3, 1, 1),
+		&ReLU{},
+		&MaxPool{K: 2},
+		&GlobalAvgPool{},
+		NewLinear(rng, 4, 2),
+	}}
+	x := tensor.New(1, 8, 8)
+	x.RandN(rng, 1)
+	target := tensor.New(2)
+	target.RandN(rng, 1)
+	loss := func() float64 {
+		out := net.Forward(x)
+		v, _ := MSE(out, target)
+		return v
+	}
+	out := net.Forward(x)
+	_, g := MSE(out, target)
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	gIn := net.Backward(g)
+	checkGrads(t, "seq.in", loss, gIn, x, []int{0, 17, 40, 63})
+	params := net.Params()
+	checkGrads(t, "seq.conv.W", loss, params[0].Grad, params[0].Value, []int{0, 9, 20})
+	checkGrads(t, "seq.fc.W", loss, params[2].Grad, params[2].Value, []int{0, 7})
+}
+
+func TestLeakyReLU(t *testing.T) {
+	l := NewLeakyReLU(0)
+	if l.Slope != 0.1 {
+		t.Fatalf("default slope = %v", l.Slope)
+	}
+	x := tensor.FromSlice([]float32{-2, 3}, 2)
+	out := l.Forward(x)
+	if out.Data[0] != -0.2 || out.Data[1] != 3 {
+		t.Fatalf("LeakyReLU forward = %v", out.Data)
+	}
+	g := tensor.FromSlice([]float32{1, 1}, 2)
+	back := l.Backward(g)
+	if math.Abs(float64(back.Data[0])-0.1) > 1e-6 || back.Data[1] != 1 {
+		t.Fatalf("LeakyReLU backward = %v", back.Data)
+	}
+}
+
+func TestReLUZeroesNegatives(t *testing.T) {
+	var l ReLU
+	x := tensor.FromSlice([]float32{-1, 0, 2}, 3)
+	out := l.Forward(x)
+	if out.Data[0] != 0 || out.Data[1] != 0 || out.Data[2] != 2 {
+		t.Fatalf("ReLU = %v", out.Data)
+	}
+	g := tensor.FromSlice([]float32{5, 5, 5}, 3)
+	back := l.Backward(g)
+	if back.Data[0] != 0 || back.Data[2] != 5 {
+		t.Fatalf("ReLU backward = %v", back.Data)
+	}
+}
+
+func TestMSEAndSmoothL1(t *testing.T) {
+	p := tensor.FromSlice([]float32{1, 2}, 2)
+	q := tensor.FromSlice([]float32{0, 4}, 2)
+	l, g := MSE(p, q)
+	if math.Abs(l-(1+4)/2.0) > 1e-6 {
+		t.Fatalf("MSE = %v", l)
+	}
+	if math.Abs(float64(g.Data[0])-1) > 1e-6 || math.Abs(float64(g.Data[1])+2) > 1e-6 {
+		t.Fatalf("MSE grad = %v", g.Data)
+	}
+	// SmoothL1: d=1 -> 0.5, d=-2 -> 1.5.
+	l, g = SmoothL1(p, q)
+	if math.Abs(l-(0.5+1.5)/2) > 1e-6 {
+		t.Fatalf("SmoothL1 = %v", l)
+	}
+	if g.Data[1] != -0.5 { // clipped gradient / n
+		t.Fatalf("SmoothL1 grad = %v", g.Data)
+	}
+}
+
+func TestSmoothL1QuadraticRegion(t *testing.T) {
+	p := tensor.FromSlice([]float32{0.5}, 1)
+	q := tensor.FromSlice([]float32{0}, 1)
+	l, g := SmoothL1(p, q)
+	if math.Abs(l-0.125) > 1e-6 {
+		t.Fatalf("SmoothL1 quad = %v", l)
+	}
+	if math.Abs(float64(g.Data[0])-0.5) > 1e-6 {
+		t.Fatalf("SmoothL1 quad grad = %v", g.Data)
+	}
+}
+
+func TestMultiTaskLossGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	ml := &MultiTaskLoss{Alpha: 1, Beta: 10, ClassWeights: []float64{0.7, 0.3}}
+	counts := tensor.New(2)
+	counts.RandN(rng, 2)
+	clabels := tensor.New(2)
+	clabels.RandN(rng, 2)
+	maps := tensor.New(2, 3, 3)
+	maps.RandN(rng, 1)
+	mlabels := tensor.New(2, 3, 3)
+	mlabels.RandN(rng, 1)
+
+	loss := func() float64 {
+		v, _, _ := ml.Eval(counts, clabels, maps, mlabels)
+		return v
+	}
+	_, gc, gm := ml.Eval(counts, clabels, maps, mlabels)
+	checkGrads(t, "mtl.counts", loss, gc, counts, []int{0, 1})
+	checkGrads(t, "mtl.maps", loss, gm, maps, []int{0, 8, 17})
+}
+
+func TestBranchLossGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	bl := DefaultBranchLoss()
+	counts := tensor.New(2)
+	counts.RandN(rng, 2)
+	clabels := tensor.New(2)
+	clabels.RandN(rng, 2)
+	grid := tensor.New(2, 4, 4)
+	grid.RandN(rng, 1)
+	glabels := tensor.New(2, 4, 4)
+	for i := range glabels.Data {
+		if rng.Float64() < 0.3 {
+			glabels.Data[i] = 1
+		}
+	}
+	loss := func() float64 {
+		v, _, _ := bl.Eval(counts, clabels, grid, glabels)
+		return v
+	}
+	_, gc, gg := bl.Eval(counts, clabels, grid, glabels)
+	checkGrads(t, "branch.counts", loss, gc, counts, []int{0, 1})
+	checkGrads(t, "branch.grid", loss, gg, grid, []int{0, 15, 31})
+}
+
+func TestCountLocNetForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	const img, d, classes = 16, 8, 3
+	net := NewCountLocNet(rng, ICBackbone(rng, 1, img, d), d, img/4, classes)
+	frame := tensor.New(1, img, img)
+	frame.RandN(rng, 1)
+	counts, maps := net.Forward(frame)
+	if counts.Len() != classes {
+		t.Fatalf("counts shape %v", counts.Shape)
+	}
+	if maps.Shape[0] != classes || maps.Shape[1] != img/4 || maps.Shape[2] != img/4 {
+		t.Fatalf("maps shape %v", maps.Shape)
+	}
+	for _, v := range counts.Data {
+		if v < 0 {
+			t.Fatal("ReLU count output negative")
+		}
+	}
+	if net.Grid() != img/4 || net.Classes() != classes {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestCountLocNetGradients(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	const img, d, classes = 8, 8, 2
+	net := NewCountLocNet(rng, ICBackbone(rng, 1, img, d), d, img/4, classes)
+	frame := tensor.New(1, img, img)
+	frame.RandN(rng, 1)
+	clabels := tensor.FromSlice([]float32{1, 2}, classes)
+	mlabels := tensor.New(classes, img/4, img/4)
+	mlabels.Data[0] = 1
+	ml := &MultiTaskLoss{Alpha: 1, Beta: 10}
+
+	loss := func() float64 {
+		c, m := net.Forward(frame)
+		v, _, _ := ml.Eval(c, clabels, m, mlabels)
+		return v
+	}
+	c, m := net.Forward(frame)
+	_, gc, gm := ml.Eval(c, clabels, m, mlabels)
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	net.Backward(gc, gm)
+	// Check backbone conv weights receive correct gradients (the map loss
+	// path flows through Eq. 1 into the feature layers).
+	params := net.Backbone.Params()
+	checkGrads(t, "countloc.conv0.W", loss, params[0].Grad, params[0].Value, []int{0, 5, 17})
+	checkGrads(t, "countloc.conv1.W", loss, params[2].Grad, params[2].Value, []int{0, 40})
+}
+
+func TestCountLocNetFCFrozenForMaps(t *testing.T) {
+	// With TrainFCForMaps=false (paper default) the FC weight gradient must
+	// come only from the count path: zero count gradient => zero FC grad.
+	rng := rand.New(rand.NewPCG(8, 8))
+	const img, d, classes = 8, 8, 2
+	net := NewCountLocNet(rng, ICBackbone(rng, 1, img, d), d, img/4, classes)
+	frame := tensor.New(1, img, img)
+	frame.RandN(rng, 1)
+	net.Forward(frame)
+	gc := tensor.New(classes)
+	gm := tensor.New(classes, img/4, img/4)
+	gm.Fill(1)
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	net.Backward(gc, gm)
+	if net.FC.W.Grad.L2() != 0 {
+		t.Fatal("FC weights received map-loss gradient despite TrainFCForMaps=false")
+	}
+	net.TrainFCForMaps = true
+	net.Forward(frame)
+	net.Backward(gc, gm)
+	if net.FC.W.Grad.L2() == 0 {
+		t.Fatal("FC weights received no gradient with TrainFCForMaps=true")
+	}
+}
+
+func TestSGDConvergesOnLinearRegression(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	l := NewLinear(rng, 3, 1)
+	opt := NewSGD(l.Params(), 0.01, 0.9, 0)
+	trueW := []float32{1.5, -2, 0.5}
+	for step := 0; step < 1500; step++ {
+		x := tensor.New(3)
+		x.RandN(rng, 1)
+		y := tensor.New(1)
+		for i := range trueW {
+			y.Data[0] += trueW[i] * x.Data[i]
+		}
+		out := l.Forward(x)
+		_, g := MSE(out, y)
+		l.Backward(g)
+		opt.Step()
+	}
+	for i := range trueW {
+		if math.Abs(float64(l.W.Value.Data[i]-trueW[i])) > 0.1 {
+			t.Fatalf("SGD failed to recover weight %d: %v vs %v", i, l.W.Value.Data[i], trueW[i])
+		}
+	}
+}
+
+func TestAdamConvergesOnLinearRegression(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	l := NewLinear(rng, 3, 1)
+	opt := NewAdam(l.Params(), 0.02, 0)
+	trueW := []float32{0.7, 1.2, -0.9}
+	for step := 0; step < 800; step++ {
+		x := tensor.New(3)
+		x.RandN(rng, 1)
+		y := tensor.New(1)
+		for i := range trueW {
+			y.Data[0] += trueW[i] * x.Data[i]
+		}
+		out := l.Forward(x)
+		_, g := MSE(out, y)
+		l.Backward(g)
+		opt.Step()
+	}
+	for i := range trueW {
+		if math.Abs(float64(l.W.Value.Data[i]-trueW[i])) > 0.1 {
+			t.Fatalf("Adam failed to recover weight %d: %v vs %v", i, l.W.Value.Data[i], trueW[i])
+		}
+	}
+}
+
+func TestFrozenParamsSkipped(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	l := NewLinear(rng, 2, 1)
+	before := l.W.Value.Clone()
+	l.W.Frozen = true
+	opt := NewSGD(l.Params(), 0.5, 0, 0)
+	x := tensor.FromSlice([]float32{1, 1}, 2)
+	y := tensor.FromSlice([]float32{10}, 1)
+	out := l.Forward(x)
+	_, g := MSE(out, y)
+	l.Backward(g)
+	opt.Step()
+	for i := range before.Data {
+		if l.W.Value.Data[i] != before.Data[i] {
+			t.Fatal("frozen weight was updated")
+		}
+	}
+	if l.W.Grad.L2() != 0 {
+		t.Fatal("frozen grad not cleared by Step")
+	}
+	// Bias was not frozen; it must have moved.
+	if l.B.Value.Data[0] == 0 {
+		t.Fatal("unfrozen bias did not update")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 12))
+	l := NewLinear(rng, 2, 1)
+	l.W.Value.Fill(1)
+	opt := NewSGD(l.Params(), 0.1, 0, 0.5)
+	opt2 := NewAdam(l.Params(), 0.1, 0.5)
+	_ = opt2
+	// Step with zero gradient: only decay acts.
+	opt.Step()
+	if l.W.Value.Data[0] >= 1 {
+		t.Fatal("weight decay did not shrink weights")
+	}
+}
+
+func TestCountOnlyNetLearnsToCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewPCG(13, 13))
+	const img = 16
+	net := NewCountOnlyNet(rng, 1, img)
+	opt := NewAdam(net.Params(), 1e-3, 0)
+	// Frames contain k bright 2x2 blobs; the target is k.
+	gen := func() (*tensor.Tensor, float64) {
+		k := rng.IntN(4)
+		f := tensor.New(1, img, img)
+		for i := 0; i < k; i++ {
+			y, x := 1+rng.IntN(img-3), 1+rng.IntN(img-3)
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					f.Set(1, 0, y+dy, x+dx)
+				}
+			}
+		}
+		return f, float64(k)
+	}
+	for step := 0; step < 1200; step++ {
+		f, k := gen()
+		net.TrainStep(f, k, opt)
+	}
+	var se float64
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		f, k := gen()
+		d := net.Forward(f) - k
+		se += d * d
+	}
+	rmse := math.Sqrt(se / trials)
+	if rmse > 1.0 {
+		t.Fatalf("CountOnlyNet failed to learn counting: RMSE = %v", rmse)
+	}
+}
+
+func TestOptimizerZeroGrad(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 14))
+	l := NewLinear(rng, 2, 2)
+	l.W.Grad.Fill(5)
+	NewSGD(l.Params(), 0.1, 0, 0).ZeroGrad()
+	if l.W.Grad.L2() != 0 {
+		t.Fatal("SGD.ZeroGrad failed")
+	}
+	l.W.Grad.Fill(5)
+	NewAdam(l.Params(), 0.1, 0).ZeroGrad()
+	if l.W.Grad.L2() != 0 {
+		t.Fatal("Adam.ZeroGrad failed")
+	}
+}
+
+func TestODBackboneShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 15))
+	bb := ODBackbone(rng, 3, 16, 8)
+	in := tensor.New(3, 16, 16)
+	in.RandN(rng, 1)
+	out := bb.Forward(in)
+	if out.Shape[0] != 8 || out.Shape[1] != 4 || out.Shape[2] != 4 {
+		t.Fatalf("ODBackbone output %v, want [8 4 4]", out.Shape)
+	}
+}

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+
+	"vmq/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and zeroes the gradients of the parameters
+	// it owns. Frozen parameters are skipped (their gradients are still
+	// cleared).
+	Step()
+	// ZeroGrad clears all gradients without stepping.
+	ZeroGrad()
+}
+
+// SGD is stochastic gradient descent with momentum and exponential weight
+// decay — the optimizer the paper uses for OD branch training (lr 1e-4,
+// momentum 0.9, weight decay 5e-4).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	params      []*Param
+	velocity    []*tensor.Tensor
+}
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum, weightDecay float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, params: params}
+	s.velocity = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		s.velocity[i] = tensor.New(p.Value.Shape...)
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		v := s.velocity[i]
+		for j := range p.Value.Data {
+			g := float64(p.Grad.Data[j]) + s.WeightDecay*float64(p.Value.Data[j])
+			nv := s.Momentum*float64(v.Data[j]) + g
+			v.Data[j] = float32(nv)
+			p.Value.Data[j] -= float32(s.LR * nv)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) used for IC training in the
+// paper (lr 1e-4, exponential decay 5e-4).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+	params      []*Param
+	m, v        []*tensor.Tensor
+	t           int
+}
+
+// NewAdam builds an Adam optimizer with the conventional betas.
+func NewAdam(params []*Param, lr, weightDecay float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay, params: params}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape...)
+		a.v[i] = tensor.New(p.Value.Shape...)
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		if p.Frozen {
+			p.ZeroGrad()
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Value.Data {
+			g := float64(p.Grad.Data[j]) + a.WeightDecay*float64(p.Value.Data[j])
+			nm := a.Beta1*float64(m.Data[j]) + (1-a.Beta1)*g
+			nv := a.Beta2*float64(v.Data[j]) + (1-a.Beta2)*g*g
+			m.Data[j] = float32(nm)
+			v.Data[j] = float32(nv)
+			mh := nm / bc1
+			vh := nv / bc2
+			p.Value.Data[j] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// savedParam is the on-wire form of one parameter.
+type savedParam struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// SaveParams serialises parameter values (not gradients or optimizer
+// state) to w with gob encoding. Parameters are written in slice order;
+// LoadParams restores them into an identically-structured network.
+func SaveParams(w io.Writer, params []*Param) error {
+	enc := gob.NewEncoder(w)
+	out := make([]savedParam, len(params))
+	for i, p := range params {
+		out[i] = savedParam{Name: p.Name, Shape: p.Value.Shape, Data: p.Value.Data}
+	}
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	return nil
+}
+
+// LoadParams restores parameter values saved by SaveParams. The target
+// network must have the same architecture: parameter count, names and
+// shapes are all validated.
+func LoadParams(r io.Reader, params []*Param) error {
+	dec := gob.NewDecoder(r)
+	var in []savedParam
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	if len(in) != len(params) {
+		return fmt.Errorf("nn: load params: %d saved vs %d in network", len(in), len(params))
+	}
+	for i, sp := range in {
+		p := params[i]
+		if sp.Name != p.Name {
+			return fmt.Errorf("nn: load params: parameter %d is %q, network expects %q", i, sp.Name, p.Name)
+		}
+		if len(sp.Data) != p.Value.Len() || !sameShape(sp.Shape, p.Value.Shape) {
+			return fmt.Errorf("nn: load params: %q shape %v vs %v", sp.Name, sp.Shape, p.Value.Shape)
+		}
+	}
+	// Validate fully before mutating anything.
+	for i, sp := range in {
+		copy(params[i].Value.Data, sp.Data)
+	}
+	return nil
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"vmq/internal/tensor"
+)
+
+func TestSaveLoadParams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	src := &Sequential{Layers: []Layer{
+		NewConv2D(rng, 1, 4, 3, 1, 1),
+		&ReLU{},
+		&GlobalAvgPool{},
+		NewLinear(rng, 4, 2),
+	}}
+	dst := &Sequential{Layers: []Layer{
+		NewConv2D(rng, 1, 4, 3, 1, 1),
+		&ReLU{},
+		&GlobalAvgPool{},
+		NewLinear(rng, 4, 2),
+	}}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 8, 8)
+	x.RandN(rng, 1)
+	a := src.Forward(x)
+	b := dst.Forward(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("restored network diverges")
+		}
+	}
+}
+
+func TestLoadParamsValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	src := NewLinear(rng, 3, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// Wrong parameter count.
+	tooMany := append(NewLinear(rng, 3, 2).Params(), NewLinear(rng, 1, 1).Params()...)
+	if err := LoadParams(bytes.NewReader(saved), tooMany); err == nil {
+		t.Error("parameter-count mismatch accepted")
+	}
+	// Wrong shape with right names.
+	wrongShape := NewLinear(rng, 4, 2)
+	if err := LoadParams(bytes.NewReader(saved), wrongShape.Params()); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Errorf("shape mismatch not reported: %v", err)
+	}
+	// Wrong name.
+	wrongName := NewConv2D(rng, 1, 2, 1, 1, 0)
+	if err := LoadParams(bytes.NewReader(saved), wrongName.Params()); err == nil {
+		t.Error("name mismatch accepted")
+	}
+	// Truncated stream.
+	if err := LoadParams(bytes.NewReader(saved[:5]), src.Params()); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Validation happens before mutation: the failed shape load must not
+	// have touched the target weights.
+	orig := NewLinear(rng, 4, 2)
+	copyOf := orig.W.Value.Clone()
+	_ = LoadParams(bytes.NewReader(saved), orig.Params())
+	for i := range copyOf.Data {
+		if orig.W.Value.Data[i] != copyOf.Data[i] {
+			t.Fatal("failed load mutated weights")
+		}
+	}
+}

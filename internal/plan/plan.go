@@ -1,0 +1,157 @@
+// Package plan implements the filter-selection optimizer the paper
+// defers to future work ("Placement of such filters into the query plan
+// and related optimizations are an important research direction").
+//
+// Table III hand-picks, per query, "the most selective filter combinations
+// that yield 100% accuracy". This package automates exactly that choice:
+// it evaluates every tolerance combination (CCF exact/±1/±2 × CLF
+// exact/M1/M2) on a calibration prefix of the stream, measures each
+// combination's recall against annotated ground truth and its selectivity,
+// and picks the cheapest combination whose recall clears a target. Cost
+// follows the cascade model: filter cost on every frame plus detector cost
+// on the frames the filter passes.
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/query"
+	"vmq/internal/video"
+)
+
+// Choice is one evaluated tolerance combination.
+type Choice struct {
+	Tol query.Tolerances
+	// Recall is the fraction of calibration true frames the filter keeps.
+	Recall float64
+	// RecallLCB is the Laplace-smoothed recall (kept+1)/(true+2) used for
+	// decisions: a combination that kept all of a handful of positives is
+	// not yet statistical evidence of target-level recall, which prevents
+	// overfitting the choice to sparse calibration sets.
+	RecallLCB float64
+	// Selectivity is the fraction of calibration frames passed to the
+	// detector.
+	Selectivity float64
+	// PerFrame is the expected virtual cost per stream frame under the
+	// cascade model.
+	PerFrame time.Duration
+}
+
+// String implements fmt.Stringer.
+func (c Choice) String() string {
+	return fmt.Sprintf("%s recall=%.3f sel=%.3f cost=%v/frame",
+		c.Tol, c.Recall, c.Selectivity, c.PerFrame)
+}
+
+// Choose evaluates all nine tolerance combinations of the backend on the
+// calibration frames and returns the cheapest one whose recall is at least
+// targetRecall, plus the full evaluation table for inspection. When no
+// combination reaches the target, the highest-recall combination is
+// returned (ties broken by cost).
+//
+// Ground truth for the calibration frames comes from the annotating
+// detector — in the paper's deployment that is Mask R-CNN over the
+// (small) calibration prefix, the same annotator that produced the filter
+// training labels.
+func Choose(p *query.Plan, backend filters.Backend, annotator detect.Detector, calib []*video.Frame, targetRecall float64) (Choice, []Choice) {
+	if len(calib) == 0 {
+		panic("plan: empty calibration set")
+	}
+	// Annotate once.
+	type annotated struct {
+		frame *video.Frame
+		truth bool
+		out   *filters.Output
+	}
+	ann := make([]annotated, len(calib))
+	trueFrames := 0
+	for i, f := range calib {
+		dets := annotator.Detect(f)
+		truth := p.Where == nil || p.Where.EvalExact(dets, f.Bounds)
+		if truth {
+			trueFrames++
+		}
+		ann[i] = annotated{frame: f, truth: truth, out: backend.Evaluate(f)}
+	}
+
+	filterCost := backend.Technique().Cost().PerCall
+	detectorCost := annotator.Cost().PerCall
+
+	var all []Choice
+	for ct := 0; ct <= 2; ct++ {
+		for lt := 0; lt <= 2; lt++ {
+			tol := query.Tolerances{Count: ct, Location: lt}
+			kept, passed := 0, 0
+			for _, a := range ann {
+				pass := p.Where == nil || p.Where.EvalFilter(a.out, a.frame.Bounds, tol)
+				if pass {
+					passed++
+					if a.truth {
+						kept++
+					}
+				}
+			}
+			recall, lcb := 1.0, 1.0
+			if trueFrames > 0 {
+				recall = float64(kept) / float64(trueFrames)
+				lcb = float64(kept+1) / float64(trueFrames+2)
+			}
+			sel := float64(passed) / float64(len(ann))
+			all = append(all, Choice{
+				Tol:         tol,
+				Recall:      recall,
+				RecallLCB:   lcb,
+				Selectivity: sel,
+				PerFrame:    filterCost + time.Duration(sel*float64(detectorCost)),
+			})
+		}
+	}
+
+	// Decision rule. With enough positives the per-combination recall
+	// estimates are trustworthy and the cheapest combination meeting the
+	// target wins. With too few positives any estimate (including "kept
+	// all of them") is weak evidence, so the recall-safe loosest
+	// combination is chosen — exactly how an operator would configure an
+	// unfamiliar rare-event query.
+	const minEvidence = 30
+	if trueFrames < minEvidence {
+		loosest := all[0]
+		for _, c := range all[1:] {
+			if c.Tol.Count >= loosest.Tol.Count && c.Tol.Location >= loosest.Tol.Location {
+				loosest = c
+			}
+		}
+		return loosest, all
+	}
+	best, ok := pickCheapest(all, targetRecall)
+	if !ok {
+		// No combination reaches the target: return the highest recall,
+		// breaking ties toward the looser (safer) tolerances.
+		best = all[0]
+		for _, c := range all[1:] {
+			if c.Recall > best.Recall ||
+				(c.Recall == best.Recall && c.Tol.Count+c.Tol.Location > best.Tol.Count+best.Tol.Location) {
+				best = c
+			}
+		}
+	}
+	return best, all
+}
+
+func pickCheapest(all []Choice, targetRecall float64) (Choice, bool) {
+	var best Choice
+	found := false
+	for _, c := range all {
+		if c.Recall < targetRecall {
+			continue
+		}
+		if !found || c.PerFrame < best.PerFrame {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}

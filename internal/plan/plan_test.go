@@ -1,0 +1,107 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/query"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+)
+
+func bindQ(t *testing.T, src string, p video.Profile) *query.Plan {
+	t.Helper()
+	q, err := vql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.MustBind(q, p)
+}
+
+func TestChooseFindsSelectiveCombo(t *testing.T) {
+	p := video.Jackson()
+	pl := bindQ(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) = 1 AND COUNT(person) = 1`, p)
+	calib := video.NewStream(p, 1).Take(1500)
+	backend := filters.NewODFilter(p, 1, nil)
+	best, all := Choose(pl, backend, detect.NewOracle(nil), calib, 0.99)
+	if len(all) != 9 {
+		t.Fatalf("evaluated %d combos, want 9", len(all))
+	}
+	if best.Recall < 0.99 {
+		t.Fatalf("chosen combo recall = %v", best.Recall)
+	}
+	// On sparse Jackson the exact count filter is both near-perfect and
+	// most selective; the optimizer must not pick a looser count tolerance.
+	if best.Tol.Count != 0 {
+		t.Fatalf("chose %v; exact CCF dominates on jackson", best.Tol)
+	}
+	if best.Selectivity > 0.5 {
+		t.Fatalf("chosen combo unselective: %v", best.Selectivity)
+	}
+}
+
+func TestChooseRespectsRecallTarget(t *testing.T) {
+	p := video.Detrac()
+	pl := bindQ(t, `SELECT FRAMES FROM detrac WHERE COUNT(car) = 1 AND COUNT(bus) = 1`, p)
+	calib := video.NewStream(p, 2).Take(1500)
+	backend := filters.NewODFilter(p, 2, nil)
+	strict, _ := Choose(pl, backend, detect.NewOracle(nil), calib, 0.999)
+	loose, _ := Choose(pl, backend, detect.NewOracle(nil), calib, 0.80)
+	if strict.Recall < loose.Recall {
+		t.Fatalf("strict target picked lower recall (%v) than loose (%v)", strict.Recall, loose.Recall)
+	}
+	if loose.PerFrame > strict.PerFrame {
+		t.Fatalf("loose target (%v) costs more than strict (%v)", loose.PerFrame, strict.PerFrame)
+	}
+}
+
+func TestChooseCostModel(t *testing.T) {
+	p := video.Jackson()
+	pl := bindQ(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 1`, p)
+	calib := video.NewStream(p, 3).Take(500)
+	backend := filters.NewODFilter(p, 3, nil)
+	detector := detect.NewOracle(nil)
+	_, all := Choose(pl, backend, detector, calib, 0.95)
+	for _, c := range all {
+		want := backend.Technique().Cost().PerCall +
+			time.Duration(c.Selectivity*float64(detector.Cost().PerCall))
+		if c.PerFrame != want {
+			t.Fatalf("cost model mismatch for %v: %v vs %v", c.Tol, c.PerFrame, want)
+		}
+		if c.String() == "" {
+			t.Fatal("empty Choice string")
+		}
+	}
+}
+
+func TestChooseFallbackWhenUnreachable(t *testing.T) {
+	p := video.Jackson()
+	pl := bindQ(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`, p)
+	calib := video.NewStream(p, 4).Take(300)
+	backend := filters.NewODFilter(p, 4, nil)
+	// Target recall above anything achievable forces the fallback path; it
+	// must return the max-recall combo rather than failing.
+	best, all := Choose(pl, backend, detect.NewOracle(nil), calib, 1.1)
+	maxRecall := 0.0
+	for _, c := range all {
+		if c.Recall > maxRecall {
+			maxRecall = c.Recall
+		}
+	}
+	if best.Recall != maxRecall {
+		t.Fatalf("fallback recall %v, max available %v", best.Recall, maxRecall)
+	}
+}
+
+func TestChoosePanicsOnEmptyCalibration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := video.Jackson()
+	pl := bindQ(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`, p)
+	Choose(pl, filters.NewODFilter(p, 1, nil), detect.NewOracle(nil), nil, 0.9)
+}

@@ -1,0 +1,284 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/stats"
+	"vmq/internal/stream"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+)
+
+// AggregateConfig controls Monte Carlo aggregate execution (Section III).
+type AggregateConfig struct {
+	// SampleSize is the number of frames the detector evaluates per
+	// window.
+	SampleSize int
+	// Sampler picks the sampled frame indices (default uniform).
+	Sampler stream.Sampler
+	// MuFromFullWindow controls where the control means µ_Z come from.
+	// When true (default and recommended) the cheap filters are evaluated
+	// on every frame of the window so µ_Z is exact — the classic
+	// cheap-proxy CV setup that yields genuine variance reduction on the
+	// final estimate. When false, µ_Z is the sample mean of the controls
+	// as the paper describes, which leaves the point estimate equal to the
+	// plain sample mean and tightens only the variance accounting.
+	MuFromFullWindow bool
+}
+
+// ControlValues extracts the control-variate vector for one frame from the
+// filter output: one entry per predicate leaf (counts as estimates,
+// spatial/region predicates as 0/1 indicators) plus the aggregation target
+// estimate for AVG queries. This realises the paper's Figure 6: "for each
+// frame suitable all suitable filters are applied and control variates is
+// deployed to estimate the aggregate."
+func ControlValues(plan *Plan, out *filters.Output, f *video.Frame) []float64 {
+	var vals []float64
+	var walk func(e BoundExpr)
+	walk = func(e BoundExpr) {
+		switch n := e.(type) {
+		case *boundAnd:
+			walk(n.l)
+			walk(n.r)
+		case *boundOr:
+			walk(n.l)
+			walk(n.r)
+		case *boundNot:
+			walk(n.e)
+		case *boundCount:
+			if n.all {
+				vals = append(vals, out.Total)
+			} else {
+				vals = append(vals, out.Counts[n.class])
+			}
+		case *boundSpatial, *boundRegionPred:
+			// Controls need correlation, not conservatism: Manhattan-1
+			// tolerance maximises agreement with the detector-evaluated
+			// truth by absorbing one-cell displacements.
+			v := 0.0
+			if e.EvalFilter(out, f.Bounds, Tolerances{Location: 1}) {
+				v = 1
+			}
+			vals = append(vals, v)
+		}
+	}
+	if plan.Where != nil {
+		walk(plan.Where)
+	}
+	if plan.Agg != nil {
+		vals = append(vals, plan.Agg.FilterRegionCount(out, f.Bounds))
+	}
+	if len(vals) == 0 {
+		vals = []float64{out.Total}
+	}
+	return vals
+}
+
+// AggregateResult reports one window's estimate with and without control
+// variates — the per-query rows of Table IV.
+type AggregateResult struct {
+	// WindowSize is the number of frames in the window.
+	WindowSize int
+	// Samples is the number of detector-evaluated frames.
+	Samples int
+	// Plain is the naive sampling estimate of the per-frame mean.
+	Plain stats.Summary
+	// CV is the control-variate estimate.
+	CV stats.CVResult
+	// Controls is the number of control variates used (1 = single CV).
+	Controls int
+	// TruePerFrameMean is the ground-truth per-frame mean over the window
+	// (available because the substrate is a simulator), for error
+	// reporting.
+	TruePerFrameMean float64
+	// VirtualTimePerSample is the simulated cost per detector sample
+	// including its filter pass — Table IV's "Filter + Mask RCNN" column.
+	VirtualTimePerSample time.Duration
+}
+
+// Estimate returns the CV point estimate of the windowed aggregate: the
+// qualifying-frame count for COUNT(FRAMES) queries, or the per-frame mean
+// for AVG queries.
+func (r *AggregateResult) Estimate(kind vql.SelectKind) float64 {
+	if kind == vql.SelectFrameCount {
+		return r.CV.Estimate * float64(r.WindowSize)
+	}
+	return r.CV.Estimate
+}
+
+// RunAggregate executes a windowed aggregate over one window of frames.
+// The per-frame quantity Y is the 0/1 predicate outcome for COUNT(FRAMES)
+// queries or the aggregation-target count for AVG queries, measured by the
+// detector on sampled frames; the filter outputs provide the (possibly
+// multiple) control variates.
+func RunAggregate(plan *Plan, frames []*video.Frame, backend filters.Backend, det detect.Detector, cfg AggregateConfig) (*AggregateResult, error) {
+	if plan.Query.Select.Kind == vql.SelectFrames {
+		return nil, fmt.Errorf("query: RunAggregate needs an aggregate SELECT, got FRAMES")
+	}
+	if cfg.SampleSize <= 0 {
+		return nil, fmt.Errorf("query: non-positive sample size %d", cfg.SampleSize)
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = stream.NewUniformSampler(1)
+	}
+	n := len(frames)
+	if n == 0 {
+		return nil, fmt.Errorf("query: empty window")
+	}
+	if cfg.SampleSize > n {
+		cfg.SampleSize = n
+	}
+
+	yOf := func(f *video.Frame, dets []detect.Detection) float64 {
+		switch plan.Query.Select.Kind {
+		case vql.SelectFrameCount:
+			if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
+				return 1
+			}
+			return 0
+		default: // SelectAvg
+			if plan.Where != nil && !plan.Where.EvalExact(dets, f.Bounds) {
+				return 0
+			}
+			return float64(plan.Agg.RegionCount(dets, f.Bounds))
+		}
+	}
+
+	// Control vectors. With MuFromFullWindow the filters run over the whole
+	// window (cheap) so µ_Z is exact; otherwise only sampled frames are
+	// filtered and µ_Z falls back to the sample mean.
+	d := len(ControlValues(plan, backend.Evaluate(frames[0]), frames[0]))
+	muZ := make([]float64, d)
+	controlAt := make(map[int][]float64, cfg.SampleSize)
+	if cfg.MuFromFullWindow {
+		for i, f := range frames {
+			z := ControlValues(plan, backend.Evaluate(f), f)
+			controlAt[i] = z
+			for j, v := range z {
+				muZ[j] += v
+			}
+		}
+		for j := range muZ {
+			muZ[j] /= float64(n)
+		}
+	}
+
+	idx := cfg.Sampler.Sample(n, cfg.SampleSize)
+	ys := make([]float64, len(idx))
+	zs := make([][]float64, len(idx))
+	for k, i := range idx {
+		f := frames[i]
+		z, ok := controlAt[i]
+		if !ok {
+			z = ControlValues(plan, backend.Evaluate(f), f)
+		}
+		zs[k] = z
+		ys[k] = yOf(f, det.Detect(f))
+	}
+	if !cfg.MuFromFullWindow {
+		for _, z := range zs {
+			for j, v := range z {
+				muZ[j] += v
+			}
+		}
+		for j := range muZ {
+			muZ[j] /= float64(len(zs))
+		}
+	}
+
+	// Drop constant controls (they carry no information and would make the
+	// covariance matrix singular).
+	keep := make([]int, 0, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(zs))
+		for k := range zs {
+			col[k] = zs[k][j]
+		}
+		if stats.Summarize(col).Variance > 0 {
+			keep = append(keep, j)
+		}
+	}
+
+	res := &AggregateResult{
+		WindowSize:           n,
+		Samples:              len(idx),
+		Plain:                stats.Summarize(ys),
+		Controls:             len(keep),
+		VirtualTimePerSample: det.Cost().PerCall + backend.Technique().Cost().PerCall,
+	}
+	truth := GroundTruth(plan, frames)
+	switch plan.Query.Select.Kind {
+	case vql.SelectFrameCount:
+		for _, t := range truth {
+			if t {
+				res.TruePerFrameMean++
+			}
+		}
+		res.TruePerFrameMean /= float64(n)
+	default:
+		for i, f := range frames {
+			if truth[i] {
+				res.TruePerFrameMean += float64(plan.Agg.RegionCount(truthDetections(f), f.Bounds))
+			}
+		}
+		res.TruePerFrameMean /= float64(n)
+	}
+
+	if len(keep) == 0 {
+		// No usable controls: fall back to the plain estimate.
+		res.CV = stats.CVResult{
+			Plain:     res.Plain,
+			Estimate:  res.Plain.Mean,
+			Variance:  res.Plain.Variance / float64(max(res.Plain.N, 1)),
+			Reduction: 1,
+		}
+		return res, nil
+	}
+
+	if len(keep) == 1 {
+		xs := make([]float64, len(zs))
+		for k := range zs {
+			xs[k] = zs[k][keep[0]]
+		}
+		cv, err := stats.ControlVariate(ys, xs, muZ[keep[0]])
+		if err != nil {
+			return nil, err
+		}
+		res.CV = cv
+		return res, nil
+	}
+
+	zk := make([][]float64, len(zs))
+	for k := range zs {
+		row := make([]float64, len(keep))
+		for jj, j := range keep {
+			row[jj] = zs[k][j]
+		}
+		zk[k] = row
+	}
+	mu := make([]float64, len(keep))
+	for jj, j := range keep {
+		mu[jj] = muZ[j]
+	}
+	cv, err := stats.MultipleControlVariates(ys, zk, mu)
+	if err != nil {
+		// Near-singular sample covariance (e.g. duplicated controls):
+		// retry with the first control alone.
+		xs := make([]float64, len(zk))
+		for k := range zk {
+			xs[k] = zk[k][0]
+		}
+		single, serr := stats.ControlVariate(ys, xs, mu[0])
+		if serr != nil {
+			return nil, err
+		}
+		res.CV = single
+		res.Controls = 1
+		return res, nil
+	}
+	res.CV = cv
+	return res, nil
+}

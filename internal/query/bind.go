@@ -1,0 +1,202 @@
+// Package query is the execution engine for VQL statements: it binds
+// parsed queries against a dataset profile, evaluates predicates both
+// exactly (over detector output, for final confirmation and ground truth)
+// and approximately (over filter outputs, for the cascade), runs the
+// paper's filter-then-detect execution strategy, and processes windowed
+// aggregates with single and multiple control variates (Section III).
+package query
+
+import (
+	"fmt"
+
+	"vmq/internal/geom"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+)
+
+// Plan is a query bound to a dataset profile, ready to execute.
+type Plan struct {
+	Query   *vql.Query
+	Profile video.Profile
+	// Where is the bound predicate tree (nil means every frame matches).
+	Where BoundExpr
+	// Agg is the bound aggregation target for AVG queries.
+	Agg *BoundAgg
+}
+
+// BoundAgg is a bound COUNT(class [IN region]) aggregation target.
+type BoundAgg struct {
+	Class  video.Class
+	Color  video.Color
+	Region *BoundRegion // nil means whole frame
+}
+
+// BoundRegion resolves a region to frame coordinates at evaluation time
+// (quadrants depend on the frame bounds).
+type BoundRegion struct {
+	Quadrant geom.Quadrant
+	IsQuad   bool
+	Rect     geom.Rect
+}
+
+// Resolve returns the concrete rectangle for the given frame bounds.
+func (r *BoundRegion) Resolve(bounds geom.Rect) geom.Rect {
+	if r.IsQuad {
+		return geom.QuadrantRect(bounds, r.Quadrant)
+	}
+	return r.Rect
+}
+
+// Bind resolves the names in q against the profile's class universe and
+// returns an executable plan. Unknown classes, colours or relations are
+// reported as errors rather than silently matching nothing.
+func Bind(q *vql.Query, profile video.Profile) (*Plan, error) {
+	if q.Source != profile.Name {
+		return nil, fmt.Errorf("query: source %q does not match profile %q", q.Source, profile.Name)
+	}
+	p := &Plan{Query: q, Profile: profile}
+	if q.Where != nil {
+		where, err := bindExpr(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		p.Where = where
+	}
+	if q.Select.Kind == vql.SelectAvg {
+		if q.Select.Agg == nil {
+			return nil, fmt.Errorf("query: AVG select without aggregation target")
+		}
+		cls, col, err := bindClassRef(q.Select.Agg.Target)
+		if err != nil {
+			return nil, err
+		}
+		agg := &BoundAgg{Class: cls, Color: col}
+		if q.Select.Agg.Region != nil {
+			r, err := bindRegion(*q.Select.Agg.Region)
+			if err != nil {
+				return nil, err
+			}
+			agg.Region = r
+		}
+		p.Agg = agg
+	}
+	return p, nil
+}
+
+// MustBind is Bind for tests and examples with known-good queries.
+func MustBind(q *vql.Query, profile video.Profile) *Plan {
+	p, err := Bind(q, profile)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func bindClassRef(ref vql.ClassRef) (video.Class, video.Color, error) {
+	cls, ok := video.ParseClass(ref.Class)
+	if !ok {
+		return 0, 0, fmt.Errorf("query: unknown class %q", ref.Class)
+	}
+	col := video.AnyColor
+	if ref.Color != "" {
+		c, ok := video.ParseColor(ref.Color)
+		if !ok {
+			return 0, 0, fmt.Errorf("query: unknown colour %q", ref.Color)
+		}
+		col = c
+	}
+	return cls, col, nil
+}
+
+func bindRegion(r vql.Region) (*BoundRegion, error) {
+	if r.Quadrant != "" {
+		var q geom.Quadrant
+		switch r.Quadrant {
+		case "upper-left":
+			q = geom.UpperLeft
+		case "upper-right":
+			q = geom.UpperRight
+		case "lower-left":
+			q = geom.LowerLeft
+		case "lower-right":
+			q = geom.LowerRight
+		default:
+			return nil, fmt.Errorf("query: unknown quadrant %q", r.Quadrant)
+		}
+		return &BoundRegion{IsQuad: true, Quadrant: q}, nil
+	}
+	rect := geom.Rect{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: r.Y1}
+	if rect.Empty() {
+		return nil, fmt.Errorf("query: empty region %v", rect)
+	}
+	return &BoundRegion{Rect: rect}, nil
+}
+
+func bindExpr(e vql.Expr) (BoundExpr, error) {
+	switch n := e.(type) {
+	case *vql.AndExpr:
+		l, err := bindExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &boundAnd{l, r}, nil
+	case *vql.OrExpr:
+		l, err := bindExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &boundOr{l, r}, nil
+	case *vql.NotExpr:
+		inner, err := bindExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return &boundNot{inner}, nil
+	case *vql.CountPred:
+		if n.All {
+			return &boundCount{all: true, op: n.Op, value: n.Value}, nil
+		}
+		cls, col, err := bindClassRef(n.Target)
+		if err != nil {
+			return nil, err
+		}
+		return &boundCount{class: cls, color: col, op: n.Op, value: n.Value}, nil
+	case *vql.SpatialPred:
+		aCls, aCol, err := bindClassRef(n.A)
+		if err != nil {
+			return nil, err
+		}
+		bCls, bCol, err := bindClassRef(n.B)
+		if err != nil {
+			return nil, err
+		}
+		rel, ok := parseRel(n.Rel)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", n.Rel)
+		}
+		return &boundSpatial{aCls, aCol, bCls, bCol, rel}, nil
+	case *vql.RegionPred:
+		cls, col, err := bindClassRef(n.Target)
+		if err != nil {
+			return nil, err
+		}
+		region, err := bindRegion(n.Region)
+		if err != nil {
+			return nil, err
+		}
+		return &boundRegionPred{
+			class: cls, color: col, region: region,
+			op: n.Op, value: n.Value, negate: n.Negate,
+		}, nil
+	default:
+		return nil, fmt.Errorf("query: unsupported expression %T", e)
+	}
+}

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"time"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/video"
+)
+
+// Engine executes monitoring queries with the paper's filter-then-detect
+// strategy: every frame is evaluated by the (cheap) filter backend, and
+// only frames the filter cannot rule out are confirmed by the (expensive)
+// detector. A nil Backend disables filtering, yielding the brute-force
+// baseline that annotates every frame.
+type Engine struct {
+	Backend  filters.Backend
+	Detector detect.Detector
+	Tol      Tolerances
+}
+
+// Result summarises one monitoring-query execution.
+type Result struct {
+	// Matched holds indices (into the executed frame slice) of frames the
+	// detector confirmed.
+	Matched []int
+	// FramesTotal is the number of frames examined.
+	FramesTotal int
+	// FilterPassed is the number of frames the filter let through.
+	FilterPassed int
+	// DetectorCalls counts full detector invocations.
+	DetectorCalls int
+	// VirtualTime is the simulated pipeline latency: filter cost on every
+	// frame plus detector cost on passed frames (Table III's columns).
+	VirtualTime time.Duration
+}
+
+// Selectivity returns the fraction of frames that reached the detector.
+func (r *Result) Selectivity() float64 {
+	if r.FramesTotal == 0 {
+		return 0
+	}
+	return float64(r.FilterPassed) / float64(r.FramesTotal)
+}
+
+// Run executes a bound monitoring query over frames.
+func (e *Engine) Run(plan *Plan, frames []*video.Frame) *Result {
+	res := &Result{FramesTotal: len(frames)}
+	var filterCost, detectCost time.Duration
+	if e.Backend != nil {
+		filterCost = e.Backend.Technique().Cost().PerCall
+	}
+	detectCost = e.Detector.Cost().PerCall
+	for i, f := range frames {
+		pass := true
+		if e.Backend != nil && plan.Where != nil {
+			out := e.Backend.Evaluate(f)
+			res.VirtualTime += filterCost
+			pass = plan.Where.EvalFilter(out, f.Bounds, e.Tol)
+		}
+		if !pass {
+			continue
+		}
+		res.FilterPassed++
+		dets := e.Detector.Detect(f)
+		res.DetectorCalls++
+		res.VirtualTime += detectCost
+		if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
+			res.Matched = append(res.Matched, i)
+		}
+	}
+	return res
+}
+
+// GroundTruth evaluates the plan's predicate directly on simulator ground
+// truth (no detector, no cost), returning one boolean per frame.
+func GroundTruth(plan *Plan, frames []*video.Frame) []bool {
+	out := make([]bool, len(frames))
+	for i, f := range frames {
+		if plan.Where == nil {
+			out[i] = true
+			continue
+		}
+		out[i] = plan.Where.EvalExact(truthDetections(f), f.Bounds)
+	}
+	return out
+}
+
+// truthDetections converts a frame's ground truth into detections without
+// charging any clock.
+func truthDetections(f *video.Frame) []detect.Detection {
+	dets := make([]detect.Detection, len(f.Objects))
+	for i, o := range f.Objects {
+		dets[i] = detect.Detection{
+			Class: o.Class, Color: o.Color, Box: o.Box, Score: 1, TrackID: o.TrackID,
+		}
+	}
+	return dets
+}
+
+// Score compares a Result against ground truth, returning the paper's
+// accuracy measure for Table III: the fraction of true frames that the
+// cascaded execution reported ("the fraction of frames that are correctly
+// identified by our filters over the number of frames in which the query
+// predicates are true"). With an exact confirmation detector the reported
+// set is a subset of the true set, so this is recall.
+func Score(res *Result, truth []bool) float64 {
+	trueFrames := 0
+	for _, t := range truth {
+		if t {
+			trueFrames++
+		}
+	}
+	if trueFrames == 0 {
+		return 1
+	}
+	found := 0
+	for _, i := range res.Matched {
+		if truth[i] {
+			found++
+		}
+	}
+	return float64(found) / float64(trueFrames)
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vmq/internal/filters"
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+)
+
+// Describe renders a human-readable execution plan for the bound query:
+// the predicate tree annotated with which filter serves each leaf, the
+// tolerance configuration and the cascade cost model. It is what
+// `vmq query -explain` prints.
+func (p *Plan) Describe(backend filters.Backend, tol Tolerances) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for: %s\n", p.Query)
+	fmt.Fprintf(&b, "dataset:  %s (%.1f obj/frame)\n", p.Profile.Name, p.Profile.MeanObjs)
+	tech := "none (brute force)"
+	filterCost := time.Duration(0)
+	if backend != nil {
+		tech = backend.Technique().String()
+		filterCost = backend.Technique().Cost().PerCall
+	}
+	fmt.Fprintf(&b, "filters:  %s, tolerances %s\n", tech, tol)
+	b.WriteString("cascade:\n")
+	if p.Where == nil {
+		b.WriteString("  (no predicate: every frame confirmed by detector)\n")
+	} else {
+		describeExpr(&b, p.Where, 1)
+	}
+	if p.Agg != nil {
+		target := video.Class(p.Agg.Class).String()
+		if p.Agg.Color != video.AnyColor {
+			target += "[" + p.Agg.Color.String() + "]"
+		}
+		where := "whole frame"
+		if p.Agg.Region != nil {
+			where = "region"
+		}
+		fmt.Fprintf(&b, "aggregate: AVG count of %s over %s (detector on samples, CLF cells as control)\n", target, where)
+	}
+	fmt.Fprintf(&b, "cost model: %v/frame filter + %v/frame detector on passed frames\n",
+		filterCost, simclock.CostMaskRCNN.PerCall)
+	return b.String()
+}
+
+func describeExpr(b *strings.Builder, e BoundExpr, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n := e.(type) {
+	case *boundAnd:
+		fmt.Fprintf(b, "%sAND\n", indent)
+		describeExpr(b, n.l, depth+1)
+		describeExpr(b, n.r, depth+1)
+	case *boundOr:
+		fmt.Fprintf(b, "%sOR\n", indent)
+		describeExpr(b, n.l, depth+1)
+		describeExpr(b, n.r, depth+1)
+	case *boundNot:
+		fmt.Fprintf(b, "%sNOT (deferred to detector; filters never prune negations)\n", indent)
+		describeExpr(b, n.e, depth+1)
+	case *boundCount:
+		target := "*"
+		filter := "CF"
+		if !n.all {
+			target = n.class.String()
+			if n.color != video.AnyColor {
+				target += "[" + n.color.String() + "]"
+				filter = "CCF upper-bound (colour invisible to filters)"
+			} else {
+				filter = "CCF"
+			}
+		}
+		fmt.Fprintf(b, "%sCOUNT(%s) %s %d   <- %s\n", indent, target, n.op, n.value, filter)
+	case *boundSpatial:
+		a, bb := n.aClass.String(), n.bClass.String()
+		if n.aColor != video.AnyColor {
+			a += "[" + n.aColor.String() + "]"
+		}
+		if n.bColor != video.AnyColor {
+			bb += "[" + n.bColor.String() + "]"
+		}
+		fmt.Fprintf(b, "%s%s %s %s   <- CLF activation maps + CCF cross-check\n", indent, a, n.rel, bb)
+	case *boundRegionPred:
+		target := n.class.String()
+		if n.color != video.AnyColor {
+			target += "[" + n.color.String() + "]"
+		}
+		neg := ""
+		if n.negate {
+			neg = "NOT "
+		}
+		fmt.Fprintf(b, "%s%sCOUNT(%s IN region) %s %d   <- CLF cells in region\n",
+			indent, neg, target, n.op, n.value)
+	default:
+		fmt.Fprintf(b, "%s%T\n", indent, e)
+	}
+}

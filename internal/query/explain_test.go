@@ -1,0 +1,49 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"vmq/internal/filters"
+	"vmq/internal/video"
+)
+
+func TestDescribe(t *testing.T) {
+	p := video.Jackson()
+	plan := MustBind(parse(t, `SELECT FRAMES FROM jackson
+		WHERE COUNT(car[red]) = 1 AND car LEFT OF person
+		AND NOT person IN QUADRANT(UPPER LEFT) OR COUNT(*) >= 3`), p)
+	backend := filters.NewODFilter(p, 1, nil)
+	out := plan.Describe(backend, Tolerances{Count: 1, Location: 2})
+	for _, want := range []string{
+		"jackson",
+		"OD",
+		"CCF-1/CLF-2",
+		"COUNT(car[red]) = 1",
+		"colour invisible",
+		"left-of",
+		"CLF activation maps",
+		"NOT (deferred to detector",
+		"COUNT(*) >= 3",
+		"cost model",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeAggregateAndBrute(t *testing.T) {
+	p := video.Coral()
+	plan := MustBind(parse(t, `SELECT AVG(COUNT(person IN QUADRANT(LOWER LEFT))) FROM coral`), p)
+	out := plan.Describe(nil, Tolerances{})
+	if !strings.Contains(out, "brute force") {
+		t.Errorf("nil backend not described as brute force:\n%s", out)
+	}
+	if !strings.Contains(out, "no predicate") {
+		t.Errorf("missing empty-predicate note:\n%s", out)
+	}
+	if !strings.Contains(out, "AVG count of person") {
+		t.Errorf("missing aggregate description:\n%s", out)
+	}
+}

@@ -1,0 +1,59 @@
+package query
+
+import (
+	"sort"
+	"sync"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/video"
+)
+
+// CameraFeed is one camera's frames plus the per-camera operator stack.
+// Filter backends and detectors hold per-stream state (deterministic
+// per-frame RNG, clocks), so each feed brings its own.
+type CameraFeed struct {
+	CameraID string
+	Frames   []*video.Frame
+	Backend  filters.Backend
+	Detector detect.Detector
+}
+
+// CameraResult pairs a camera with its query result.
+type CameraResult struct {
+	CameraID string
+	Result   *Result
+}
+
+// RunMulti executes the same bound query over several camera feeds
+// concurrently, one goroutine per camera — the multi-camera deployment
+// the paper contrasts with Optasia ("a system that accepts input from
+// multiple cameras"). Results are returned sorted by camera id.
+func RunMulti(plan *Plan, feeds []CameraFeed, tol Tolerances) []CameraResult {
+	out := make([]CameraResult, len(feeds))
+	var wg sync.WaitGroup
+	for i, feed := range feeds {
+		wg.Add(1)
+		go func(i int, feed CameraFeed) {
+			defer wg.Done()
+			eng := &Engine{Backend: feed.Backend, Detector: feed.Detector, Tol: tol}
+			out[i] = CameraResult{CameraID: feed.CameraID, Result: eng.Run(plan, feed.Frames)}
+		}(i, feed)
+	}
+	wg.Wait()
+	sort.Slice(out, func(a, b int) bool { return out[a].CameraID < out[b].CameraID })
+	return out
+}
+
+// MergeResults combines per-camera results into totals.
+func MergeResults(results []CameraResult) Result {
+	var total Result
+	for _, r := range results {
+		total.FramesTotal += r.Result.FramesTotal
+		total.FilterPassed += r.Result.FilterPassed
+		total.DetectorCalls += r.Result.DetectorCalls
+		total.VirtualTime += r.Result.VirtualTime
+		total.Matched = append(total.Matched, r.Result.Matched...)
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+package query
+
+import (
+	"testing"
+
+	"vmq/internal/vql"
+)
+
+// The filter-stage comparison must never prune a frame whose true value
+// could satisfy the predicate given the estimate's tolerance band — the
+// soundness property behind Table III's accuracy column.
+func TestCmpWithToleranceSoundness(t *testing.T) {
+	ops := []vql.CmpOp{vql.CmpEQ, vql.CmpNEQ, vql.CmpLT, vql.CmpLE, vql.CmpGT, vql.CmpGE}
+	for _, op := range ops {
+		for tol := 0; tol <= 2; tol++ {
+			for truth := 0; truth <= 6; truth++ {
+				for value := 0; value <= 6; value++ {
+					if !op.Eval(truth, value) {
+						continue // predicate false: pruning is always fine
+					}
+					// Any estimate within ±tol of the truth must pass.
+					for est := truth - tol; est <= truth+tol; est++ {
+						e := est
+						if e < 0 {
+							e = 0
+						}
+						if !cmpWithTolerance(op, e, value, tol, false) {
+							t.Fatalf("op %s tol %d: truth %d satisfies %s %d but estimate %d pruned",
+								op, tol, truth, op, value, e)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Colour-bounded counts: the class estimate only upper-bounds the
+// colour-specific truth, so any truth in [0, est+tol] must pass.
+func TestCmpWithToleranceColorBounded(t *testing.T) {
+	ops := []vql.CmpOp{vql.CmpEQ, vql.CmpNEQ, vql.CmpLT, vql.CmpLE, vql.CmpGT, vql.CmpGE}
+	for _, op := range ops {
+		for tol := 0; tol <= 1; tol++ {
+			for est := 0; est <= 6; est++ {
+				for truth := 0; truth <= est+tol; truth++ {
+					for value := 0; value <= 6; value++ {
+						if !op.Eval(truth, value) {
+							continue
+						}
+						if !cmpWithTolerance(op, est, value, tol, true) {
+							t.Fatalf("colour op %s tol %d: class est %d, colour truth %d satisfies %s %d but pruned",
+								op, tol, est, truth, op, value)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Exact equality at zero tolerance still prunes: the filter is not
+// vacuous.
+func TestCmpWithToleranceStillPrunes(t *testing.T) {
+	if cmpWithTolerance(vql.CmpEQ, 5, 1, 0, false) {
+		t.Error("EQ did not prune a far-off estimate")
+	}
+	if cmpWithTolerance(vql.CmpGE, 0, 3, 1, false) {
+		t.Error("GE did not prune estimate 0 vs value 3 at tol 1")
+	}
+	if cmpWithTolerance(vql.CmpLE, 9, 3, 1, false) {
+		t.Error("LE did not prune estimate 9 vs value 3 at tol 1")
+	}
+	if cmpWithTolerance(vql.CmpEQ, 1, 5, 1, true) {
+		t.Error("colour EQ did not prune when class estimate far below target")
+	}
+}

@@ -1,0 +1,43 @@
+package query
+
+import (
+	"fmt"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/stream"
+	"vmq/internal/vql"
+)
+
+// RunWindows executes a windowed aggregate query over n consecutive
+// windows drawn from src, honouring the query's WINDOW clause (HOPPING
+// windows tile or skip; SLIDING windows overlap). Each window is estimated
+// independently with RunAggregate, which is how the paper's monitoring
+// deployment reports one value per batch window.
+func RunWindows(plan *Plan, src stream.Source, backend filters.Backend, det detect.Detector, n int, cfg AggregateConfig) ([]*AggregateResult, error) {
+	w := plan.Query.Window
+	if w == nil {
+		return nil, fmt.Errorf("query: RunWindows needs a WINDOW clause")
+	}
+	var (
+		wins []stream.Window
+		err  error
+	)
+	if w.Kind == vql.Sliding {
+		wins, err = stream.SlidingWindows(src, w.Size, w.Advance, n)
+	} else {
+		wins, err = stream.HoppingWindows(src, w.Size, w.Advance, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*AggregateResult, 0, n)
+	for _, win := range wins {
+		res, err := RunAggregate(plan, win.Frames, backend, det, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

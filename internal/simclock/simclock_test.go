@@ -1,0 +1,97 @@
+package simclock
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	k := New()
+	k.Charge(CostMaskRCNN, 3)
+	k.Charge(CostICFilter, 10)
+	want := 3*200*time.Millisecond + 10*1500*time.Microsecond
+	if got := k.Elapsed(); got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+	if got := k.Op("mask-rcnn"); got != 600*time.Millisecond {
+		t.Fatalf("Op(mask-rcnn) = %v", got)
+	}
+	if got := k.Calls("ic-filter"); got != 10 {
+		t.Fatalf("Calls(ic-filter) = %v", got)
+	}
+}
+
+func TestZeroAndNil(t *testing.T) {
+	var k *Clock
+	k.Charge(CostMaskRCNN, 1) // must not panic
+	if k.Elapsed() != 0 || k.Op("x") != 0 || k.Calls("x") != 0 {
+		t.Fatal("nil clock not zero")
+	}
+	if k.String() != "0s" {
+		t.Fatalf("nil String = %q", k.String())
+	}
+	var z Clock
+	z.Charge(CostICFilter, 0)
+	if z.Elapsed() != 0 {
+		t.Fatal("zero charge changed clock")
+	}
+}
+
+func TestReset(t *testing.T) {
+	k := New()
+	k.Charge(CostYOLOFull, 5)
+	k.Reset()
+	if k.Elapsed() != 0 || k.Calls("yolo-full") != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	k := New()
+	k.Charge(CostODFilter, 2)
+	k.Charge(CostMaskRCNN, 1)
+	s := k.String()
+	if !strings.Contains(s, "mask-rcnn") || !strings.Contains(s, "od-filter") {
+		t.Fatalf("String missing ops: %q", s)
+	}
+	// mask-rcnn sorts before od-filter.
+	if strings.Index(s, "mask-rcnn") > strings.Index(s, "od-filter") {
+		t.Fatalf("String not sorted: %q", s)
+	}
+}
+
+func TestConcurrentCharge(t *testing.T) {
+	k := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				k.Charge(CostICFilter, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := k.Calls("ic-filter"); got != 8000 {
+		t.Fatalf("Calls = %d, want 8000", got)
+	}
+}
+
+func TestPublishedCosts(t *testing.T) {
+	// Guard against accidental edits to the paper's constants.
+	if CostICFilter.PerCall != 1500*time.Microsecond {
+		t.Error("IC filter cost drifted from paper (1.5ms)")
+	}
+	if CostODFilter.PerCall != 1900*time.Microsecond {
+		t.Error("OD filter cost drifted from paper (1.9ms)")
+	}
+	if CostYOLOFull.PerCall != 15*time.Millisecond {
+		t.Error("YOLO cost drifted from paper (15ms)")
+	}
+	if CostMaskRCNN.PerCall != 200*time.Millisecond {
+		t.Error("Mask R-CNN cost drifted from paper (200ms)")
+	}
+}

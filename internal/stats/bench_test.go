@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func benchSeries(n, d int) ([]float64, [][]float64, []float64) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	ys := make([]float64, n)
+	zs := make([][]float64, n)
+	mu := make([]float64, d)
+	for i := range ys {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			ys[i] += row[j]
+		}
+		ys[i] += rng.NormFloat64() * 0.3
+		zs[i] = row
+	}
+	return ys, zs, mu
+}
+
+// BenchmarkControlVariate measures the single-CV estimator at a Table IV
+// sample size.
+func BenchmarkControlVariate(b *testing.B) {
+	ys, zs, _ := benchSeries(720, 1)
+	xs := make([]float64, len(zs))
+	for i := range zs {
+		xs[i] = zs[i][0]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ControlVariate(ys, xs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultipleControlVariates measures the vector-CV estimator with
+// three controls (the a3 configuration).
+func BenchmarkMultipleControlVariates(b *testing.B) {
+	ys, zs, mu := benchSeries(720, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MultipleControlVariates(ys, zs, mu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSPD(b *testing.B) {
+	a := [][]float64{{4, 2, 1}, {2, 5, 2}, {1, 2, 6}}
+	rhs := []float64{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSPD(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package stats implements the estimation machinery of Section III:
+// sampling-based aggregate estimates with their variance, the classical
+// control-variate (CV) estimator with the optimal coefficient
+// β* = Cov(Y,X)/Var(X), and its generalisation to multiple control
+// variates where β* = Σ_ZZ⁻¹ Σ_YZ is obtained by solving the sample
+// covariance system. The variance reduction factors reported in Table IV
+// come straight out of these estimators.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Summary holds the first two sample moments of a series.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) sample variance
+}
+
+// Summarize computes N, mean and unbiased variance of xs.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	v := 0.0
+	if n > 1 {
+		v = ss / float64(n-1)
+	}
+	return Summary{N: n, Mean: mean, Variance: v}
+}
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return math.Sqrt(s.Variance / float64(s.N))
+}
+
+// ConfidenceInterval returns the symmetric normal-approximation interval
+// mean ± z·stderr for the given z score (1.96 ≈ 95 %).
+func (s Summary) ConfidenceInterval(z float64) (lo, hi float64) {
+	h := z * s.StdErr()
+	return s.Mean - h, s.Mean + h
+}
+
+// Covariance returns the unbiased sample covariance of xs and ys.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Covariance length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx := Summarize(xs).Mean
+	my := Summarize(ys).Mean
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Correlation returns the Pearson correlation of xs and ys (0 when either
+// series is constant).
+func Correlation(xs, ys []float64) float64 {
+	vx := Summarize(xs).Variance
+	vy := Summarize(ys).Variance
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / math.Sqrt(vx*vy)
+}
+
+// CVResult reports a control-variate estimate next to the plain sampling
+// estimate it improves on.
+type CVResult struct {
+	// Plain is the naive sample-mean estimate of E[Y].
+	Plain Summary
+	// Estimate is the CV point estimate of E[Y].
+	Estimate float64
+	// Variance is the estimated variance of the CV estimator (per the
+	// (1-ρ²)σ²_Y/n formula, computed from residuals).
+	Variance float64
+	// Beta holds the fitted coefficient(s).
+	Beta []float64
+	// Reduction is Var(plain mean) / Var(CV estimate); Table IV's
+	// "variance reduction" column.
+	Reduction float64
+}
+
+// ControlVariate computes the single-CV estimator of E[Y] using X with
+// known (or estimated) control mean muX:
+//
+//	Ŷcv = Ȳ − β(X̄ − µX),  β* = S_XY / S_XX.
+func ControlVariate(ys, xs []float64, muX float64) (CVResult, error) {
+	if len(ys) != len(xs) {
+		return CVResult{}, errors.New("stats: control variate series length mismatch")
+	}
+	if len(ys) < 3 {
+		return CVResult{}, errors.New("stats: need at least 3 samples for control variates")
+	}
+	plain := Summarize(ys)
+	if plain.Variance == 0 {
+		// A constant response has nothing to reduce.
+		return CVResult{
+			Plain: plain, Estimate: plain.Mean,
+			Variance: 0, Beta: []float64{0}, Reduction: 1,
+		}, nil
+	}
+	sxx := Summarize(xs).Variance
+	if sxx == 0 {
+		// A constant control carries no information; fall back to plain.
+		return CVResult{
+			Plain: plain, Estimate: plain.Mean,
+			Variance: plain.Variance / float64(plain.N),
+			Beta:     []float64{0}, Reduction: 1,
+		}, nil
+	}
+	beta := Covariance(ys, xs) / sxx
+	xbar := Summarize(xs).Mean
+	est := plain.Mean - beta*(xbar-muX)
+	// Residual variance: Var(Y - beta X) / n.
+	res := make([]float64, len(ys))
+	for i := range ys {
+		res[i] = ys[i] - beta*xs[i]
+	}
+	rv := Summarize(res).Variance / float64(len(ys))
+	pv := plain.Variance / float64(plain.N)
+	red := math.Inf(1)
+	if rv > 0 {
+		red = pv / rv
+	}
+	return CVResult{Plain: plain, Estimate: est, Variance: rv, Beta: []float64{beta}, Reduction: red}, nil
+}
+
+// MultipleControlVariates computes the vector-CV estimator of E[Y] given d
+// controls zs (zs[i] is the length-d control vector of sample i) with
+// control means muZ:
+//
+//	Ŷcv = Ȳ − βᵀ(Z̄ − µZ),  β* = Σ_ZZ⁻¹ Σ_YZ.
+//
+// It also reports R², the squared multiple correlation coefficient, via
+// Var(Ŷcv) = (1−R²)·Var(Ȳ).
+func MultipleControlVariates(ys []float64, zs [][]float64, muZ []float64) (CVResult, error) {
+	n := len(ys)
+	if len(zs) != n {
+		return CVResult{}, errors.New("stats: control matrix row count mismatch")
+	}
+	if n < 4 {
+		return CVResult{}, errors.New("stats: need at least 4 samples for multiple control variates")
+	}
+	d := len(muZ)
+	for i, z := range zs {
+		if len(z) != d {
+			return CVResult{}, fmt.Errorf("stats: control row %d has %d entries, want %d", i, len(z), d)
+		}
+	}
+	plain := Summarize(ys)
+	if plain.Variance == 0 {
+		return CVResult{
+			Plain: plain, Estimate: plain.Mean,
+			Variance: 0, Beta: make([]float64, d), Reduction: 1,
+		}, nil
+	}
+
+	// Column means.
+	zbar := make([]float64, d)
+	for _, z := range zs {
+		for j, v := range z {
+			zbar[j] += v
+		}
+	}
+	for j := range zbar {
+		zbar[j] /= float64(n)
+	}
+
+	// Sample covariance matrix Σ_ZZ and vector Σ_YZ.
+	szz := make([][]float64, d)
+	for j := range szz {
+		szz[j] = make([]float64, d)
+	}
+	syz := make([]float64, d)
+	for i := 0; i < n; i++ {
+		dy := ys[i] - plain.Mean
+		for j := 0; j < d; j++ {
+			dj := zs[i][j] - zbar[j]
+			syz[j] += dy * dj
+			for k := j; k < d; k++ {
+				szz[j][k] += dj * (zs[i][k] - zbar[k])
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		syz[j] /= float64(n - 1)
+		for k := j; k < d; k++ {
+			szz[j][k] /= float64(n - 1)
+			szz[k][j] = szz[j][k]
+		}
+	}
+
+	beta, err := SolveSPD(szz, syz)
+	if err != nil {
+		return CVResult{}, fmt.Errorf("stats: singular control covariance: %w", err)
+	}
+
+	est := plain.Mean
+	for j := 0; j < d; j++ {
+		est -= beta[j] * (zbar[j] - muZ[j])
+	}
+	// Residual variance of Y - βᵀZ.
+	res := make([]float64, n)
+	for i := range ys {
+		r := ys[i]
+		for j := 0; j < d; j++ {
+			r -= beta[j] * zs[i][j]
+		}
+		res[i] = r
+	}
+	rv := Summarize(res).Variance / float64(n)
+	pv := plain.Variance / float64(plain.N)
+	red := math.Inf(1)
+	if rv > 0 {
+		red = pv / rv
+	}
+	return CVResult{Plain: plain, Estimate: est, Variance: rv, Beta: beta, Reduction: red}, nil
+}
+
+// RSquared returns the squared multiple correlation implied by a CV result
+// (1 − Var(cv)/Var(plain mean)), clamped to [0,1].
+func (r CVResult) RSquared() float64 {
+	pv := r.Plain.Variance / float64(max(r.Plain.N, 1))
+	if pv == 0 {
+		return 0
+	}
+	v := 1 - r.Variance/pv
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SolveSPD solves A x = b for a symmetric positive-definite matrix A using
+// Cholesky factorisation with a tiny diagonal ridge for numerical safety.
+func SolveSPD(a [][]float64, b []float64) ([]float64, error) {
+	d := len(a)
+	if d == 0 {
+		return nil, errors.New("stats: empty system")
+	}
+	// Copy with ridge.
+	m := make([][]float64, d)
+	trace := 0.0
+	for i := range a {
+		if len(a[i]) != d {
+			return nil, errors.New("stats: non-square matrix")
+		}
+		trace += a[i][i]
+	}
+	if trace <= 0 {
+		return nil, errors.New("stats: matrix not positive definite")
+	}
+	ridge := 1e-12 * trace / float64(d)
+	for i := range a {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i][i] += ridge
+	}
+	// Cholesky: m = L Lᵀ, stored in lower triangle.
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			s := m[i][j]
+			for k := 0; k < j; k++ {
+				s -= m[i][k] * m[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, errors.New("stats: matrix not positive definite")
+				}
+				m[i][i] = math.Sqrt(s)
+			} else {
+				m[i][j] = s / m[j][j]
+			}
+		}
+	}
+	// Forward substitution L y = b.
+	y := make([]float64, d)
+	for i := 0; i < d; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= m[i][k] * y[k]
+		}
+		y[i] = s / m[i][i]
+	}
+	// Back substitution Lᵀ x = y.
+	x := make([]float64, d)
+	for i := d - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < d; k++ {
+			s -= m[k][i] * x[k]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

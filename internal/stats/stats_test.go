@@ -1,0 +1,299 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Variance-2.5) > 1e-12 {
+		t.Fatalf("variance = %v, want 2.5", s.Variance)
+	}
+	if math.Abs(s.StdErr()-math.Sqrt(0.5)) > 1e-12 {
+		t.Fatalf("stderr = %v", s.StdErr())
+	}
+	lo, hi := s.ConfidenceInterval(1.96)
+	if lo >= s.Mean || hi <= s.Mean || math.Abs((hi-lo)/2-1.96*s.StdErr()) > 1e-12 {
+		t.Fatalf("CI = [%v, %v]", lo, hi)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 || z.StdErr() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	if one := Summarize([]float64{7}); one.Variance != 0 {
+		t.Fatal("single-sample variance not 0")
+	}
+}
+
+func TestCovarianceAndCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if c := Correlation(xs, ys); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", c)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if c := Correlation(xs, neg); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", c)
+	}
+	if c := Correlation(xs, []float64{5, 5, 5, 5}); c != 0 {
+		t.Fatalf("constant series correlation = %v", c)
+	}
+	if Covariance(xs, ys) != 2*Summarize(xs).Variance {
+		t.Fatal("covariance of y=2x should be 2 Var(x)")
+	}
+}
+
+func TestControlVariateReducesVariance(t *testing.T) {
+	// Y = X + small noise: the CV estimator should collapse most variance.
+	rng := rand.New(rand.NewPCG(1, 1))
+	const n = 2000
+	ys := make([]float64, n)
+	xs := make([]float64, n)
+	for i := range ys {
+		x := rng.NormFloat64() * 3
+		xs[i] = x
+		ys[i] = 2*x + 5 + rng.NormFloat64()*0.5
+	}
+	res, err := ControlVariate(ys, xs, 0) // true E[X] = 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Beta[0]-2) > 0.1 {
+		t.Fatalf("beta = %v, want ~2", res.Beta[0])
+	}
+	if math.Abs(res.Estimate-5) > 0.1 {
+		t.Fatalf("estimate = %v, want ~5", res.Estimate)
+	}
+	if res.Reduction < 50 {
+		t.Fatalf("reduction = %v, want large", res.Reduction)
+	}
+	if res.Variance >= res.Plain.Variance/float64(n) {
+		t.Fatal("CV variance not below plain variance")
+	}
+	if r2 := res.RSquared(); r2 < 0.9 {
+		t.Fatalf("R² = %v, want > 0.9", r2)
+	}
+}
+
+func TestControlVariateUnbiased(t *testing.T) {
+	// Across many independent replications the mean CV estimate must match
+	// the true mean (unbiasedness of the CV estimator).
+	rng := rand.New(rand.NewPCG(2, 2))
+	const reps, n = 300, 50
+	const trueMean = 10.0
+	var sum float64
+	for r := 0; r < reps; r++ {
+		ys := make([]float64, n)
+		xs := make([]float64, n)
+		for i := range ys {
+			x := rng.NormFloat64()
+			xs[i] = x
+			ys[i] = trueMean + 3*x + rng.NormFloat64()
+		}
+		res, err := ControlVariate(ys, xs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Estimate
+	}
+	if got := sum / reps; math.Abs(got-trueMean) > 0.05 {
+		t.Fatalf("mean CV estimate = %v, want ~%v", got, trueMean)
+	}
+}
+
+func TestControlVariateDegenerate(t *testing.T) {
+	ys := []float64{1, 2, 3, 4}
+	if _, err := ControlVariate(ys, []float64{1, 2}, 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ControlVariate([]float64{1, 2}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("too-few samples accepted")
+	}
+	// Constant control: falls back to plain estimate, reduction 1.
+	res, err := ControlVariate(ys, []float64{7, 7, 7, 7}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 2.5 || res.Reduction != 1 {
+		t.Fatalf("constant control: %+v", res)
+	}
+}
+
+// Property: the CV estimate is invariant under affine transforms of the
+// control — replacing X with aX+b (and µX with aµX+b) must not change the
+// estimate, because β* rescales accordingly.
+func TestControlVariateAffineInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 21))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.IntN(200)
+		ys := make([]float64, n)
+		xs := make([]float64, n)
+		for i := range ys {
+			x := rng.NormFloat64()
+			xs[i] = x
+			ys[i] = 3*x + rng.NormFloat64()
+		}
+		a := 0.5 + rng.Float64()*5
+		b := rng.NormFloat64() * 10
+		xs2 := make([]float64, n)
+		for i := range xs {
+			xs2[i] = a*xs[i] + b
+		}
+		r1, err1 := ControlVariate(ys, xs, 0)
+		r2, err2 := ControlVariate(ys, xs2, b)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(r1.Estimate-r2.Estimate) > 1e-8*math.Max(1, math.Abs(r1.Estimate)) {
+			t.Fatalf("affine transform changed estimate: %v vs %v", r1.Estimate, r2.Estimate)
+		}
+		if math.Abs(r1.Variance-r2.Variance) > 1e-8*math.Max(1e-12, r1.Variance) {
+			t.Fatalf("affine transform changed variance: %v vs %v", r1.Variance, r2.Variance)
+		}
+		if math.Abs(r2.Beta[0]*a-r1.Beta[0]) > 1e-6*math.Max(1, math.Abs(r1.Beta[0])) {
+			t.Fatalf("beta did not rescale: %v vs %v/a", r2.Beta[0], r1.Beta[0])
+		}
+	}
+}
+
+func TestMultipleControlVariates(t *testing.T) {
+	// Y = 1·Z1 + 2·Z2 + 20 + noise; two informative controls.
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n = 3000
+	ys := make([]float64, n)
+	zs := make([][]float64, n)
+	for i := range ys {
+		z1 := rng.NormFloat64() * 2
+		z2 := rng.NormFloat64()
+		zs[i] = []float64{z1, z2}
+		ys[i] = z1 + 2*z2 + 20 + rng.NormFloat64()*0.3
+	}
+	res, err := MultipleControlVariates(ys, zs, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Beta[0]-1) > 0.1 || math.Abs(res.Beta[1]-2) > 0.1 {
+		t.Fatalf("beta = %v, want ~[1 2]", res.Beta)
+	}
+	if math.Abs(res.Estimate-20) > 0.2 {
+		t.Fatalf("estimate = %v, want ~20", res.Estimate)
+	}
+	if res.Reduction < 20 {
+		t.Fatalf("reduction = %v", res.Reduction)
+	}
+}
+
+func TestMultipleCVBeatsBestSingle(t *testing.T) {
+	// When Y depends on two independent controls, using both must beat
+	// either alone.
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 4000
+	ys := make([]float64, n)
+	z1s := make([]float64, n)
+	z2s := make([]float64, n)
+	zs := make([][]float64, n)
+	for i := range ys {
+		z1 := rng.NormFloat64()
+		z2 := rng.NormFloat64()
+		z1s[i], z2s[i] = z1, z2
+		zs[i] = []float64{z1, z2}
+		ys[i] = z1 + z2 + rng.NormFloat64()*0.2
+	}
+	multi, err := MultipleControlVariates(ys, zs, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := ControlVariate(ys, z1s, 0)
+	s2, _ := ControlVariate(ys, z2s, 0)
+	if multi.Variance >= s1.Variance || multi.Variance >= s2.Variance {
+		t.Fatalf("multi CV (%v) did not beat singles (%v, %v)",
+			multi.Variance, s1.Variance, s2.Variance)
+	}
+}
+
+func TestMultipleCVErrors(t *testing.T) {
+	ys := []float64{1, 2, 3, 4, 5}
+	if _, err := MultipleControlVariates(ys, make([][]float64, 3), []float64{0}); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	zs := [][]float64{{1}, {2}, {3}, {4}, {5, 6}}
+	if _, err := MultipleControlVariates(ys, zs, []float64{0}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := MultipleControlVariates(ys[:3], [][]float64{{1}, {2}, {3}}, []float64{0}); err == nil {
+		t.Fatal("too-few samples accepted")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := [][]float64{{4, 2}, {2, 3}}
+	b := []float64{10, 8}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A x = b.
+	for i := range b {
+		got := a[i][0]*x[0] + a[i][1]*x[1]
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Fatalf("residual row %d: %v vs %v", i, got, b[i])
+		}
+	}
+	if _, err := SolveSPD(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := SolveSPD([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := SolveSPD([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestSolveSPDRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + rng.IntN(5)
+		// Build SPD as GᵀG + I.
+		g := make([][]float64, d)
+		for i := range g {
+			g[i] = make([]float64, d)
+			for j := range g[i] {
+				g[i][j] = rng.NormFloat64()
+			}
+		}
+		a := make([][]float64, d)
+		for i := range a {
+			a[i] = make([]float64, d)
+			for j := range a[i] {
+				for k := 0; k < d; k++ {
+					a[i][j] += g[k][i] * g[k][j]
+				}
+				if i == j {
+					a[i][j]++
+				}
+			}
+		}
+		b := make([]float64, d)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range b {
+			var got float64
+			for j := range x {
+				got += a[i][j] * x[j]
+			}
+			if math.Abs(got-b[i]) > 1e-8 {
+				t.Fatalf("residual %v vs %v", got, b[i])
+			}
+		}
+	}
+}

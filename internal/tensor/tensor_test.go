@@ -1,0 +1,294 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func close32(a, b float32, eps float64) bool {
+	return math.Abs(float64(a)-float64(b)) <= eps
+}
+
+func TestNewAndIndexing(t *testing.T) {
+	a := New(2, 3)
+	if a.Len() != 6 || a.Rank() != 2 || a.Dim(1) != 3 {
+		t.Fatalf("metadata wrong: %v", a)
+	}
+	a.Set(5, 1, 2)
+	if a.At(1, 2) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if a.Data[5] != 5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad shape", func() { New(0, 3) })
+	mustPanic("bad FromSlice", func() { FromSlice(make([]float32, 5), 2, 3) })
+	mustPanic("bad reshape", func() { New(2, 3).Reshape(4) })
+	mustPanic("oob index", func() { New(2, 2).At(2, 0) })
+	mustPanic("rank mismatch", func() { New(2, 2).At(1) })
+	mustPanic("add mismatch", func() { New(2).Add(New(3)) })
+	mustPanic("empty max", func() { FromSlice(nil).Max() })
+}
+
+func TestElementwise(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{4, 3, 2, 1}, 2, 2)
+	if got := a.Add(b); got.Data[0] != 5 || got.Data[3] != 5 {
+		t.Errorf("Add = %v", got.Data)
+	}
+	if got := a.Sub(b); got.Data[0] != -3 || got.Data[3] != 3 {
+		t.Errorf("Sub = %v", got.Data)
+	}
+	if got := a.Mul(b); got.Data[1] != 6 {
+		t.Errorf("Mul = %v", got.Data)
+	}
+	if got := a.Scale(2); got.Data[2] != 6 {
+		t.Errorf("Scale = %v", got.Data)
+	}
+	c := a.Clone()
+	c.AddInPlace(b)
+	if c.Data[0] != 5 {
+		t.Errorf("AddInPlace = %v", c.Data)
+	}
+	c = a.Clone()
+	c.AXPY(0.5, b)
+	if c.Data[0] != 3 {
+		t.Errorf("AXPY = %v", c.Data)
+	}
+	if a.Sum() != 10 || a.Mean() != 2.5 {
+		t.Errorf("Sum/Mean = %v/%v", a.Sum(), a.Mean())
+	}
+	if a.Max() != 4 || a.ArgMax() != 3 {
+		t.Errorf("Max/ArgMax = %v/%v", a.Max(), a.ArgMax())
+	}
+	if a.Dot(b) != 4+6+6+4 {
+		t.Errorf("Dot = %v", a.Dot(b))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	c := a.Clone()
+	c.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares data")
+	}
+	r := a.Reshape(1, 2)
+	r.Data[0] = 42
+	if a.Data[0] != 42 {
+		t.Fatal("Reshape should share data")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i := range want {
+		if got.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", got.Data, want)
+		}
+	}
+}
+
+func TestMatMulTransposedAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.IntN(6), 1+rng.IntN(6), 1+rng.IntN(6)
+		a := New(m, k)
+		b := New(k, n)
+		a.RandN(rng, 1)
+		b.RandN(rng, 1)
+		want := MatMul(a, b)
+		got1 := MatMulT1(Transpose(a), b)
+		got2 := MatMulT2(a, Transpose(b))
+		for i := range want.Data {
+			if !close32(want.Data[i], got1.Data[i], 1e-4) {
+				t.Fatalf("MatMulT1 disagrees at %d: %v vs %v", i, got1.Data[i], want.Data[i])
+			}
+			if !close32(want.Data[i], got2.Data[i], 1e-4) {
+				t.Fatalf("MatMulT2 disagrees at %d: %v vs %v", i, got2.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		m, n := 1+rng.IntN(5), 1+rng.IntN(5)
+		a := New(m, n)
+		a.RandN(rng, 1)
+		b := Transpose(Transpose(a))
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 25; trial++ {
+		c := 1 + rng.IntN(3)
+		h := 3 + rng.IntN(8)
+		w := 3 + rng.IntN(8)
+		k := 1 + rng.IntN(3)
+		p := ConvParams{KH: k, KW: k, Stride: 1 + rng.IntN(2), Padding: rng.IntN(2)}
+		oh, ow := p.OutSize(h, w)
+		if oh <= 0 || ow <= 0 {
+			continue
+		}
+		outC := 1 + rng.IntN(4)
+		in := New(c, h, w)
+		in.RandN(rng, 1)
+		wt := New(outC, c, k, k)
+		wt.RandN(rng, 0.5)
+		bias := New(outC)
+		bias.RandN(rng, 0.1)
+		fast := Conv2D(in, wt, bias, p)
+		slow := Conv2DNaive(in, wt, bias, p)
+		if !fast.SameShape(slow) {
+			t.Fatalf("shape mismatch %v vs %v", fast.Shape, slow.Shape)
+		}
+		for i := range fast.Data {
+			if !close32(fast.Data[i], slow.Data[i], 1e-3) {
+				t.Fatalf("conv mismatch trial %d at %d: %v vs %v", trial, i, fast.Data[i], slow.Data[i])
+			}
+		}
+	}
+}
+
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> — the defining adjoint property that
+	// makes the conv backward pass correct.
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 10; trial++ {
+		c, h, w := 1+rng.IntN(2), 4+rng.IntN(4), 4+rng.IntN(4)
+		p := ConvParams{KH: 3, KW: 3, Stride: 1, Padding: 1}
+		x := New(c, h, w)
+		x.RandN(rng, 1)
+		cols := Im2Col(x, p)
+		y := New(cols.Shape...)
+		y.RandN(rng, 1)
+		lhs := cols.Dot(y)
+		rhs := x.Dot(Col2Im(y, c, h, w, p))
+		if math.Abs(lhs-rhs) > 1e-2*math.Max(1, math.Abs(lhs)) {
+			t.Fatalf("adjoint violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	p := ConvParams{KH: 3, KW: 3, Stride: 1, Padding: 1}
+	if oh, ow := p.OutSize(56, 56); oh != 56 || ow != 56 {
+		t.Fatalf("same-padding 3x3 should preserve 56x56, got %dx%d", oh, ow)
+	}
+	p2 := ConvParams{KH: 2, KW: 2, Stride: 2}
+	if oh, ow := p2.OutSize(8, 8); oh != 4 || ow != 4 {
+		t.Fatalf("stride-2 2x2 on 8x8: got %dx%d", oh, ow)
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out, arg := MaxPool2D(in, 2)
+	want := []float32{6, 8, 14, 16}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("MaxPool = %v, want %v", out.Data, want)
+		}
+	}
+	grad := New(1, 2, 2)
+	grad.Fill(1)
+	back := MaxPool2DBackward(grad, arg, []int{1, 4, 4})
+	// Gradient lands only at the max positions.
+	var n int
+	for _, v := range back.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("backward touched %d cells, want 4", n)
+	}
+	if back.At(0, 1, 1) != 1 || back.At(0, 3, 3) != 1 {
+		t.Fatal("gradient not at argmax")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := FromSlice([]float32{
+		1, 2, 3, 4, // channel 0: mean 2.5
+		10, 10, 10, 10, // channel 1: mean 10
+	}, 2, 2, 2)
+	out := GlobalAvgPool(in)
+	if out.Data[0] != 2.5 || out.Data[1] != 10 {
+		t.Fatalf("GAP = %v", out.Data)
+	}
+	g := FromSlice([]float32{4, 8}, 2)
+	back := GlobalAvgPoolBackward(g, 2, 2, 2)
+	if back.At(0, 0, 0) != 1 || back.At(1, 1, 1) != 2 {
+		t.Fatalf("GAP backward = %v", back.Data)
+	}
+	// Adjoint check: <GAP(x), g> == <x, GAPᵀ(g)>.
+	lhs := out.Dot(g)
+	rhs := in.Dot(back)
+	if math.Abs(lhs-rhs) > 1e-6 {
+		t.Fatalf("GAP adjoint violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestRandFill(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	a := New(1000)
+	a.RandN(rng, 2)
+	mean := a.Mean()
+	if math.Abs(mean) > 0.3 {
+		t.Errorf("RandN mean = %v, want ~0", mean)
+	}
+	a.RandUniform(rng, -1, 1)
+	if a.Max() > 1 {
+		t.Error("RandUniform out of range")
+	}
+	a.Fill(3)
+	if a.Data[500] != 3 {
+		t.Error("Fill failed")
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestString(t *testing.T) {
+	a := New(3, 3)
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,122 @@
+// Package track implements the greedy IoU tracker the paper relies on for
+// aggregate queries over time ("one has also to account for the trackid
+// assigned via object tracking to each blue car identified as it enters
+// and leaves the screen"). Detections in consecutive frames are matched to
+// existing tracks by highest IoU within the same class; unmatched
+// detections open new tracks and tracks unseen for MaxAge frames are
+// retired.
+package track
+
+import (
+	"sort"
+
+	"vmq/internal/detect"
+	"vmq/internal/geom"
+)
+
+// Track is one tracked object.
+type Track struct {
+	ID        int
+	Class     int // video.Class, kept as int to avoid import cycles in callers
+	Box       geom.Rect
+	FirstSeen int
+	LastSeen  int
+	Hits      int
+}
+
+// Tracker assigns stable ids to detections across frames.
+type Tracker struct {
+	// MinIoU is the association threshold (default 0.3).
+	MinIoU float64
+	// MaxAge is how many frames a track survives without a match
+	// (default 5).
+	MaxAge int
+
+	nextID int
+	tracks []*Track
+	frame  int
+}
+
+// New returns a Tracker with default thresholds.
+func New() *Tracker {
+	return &Tracker{MinIoU: 0.3, MaxAge: 5}
+}
+
+// Active returns the currently live tracks, ordered by id.
+func (t *Tracker) Active() []*Track {
+	out := append([]*Track(nil), t.tracks...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Update matches dets against live tracks and returns the track id
+// assigned to each detection (parallel to dets).
+func (t *Tracker) Update(dets []detect.Detection) []int {
+	t.frame++
+	ids := make([]int, len(dets))
+	for i := range ids {
+		ids[i] = -1
+	}
+
+	// Build all candidate (track, det) pairs above threshold and greedily
+	// take them by descending IoU.
+	type pair struct {
+		trk, det int
+		iou      float64
+	}
+	var pairs []pair
+	for ti, trk := range t.tracks {
+		for di, d := range dets {
+			if trk.Class != int(d.Class) {
+				continue
+			}
+			if iou := geom.IoU(trk.Box, d.Box); iou >= t.MinIoU {
+				pairs = append(pairs, pair{ti, di, iou})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].iou > pairs[j].iou })
+
+	usedTrk := make(map[int]bool)
+	usedDet := make(map[int]bool)
+	for _, p := range pairs {
+		if usedTrk[p.trk] || usedDet[p.det] {
+			continue
+		}
+		usedTrk[p.trk] = true
+		usedDet[p.det] = true
+		trk := t.tracks[p.trk]
+		trk.Box = dets[p.det].Box
+		trk.LastSeen = t.frame
+		trk.Hits++
+		ids[p.det] = trk.ID
+	}
+
+	// Open tracks for unmatched detections.
+	for di, d := range dets {
+		if usedDet[di] {
+			continue
+		}
+		trk := &Track{
+			ID:        t.nextID,
+			Class:     int(d.Class),
+			Box:       d.Box,
+			FirstSeen: t.frame,
+			LastSeen:  t.frame,
+			Hits:      1,
+		}
+		t.nextID++
+		t.tracks = append(t.tracks, trk)
+		ids[di] = trk.ID
+	}
+
+	// Retire stale tracks.
+	alive := t.tracks[:0]
+	for _, trk := range t.tracks {
+		if t.frame-trk.LastSeen <= t.MaxAge {
+			alive = append(alive, trk)
+		}
+	}
+	t.tracks = alive
+	return ids
+}

@@ -1,0 +1,117 @@
+package track
+
+import (
+	"testing"
+
+	"vmq/internal/detect"
+	"vmq/internal/geom"
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+)
+
+func det(class video.Class, x float64) detect.Detection {
+	return detect.Detection{Class: class, Box: geom.Rect{X0: x, Y0: 100, X1: x + 60, Y1: 140}}
+}
+
+func TestTrackerStableIDs(t *testing.T) {
+	tr := New()
+	// A car moving right 5px/frame keeps its id.
+	prev := tr.Update([]detect.Detection{det(video.Car, 10)})
+	if len(prev) != 1 || prev[0] != 0 {
+		t.Fatalf("first assignment = %v", prev)
+	}
+	for i := 1; i <= 20; i++ {
+		ids := tr.Update([]detect.Detection{det(video.Car, 10+float64(i)*5)})
+		if ids[0] != 0 {
+			t.Fatalf("frame %d: id changed to %d", i, ids[0])
+		}
+	}
+}
+
+func TestTrackerSeparateObjects(t *testing.T) {
+	tr := New()
+	ids := tr.Update([]detect.Detection{det(video.Car, 10), det(video.Car, 300)})
+	if ids[0] == ids[1] {
+		t.Fatal("distinct objects share an id")
+	}
+	ids2 := tr.Update([]detect.Detection{det(video.Car, 12), det(video.Car, 302)})
+	if ids2[0] != ids[0] || ids2[1] != ids[1] {
+		t.Fatalf("ids not stable: %v vs %v", ids2, ids)
+	}
+}
+
+func TestTrackerClassSeparation(t *testing.T) {
+	tr := New()
+	ids := tr.Update([]detect.Detection{det(video.Car, 10)})
+	// Same place, different class: must not inherit the car's track.
+	ids2 := tr.Update([]detect.Detection{det(video.Truck, 10)})
+	if ids2[0] == ids[0] {
+		t.Fatal("track crossed classes")
+	}
+}
+
+func TestTrackerRetirement(t *testing.T) {
+	tr := New()
+	tr.MaxAge = 2
+	tr.Update([]detect.Detection{det(video.Car, 10)})
+	for i := 0; i < 3; i++ {
+		tr.Update(nil)
+	}
+	if len(tr.Active()) != 0 {
+		t.Fatalf("stale track survived: %d active", len(tr.Active()))
+	}
+	// A reappearing object gets a fresh id.
+	ids := tr.Update([]detect.Detection{det(video.Car, 10)})
+	if ids[0] == 0 {
+		t.Fatal("retired id reused")
+	}
+}
+
+func TestTrackerGreedyPrefersBestIoU(t *testing.T) {
+	tr := New()
+	tr.Update([]detect.Detection{det(video.Car, 100)})
+	// Two candidates: one at 102 (high IoU), one at 140 (low IoU).
+	ids := tr.Update([]detect.Detection{det(video.Car, 140), det(video.Car, 102)})
+	if ids[1] != 0 {
+		t.Fatalf("best-IoU candidate not matched: %v", ids)
+	}
+	if ids[0] != 1 {
+		t.Fatalf("other candidate should open a new track: %v", ids)
+	}
+}
+
+func TestTrackerOnStream(t *testing.T) {
+	// Against the simulator the tracker should keep simulator track counts
+	// and tracker counts in the same ballpark over a short clip.
+	s := video.NewStream(video.Jackson(), 11)
+	o := detect.NewOracle(simclock.New())
+	tr := New()
+	trueIDs := map[int]bool{}
+	trackIDs := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		f := s.Next()
+		dets := o.Detect(f)
+		ids := tr.Update(dets)
+		for j, d := range dets {
+			if d.TrackID >= 0 {
+				trueIDs[d.TrackID] = true
+			}
+			if ids[j] >= 0 {
+				trackIDs[ids[j]] = true
+			}
+		}
+	}
+	if len(trackIDs) == 0 {
+		t.Fatal("tracker produced no tracks")
+	}
+	ratio := float64(len(trackIDs)) / float64(len(trueIDs)+1)
+	if ratio > 3 {
+		t.Fatalf("tracker fragmented: %d tracks vs %d true objects", len(trackIDs), len(trueIDs))
+	}
+	// Hits accumulate.
+	for _, trk := range tr.Active() {
+		if trk.Hits < 1 || trk.LastSeen < trk.FirstSeen {
+			t.Fatalf("inconsistent track %+v", trk)
+		}
+	}
+}

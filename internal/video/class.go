@@ -1,0 +1,136 @@
+// Package video is the streaming-video substrate: a deterministic scene
+// simulator and software rasteriser that stand in for the paper's Coral,
+// Jackson and Detrac recordings (which are not redistributable and whose
+// decoding would require video tooling Go lacks offline).
+//
+// A Stream produces Frames; each Frame carries the ground-truth object set
+// (class, colour, bounding box, track id) exactly as the paper's Mask R-CNN
+// annotation pass would produce, plus an on-demand rasteriser for the
+// trained-CNN filter backend. Dataset profiles reproduce the object-count
+// distribution and class mixes of Table II, which is what determines the
+// selectivities that drive every downstream experiment.
+package video
+
+import "fmt"
+
+// Class identifies an object class, a subset of MS-COCO labels matching
+// the paper's datasets.
+type Class int
+
+// Object classes.
+const (
+	Person Class = iota
+	Car
+	Bus
+	Truck
+	Bicycle
+	StopSign
+	numClasses
+)
+
+// NumClasses is the size of the class universe.
+const NumClasses = int(numClasses)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Person:
+		return "person"
+	case Car:
+		return "car"
+	case Bus:
+		return "bus"
+	case Truck:
+		return "truck"
+	case Bicycle:
+		return "bicycle"
+	case StopSign:
+		return "stop-sign"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ParseClass converts a class name to its Class, reporting whether it is
+// known. Matching is exact on the canonical lower-case names.
+func ParseClass(s string) (Class, bool) {
+	for c := Class(0); c < numClasses; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Color is an object colour attribute (the paper's example queries filter
+// on vehicle colour, e.g. "red car").
+type Color int
+
+// Object colours.
+const (
+	AnyColor Color = iota
+	Red
+	Blue
+	Green
+	White
+	Black
+	Yellow
+	numColors
+)
+
+// NumColors is the size of the colour universe.
+const NumColors = int(numColors)
+
+// String implements fmt.Stringer.
+func (c Color) String() string {
+	switch c {
+	case AnyColor:
+		return "any"
+	case Red:
+		return "red"
+	case Blue:
+		return "blue"
+	case Green:
+		return "green"
+	case White:
+		return "white"
+	case Black:
+		return "black"
+	case Yellow:
+		return "yellow"
+	default:
+		return fmt.Sprintf("Color(%d)", int(c))
+	}
+}
+
+// ParseColor converts a colour name to its Color, reporting whether it is
+// known.
+func ParseColor(s string) (Color, bool) {
+	for c := Color(0); c < numColors; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// RGB returns the rasteriser's base intensity triple for the colour,
+// each channel in [0,1].
+func (c Color) RGB() (r, g, b float32) {
+	switch c {
+	case Red:
+		return 0.9, 0.15, 0.15
+	case Blue:
+		return 0.15, 0.2, 0.9
+	case Green:
+		return 0.15, 0.8, 0.2
+	case White:
+		return 0.95, 0.95, 0.95
+	case Black:
+		return 0.1, 0.1, 0.1
+	case Yellow:
+		return 0.9, 0.85, 0.1
+	default:
+		return 0.5, 0.5, 0.5
+	}
+}

@@ -1,0 +1,82 @@
+package video
+
+import (
+	"fmt"
+
+	"vmq/internal/geom"
+)
+
+// Object is one ground-truth object instance in a frame.
+type Object struct {
+	// TrackID is stable while the object remains in the scene, assigned by
+	// the simulator (the paper's queries use track ids to associate
+	// aggregates with the same physical object across frames).
+	TrackID int
+	Class   Class
+	Color   Color
+	Box     geom.Rect
+	// Vel is the object's velocity in pixels/frame (simulator state,
+	// exposed for motion-aware extensions).
+	Vel geom.Point
+}
+
+// String implements fmt.Stringer.
+func (o Object) String() string {
+	return fmt.Sprintf("%s#%d(%s)@%v", o.Class, o.TrackID, o.Color, o.Box)
+}
+
+// Frame is one video frame: ground truth plus metadata. Pixels are
+// rasterised on demand (see Render) so that experiments which only need
+// the schema do not pay for drawing.
+type Frame struct {
+	CameraID string
+	Index    int // frame number within the stream
+	Bounds   geom.Rect
+	Objects  []Object
+}
+
+// Count returns the total number of objects in the frame.
+func (f *Frame) Count() int { return len(f.Objects) }
+
+// CountClass returns the number of objects of class c.
+func (f *Frame) CountClass(c Class) int {
+	n := 0
+	for _, o := range f.Objects {
+		if o.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// CountClassColor returns the number of objects of class c with colour col
+// (AnyColor matches every colour).
+func (f *Frame) CountClassColor(c Class, col Color) int {
+	n := 0
+	for _, o := range f.Objects {
+		if o.Class == c && (col == AnyColor || o.Color == col) {
+			n++
+		}
+	}
+	return n
+}
+
+// ObjectsOfClass returns the objects of class c in frame order.
+func (f *Frame) ObjectsOfClass(c Class) []Object {
+	var out []Object
+	for _, o := range f.Objects {
+		if o.Class == c {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ClassHistogram returns per-class counts indexed by Class.
+func (f *Frame) ClassHistogram() [NumClasses]int {
+	var h [NumClasses]int
+	for _, o := range f.Objects {
+		h[o.Class]++
+	}
+	return h
+}

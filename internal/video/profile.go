@@ -1,0 +1,173 @@
+package video
+
+import (
+	"time"
+
+	"vmq/internal/geom"
+)
+
+// ClassMix is a class with its relative frequency in a dataset.
+type ClassMix struct {
+	Class Class
+	P     float64
+}
+
+// ColorMix is a colour with its relative frequency among spawned vehicles.
+type ColorMix struct {
+	Color Color
+	P     float64
+}
+
+// Motion selects the simulator's kinematic model.
+type Motion int
+
+// Motion models.
+const (
+	// Linear objects enter from a screen edge and cross with roughly
+	// constant velocity (traffic cameras: Jackson, Detrac).
+	Linear Motion = iota
+	// Wander objects drift with a random walk inside the frame (the Coral
+	// aquarium camera).
+	Wander
+)
+
+// SizeRange bounds an object's rasterised width and height in pixels.
+type SizeRange struct {
+	MinW, MaxW float64
+	MinH, MaxH float64
+}
+
+// Profile describes a synthetic dataset. The count process is a clamped
+// AR(1) Gaussian: the per-frame target count has mean MeanObjs, stationary
+// standard deviation StdObjs, and lag-1 autocorrelation Phi; the scene
+// spawns and retires objects to follow it. This reproduces the object/frame
+// statistics of Table II with video-like temporal correlation.
+type Profile struct {
+	Name     string
+	FrameW   float64
+	FrameH   float64
+	FPS      int
+	MeanObjs float64
+	StdObjs  float64
+	Phi      float64
+	Motion   Motion
+	Classes  []ClassMix
+	Colors   []ColorMix
+	Sizes    map[Class]SizeRange
+	// Static objects present in every frame (e.g. a stop sign in a road
+	// surveillance scene). They do not count toward the AR(1) target.
+	Static []Object
+	// TrainSize and TestSize are the split sizes of Table II.
+	TrainSize int
+	TestSize  int
+}
+
+// Bounds returns the frame rectangle.
+func (p Profile) Bounds() geom.Rect { return geom.Rect{X0: 0, Y0: 0, X1: p.FrameW, Y1: p.FrameH} }
+
+// FramesIn converts a wall-clock duration to a frame count at the
+// profile's rate — the paper's "for more than say 10 minutes" thresholds
+// ("at typical 30 frames per second one can deduce when the count is
+// higher than a threshold whether the car maybe parked").
+func (p Profile) FramesIn(d time.Duration) int {
+	return int(d.Seconds() * float64(p.FPS))
+}
+
+// DurationOf converts a frame count to wall-clock time at the profile's
+// rate.
+func (p Profile) DurationOf(frames int) time.Duration {
+	if p.FPS <= 0 {
+		return 0
+	}
+	return time.Duration(float64(frames) / float64(p.FPS) * float64(time.Second))
+}
+
+func defaultSizes() map[Class]SizeRange {
+	return map[Class]SizeRange{
+		Person:   {22, 40, 50, 90},
+		Car:      {60, 110, 35, 60},
+		Bus:      {120, 200, 55, 90},
+		Truck:    {100, 170, 50, 85},
+		Bicycle:  {35, 60, 35, 60},
+		StopSign: {30, 40, 30, 40},
+	}
+}
+
+// Coral reproduces the 80-hour aquarium sequence: a single "person" class,
+// 8.7 objects/frame with standard deviation 5.1 (Table II), wandering
+// motion. Train 52000 frames, test 7215.
+func Coral() Profile {
+	return Profile{
+		Name:   "coral",
+		FrameW: 448, FrameH: 448, FPS: 30,
+		MeanObjs: 8.7, StdObjs: 5.1, Phi: 0.97,
+		Motion:    Wander,
+		Classes:   []ClassMix{{Person, 1.0}},
+		Colors:    []ColorMix{{White, 0.4}, {Yellow, 0.3}, {Blue, 0.3}},
+		Sizes:     defaultSizes(),
+		TrainSize: 52000, TestSize: 7215,
+	}
+}
+
+// Jackson reproduces the zoomed-in traffic intersection: 1.2 objects/frame
+// with standard deviation 0.5, classes car (80%) and person (20%)
+// (Table II). Train 14094 frames, test 3000. A stop sign is present as a
+// static scene element for the paper's Figure 1(b) style aggregate queries.
+func Jackson() Profile {
+	return Profile{
+		Name:   "jackson",
+		FrameW: 448, FrameH: 448, FPS: 30,
+		MeanObjs: 1.2, StdObjs: 0.5, Phi: 0.97,
+		Motion: Linear,
+		Classes: []ClassMix{
+			{Car, 0.8},
+			{Person, 0.2},
+		},
+		Colors: []ColorMix{
+			{White, 0.3}, {Black, 0.25}, {Red, 0.15}, {Blue, 0.15}, {Green, 0.1}, {Yellow, 0.05},
+		},
+		Sizes: defaultSizes(),
+		Static: []Object{{
+			TrackID: -1,
+			Class:   StopSign,
+			Color:   Red,
+			Box:     geom.Rect{X0: 380, Y0: 160, X1: 414, Y1: 194},
+		}},
+		TrainSize: 14094, TestSize: 3000,
+	}
+}
+
+// Detrac reproduces the DETRAC traffic benchmark: 15.8 objects/frame with
+// standard deviation 9.8, classes car (92%), bus (6%), truck (2%)
+// (Table II). Train 55020 frames, test 9971.
+func Detrac() Profile {
+	return Profile{
+		Name:   "detrac",
+		FrameW: 448, FrameH: 448, FPS: 25,
+		MeanObjs: 15.8, StdObjs: 9.8, Phi: 0.97,
+		Motion: Linear,
+		Classes: []ClassMix{
+			{Car, 0.92},
+			{Bus, 0.06},
+			{Truck, 0.02},
+		},
+		Colors: []ColorMix{
+			{White, 0.35}, {Black, 0.25}, {Red, 0.12}, {Blue, 0.12}, {Green, 0.08}, {Yellow, 0.08},
+		},
+		Sizes:     defaultSizes(),
+		TrainSize: 55020, TestSize: 9971,
+	}
+}
+
+// Profiles returns the three benchmark profiles in paper order.
+func Profiles() []Profile { return []Profile{Coral(), Jackson(), Detrac()} }
+
+// ProfileByName looks a profile up by its dataset name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

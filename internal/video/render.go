@@ -1,0 +1,90 @@
+package video
+
+import (
+	"math/rand/v2"
+
+	"vmq/internal/tensor"
+)
+
+// Render rasterises the frame's ground truth into a 3×h×w RGB tensor with
+// values in [0,1]. Objects are drawn back-to-front as filled rectangles in
+// their attribute colour with a per-class shape cue (people are drawn
+// taller with a head blob, vehicles carry a darker window band) so that a
+// CNN can discriminate classes, plus mild sensor noise. The rasteriser is
+// deterministic in (frame index, noiseSeed).
+func Render(f *Frame, h, w int, noiseSeed uint64) *tensor.Tensor {
+	img := tensor.New(3, h, w)
+	// Background: muted grey with a slight vertical gradient, like asphalt.
+	for y := 0; y < h; y++ {
+		shade := 0.35 + 0.1*float32(y)/float32(h)
+		for x := 0; x < w; x++ {
+			img.Data[0*h*w+y*w+x] = shade
+			img.Data[1*h*w+y*w+x] = shade
+			img.Data[2*h*w+y*w+x] = shade
+		}
+	}
+	sx := float64(w) / f.Bounds.W()
+	sy := float64(h) / f.Bounds.H()
+	for _, o := range f.Objects {
+		drawObject(img, o, sx, sy, h, w)
+	}
+	// Sensor noise.
+	rng := rand.New(rand.NewPCG(noiseSeed, uint64(f.Index)+1))
+	for i := range img.Data {
+		img.Data[i] += float32(rng.NormFloat64() * 0.02)
+		if img.Data[i] < 0 {
+			img.Data[i] = 0
+		} else if img.Data[i] > 1 {
+			img.Data[i] = 1
+		}
+	}
+	return img
+}
+
+func drawObject(img *tensor.Tensor, o Object, sx, sy float64, h, w int) {
+	r, g, b := o.Color.RGB()
+	box := o.Box.Scale(sx, sy)
+	x0, y0 := int(box.X0), int(box.Y0)
+	x1, y1 := int(box.X1), int(box.Y1)
+	fillRect(img, x0, y0, x1, y1, h, w, r, g, b)
+	switch o.Class {
+	case Person:
+		// Head blob: a lighter square on the top fifth.
+		hh := (y1 - y0) / 5
+		fillRect(img, x0+(x1-x0)/4, y0-hh, x0+3*(x1-x0)/4, y0, h, w, 0.95, 0.85, 0.7)
+	case Car, Truck, Bus:
+		// Window band on the upper third.
+		wy1 := y0 + (y1-y0)/3
+		fillRect(img, x0+2, y0+2, x1-2, wy1, h, w, 0.15, 0.2, 0.3)
+	case Bicycle:
+		// Two dark wheel squares.
+		ww := (x1 - x0) / 3
+		fillRect(img, x0, y1-ww, x0+ww, y1, h, w, 0.05, 0.05, 0.05)
+		fillRect(img, x1-ww, y1-ww, x1, y1, h, w, 0.05, 0.05, 0.05)
+	case StopSign:
+		// White border band.
+		fillRect(img, x0+1, y0+1, x1-1, y0+3, h, w, 0.95, 0.95, 0.95)
+	}
+}
+
+func fillRect(img *tensor.Tensor, x0, y0, x1, y1, h, w int, r, g, b float32) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			img.Data[0*h*w+y*w+x] = r
+			img.Data[1*h*w+y*w+x] = g
+			img.Data[2*h*w+y*w+x] = b
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package video
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"vmq/internal/geom"
+)
+
+// Stream generates frames from a Profile deterministically: the same
+// profile and seed always produce the same frame sequence, which keeps
+// every experiment reproducible.
+type Stream struct {
+	Profile Profile
+
+	rng      *rand.Rand
+	frameIdx int
+	level    float64 // AR(1) state for the target count
+	objects  []Object
+	nextID   int
+}
+
+// NewStream creates a stream over profile seeded with seed. The count
+// process starts at its stationary mean.
+func NewStream(profile Profile, seed uint64) *Stream {
+	s := &Stream{
+		Profile: profile,
+		rng:     rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		level:   profile.MeanObjs,
+	}
+	// Warm the scene so frame 0 is already populated and stationary.
+	for i := 0; i < 50; i++ {
+		s.step()
+	}
+	s.frameIdx = 0
+	return s
+}
+
+// Next produces the next frame.
+func (s *Stream) Next() *Frame {
+	s.step()
+	objs := make([]Object, 0, len(s.objects)+len(s.Profile.Static))
+	objs = append(objs, s.Profile.Static...)
+	objs = append(objs, s.objects...)
+	f := &Frame{
+		CameraID: s.Profile.Name,
+		Index:    s.frameIdx,
+		Bounds:   s.Profile.Bounds(),
+		Objects:  objs,
+	}
+	s.frameIdx++
+	return f
+}
+
+// Take returns the next n frames.
+func (s *Stream) Take(n int) []*Frame {
+	out := make([]*Frame, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// step advances the simulation by one frame.
+func (s *Stream) step() {
+	p := s.Profile
+	// AR(1) innovation keeping the stationary std at StdObjs.
+	sigma := p.StdObjs * math.Sqrt(1-p.Phi*p.Phi)
+	s.level = p.MeanObjs + p.Phi*(s.level-p.MeanObjs) + s.rng.NormFloat64()*sigma
+	target := int(math.Round(s.level))
+	if target < 0 {
+		target = 0
+	}
+
+	// Advance kinematics; drop objects that left the frame.
+	bounds := p.Bounds()
+	alive := s.objects[:0]
+	for _, o := range s.objects {
+		o.Box = o.Box.Translate(o.Vel)
+		if p.Motion == Wander {
+			// Random-walk steering plus reflection at the walls.
+			o.Vel.X += s.rng.NormFloat64() * 0.3
+			o.Vel.Y += s.rng.NormFloat64() * 0.3
+			o.Vel.X = clamp(o.Vel.X, -3, 3)
+			o.Vel.Y = clamp(o.Vel.Y, -3, 3)
+			if o.Box.X0 < 0 && o.Vel.X < 0 || o.Box.X1 > bounds.X1 && o.Vel.X > 0 {
+				o.Vel.X = -o.Vel.X
+			}
+			if o.Box.Y0 < 0 && o.Vel.Y < 0 || o.Box.Y1 > bounds.Y1 && o.Vel.Y > 0 {
+				o.Vel.Y = -o.Vel.Y
+			}
+			alive = append(alive, o)
+			continue
+		}
+		// Linear motion: retire once fully outside.
+		if o.Box.X1 < bounds.X0-10 || o.Box.X0 > bounds.X1+10 ||
+			o.Box.Y1 < bounds.Y0-10 || o.Box.Y0 > bounds.Y1+10 {
+			continue
+		}
+		alive = append(alive, o)
+	}
+	s.objects = alive
+
+	// Track the target count.
+	for len(s.objects) < target {
+		s.objects = append(s.objects, s.spawn())
+	}
+	for len(s.objects) > target {
+		i := s.rng.IntN(len(s.objects))
+		s.objects[i] = s.objects[len(s.objects)-1]
+		s.objects = s.objects[:len(s.objects)-1]
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (s *Stream) spawn() Object {
+	p := s.Profile
+	cls := s.pickClass()
+	col := s.pickColor(cls)
+	sz := p.Sizes[cls]
+	w := sz.MinW + s.rng.Float64()*(sz.MaxW-sz.MinW)
+	h := sz.MinH + s.rng.Float64()*(sz.MaxH-sz.MinH)
+	bounds := p.Bounds()
+
+	var box geom.Rect
+	var vel geom.Point
+	if p.Motion == Wander {
+		cx := bounds.X0 + w/2 + s.rng.Float64()*(bounds.W()-w)
+		cy := bounds.Y0 + h/2 + s.rng.Float64()*(bounds.H()-h)
+		box = geom.RectFromCenter(geom.Point{X: cx, Y: cy}, w, h)
+		vel = geom.Point{X: s.rng.NormFloat64(), Y: s.rng.NormFloat64()}
+	} else {
+		// Enter from the left or right edge, travelling across. Vertical
+		// position picks a "lane".
+		cy := bounds.Y0 + h/2 + s.rng.Float64()*(bounds.H()-h)
+		speed := 2 + s.rng.Float64()*4
+		if s.rng.IntN(2) == 0 {
+			box = geom.RectFromCenter(geom.Point{X: bounds.X0 + w/2 + s.rng.Float64()*bounds.W()*0.3, Y: cy}, w, h)
+			vel = geom.Point{X: speed}
+		} else {
+			box = geom.RectFromCenter(geom.Point{X: bounds.X1 - w/2 - s.rng.Float64()*bounds.W()*0.3, Y: cy}, w, h)
+			vel = geom.Point{X: -speed}
+		}
+	}
+	o := Object{TrackID: s.nextID, Class: cls, Color: col, Box: box, Vel: vel}
+	s.nextID++
+	return o
+}
+
+func (s *Stream) pickClass() Class {
+	r := s.rng.Float64()
+	acc := 0.0
+	for _, cm := range s.Profile.Classes {
+		acc += cm.P
+		if r < acc {
+			return cm.Class
+		}
+	}
+	return s.Profile.Classes[len(s.Profile.Classes)-1].Class
+}
+
+func (s *Stream) pickColor(cls Class) Color {
+	if cls == Person {
+		// People are not colour-attributed in the paper's queries, but the
+		// rasteriser still needs a hue.
+		mix := s.Profile.Colors
+		return mix[s.rng.IntN(len(mix))].Color
+	}
+	r := s.rng.Float64()
+	acc := 0.0
+	for _, cm := range s.Profile.Colors {
+		acc += cm.P
+		if r < acc {
+			return cm.Color
+		}
+	}
+	return s.Profile.Colors[len(s.Profile.Colors)-1].Color
+}

@@ -1,0 +1,279 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClassAndColorParsing(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		got, ok := ParseClass(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseClass("unicorn"); ok {
+		t.Error("ParseClass accepted unknown class")
+	}
+	for c := Color(0); c < numColors; c++ {
+		got, ok := ParseColor(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseColor(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseColor("octarine"); ok {
+		t.Error("ParseColor accepted unknown colour")
+	}
+	if Class(99).String() == "" || Color(99).String() == "" {
+		t.Error("unknown String empty")
+	}
+	r, g, b := Red.RGB()
+	if r <= g || r <= b {
+		t.Error("Red.RGB not red-dominant")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(Jackson(), 42)
+	b := NewStream(Jackson(), 42)
+	for i := 0; i < 50; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa.Count() != fb.Count() {
+			t.Fatalf("frame %d count differs: %d vs %d", i, fa.Count(), fb.Count())
+		}
+		for j := range fa.Objects {
+			if fa.Objects[j] != fb.Objects[j] {
+				t.Fatalf("frame %d object %d differs", i, j)
+			}
+		}
+	}
+	c := NewStream(Jackson(), 43)
+	same := true
+	for i := 0; i < 50 && same; i++ {
+		fa, fc := a.Next(), c.Next()
+		if fa.Count() != fc.Count() {
+			same = false
+			break
+		}
+		for j := range fa.Objects {
+			if fa.Objects[j].Box != fc.Objects[j].Box {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical object sequences")
+	}
+}
+
+func TestStreamMatchesTableII(t *testing.T) {
+	cases := []struct {
+		profile Profile
+		meanTol float64
+		stdTol  float64
+	}{
+		{Coral(), 1.0, 1.3},
+		{Jackson(), 0.3, 0.3},
+		{Detrac(), 2.0, 2.5},
+	}
+	for _, c := range cases {
+		t.Run(c.profile.Name, func(t *testing.T) {
+			s := NewStream(c.profile, 7)
+			const n = 6000
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				f := s.Next()
+				// Static objects are scene furniture, excluded from the
+				// Table II count statistics.
+				cnt := float64(f.Count() - len(c.profile.Static))
+				sum += cnt
+				sumSq += cnt * cnt
+			}
+			mean := sum / n
+			std := math.Sqrt(sumSq/n - mean*mean)
+			if math.Abs(mean-c.profile.MeanObjs) > c.meanTol {
+				t.Errorf("mean obj/frame = %.2f, want %.2f±%.1f", mean, c.profile.MeanObjs, c.meanTol)
+			}
+			if math.Abs(std-c.profile.StdObjs) > c.stdTol {
+				t.Errorf("std obj/frame = %.2f, want %.2f±%.1f", std, c.profile.StdObjs, c.stdTol)
+			}
+		})
+	}
+}
+
+func TestClassMixMatchesProfile(t *testing.T) {
+	p := Detrac()
+	s := NewStream(p, 11)
+	counts := map[Class]int{}
+	total := 0
+	for i := 0; i < 3000; i++ {
+		f := s.Next()
+		for _, o := range f.Objects {
+			counts[o.Class]++
+			total++
+		}
+	}
+	for _, cm := range p.Classes {
+		got := float64(counts[cm.Class]) / float64(total)
+		if math.Abs(got-cm.P) > 0.05 {
+			t.Errorf("class %v frequency = %.3f, want %.3f", cm.Class, got, cm.P)
+		}
+	}
+}
+
+func TestObjectsStayRoughlyInBounds(t *testing.T) {
+	p := Coral()
+	s := NewStream(p, 3)
+	bounds := p.Bounds()
+	for i := 0; i < 500; i++ {
+		f := s.Next()
+		for _, o := range f.Objects {
+			c := o.Box.Center()
+			if c.X < bounds.X0-50 || c.X > bounds.X1+50 || c.Y < bounds.Y0-50 || c.Y > bounds.Y1+50 {
+				t.Fatalf("frame %d: object far out of bounds: %v", i, o)
+			}
+		}
+	}
+}
+
+func TestTrackIDsStableAndUnique(t *testing.T) {
+	s := NewStream(Jackson(), 5)
+	seen := map[int]Class{}
+	for i := 0; i < 300; i++ {
+		f := s.Next()
+		ids := map[int]bool{}
+		for _, o := range f.Objects {
+			if o.TrackID < 0 {
+				continue // static furniture
+			}
+			if ids[o.TrackID] {
+				t.Fatalf("frame %d: duplicate track id %d", i, o.TrackID)
+			}
+			ids[o.TrackID] = true
+			if cls, ok := seen[o.TrackID]; ok && cls != o.Class {
+				t.Fatalf("track %d changed class %v -> %v", o.TrackID, cls, o.Class)
+			}
+			seen[o.TrackID] = o.Class
+		}
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct tracks over 300 frames", len(seen))
+	}
+}
+
+func TestFrameHelpers(t *testing.T) {
+	s := NewStream(Jackson(), 9)
+	var f *Frame
+	for i := 0; i < 200; i++ {
+		f = s.Next()
+		if f.CountClass(Car) > 0 {
+			break
+		}
+	}
+	if f.CountClass(Car) == 0 {
+		t.Skip("no car appeared in 200 frames (unexpected)")
+	}
+	hist := f.ClassHistogram()
+	if hist[Car] != f.CountClass(Car) {
+		t.Error("histogram disagrees with CountClass")
+	}
+	if len(f.ObjectsOfClass(Car)) != f.CountClass(Car) {
+		t.Error("ObjectsOfClass length disagrees")
+	}
+	if f.CountClassColor(Car, AnyColor) != f.CountClass(Car) {
+		t.Error("AnyColor should match every colour")
+	}
+	sum := 0
+	for col := Color(1); col < numColors; col++ {
+		sum += f.CountClassColor(Car, col)
+	}
+	if sum != f.CountClass(Car) {
+		t.Error("colour counts do not partition class count")
+	}
+}
+
+func TestStaticObjectsAlwaysPresent(t *testing.T) {
+	p := Jackson()
+	s := NewStream(p, 1)
+	for i := 0; i < 100; i++ {
+		f := s.Next()
+		if f.CountClass(StopSign) != 1 {
+			t.Fatalf("frame %d: stop sign missing", i)
+		}
+	}
+}
+
+func TestTake(t *testing.T) {
+	s := NewStream(Jackson(), 2)
+	fs := s.Take(10)
+	if len(fs) != 10 {
+		t.Fatalf("Take returned %d frames", len(fs))
+	}
+	for i, f := range fs {
+		if f.Index != i {
+			t.Fatalf("frame %d has index %d", i, f.Index)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := NewStream(Jackson(), 4)
+	f := s.Next()
+	img := Render(f, 64, 64, 1)
+	if img.Shape[0] != 3 || img.Shape[1] != 64 || img.Shape[2] != 64 {
+		t.Fatalf("Render shape %v", img.Shape)
+	}
+	for _, v := range img.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel out of range: %v", v)
+		}
+	}
+	// Deterministic given identical seed.
+	img2 := Render(f, 64, 64, 1)
+	for i := range img.Data {
+		if img.Data[i] != img2.Data[i] {
+			t.Fatal("Render not deterministic")
+		}
+	}
+	// Frames with objects should differ from an empty render.
+	empty := &Frame{CameraID: "x", Index: f.Index, Bounds: f.Bounds}
+	img3 := Render(empty, 64, 64, 1)
+	diff := 0.0
+	for i := range img.Data {
+		diff += math.Abs(float64(img.Data[i] - img3.Data[i]))
+	}
+	if diff < 1 {
+		t.Error("rendered objects indistinguishable from empty frame")
+	}
+}
+
+func TestFrameTimeConversions(t *testing.T) {
+	p := Jackson() // 30 fps
+	if got := p.FramesIn(10 * time.Minute); got != 18000 {
+		t.Fatalf("FramesIn(10m) = %d, want 18000", got)
+	}
+	if got := p.DurationOf(18000); got != 10*time.Minute {
+		t.Fatalf("DurationOf(18000) = %v, want 10m", got)
+	}
+	if got := p.DurationOf(p.FramesIn(7 * time.Second)); got != 7*time.Second {
+		t.Fatalf("roundtrip = %v", got)
+	}
+	var zero Profile
+	if zero.DurationOf(100) != 0 {
+		t.Fatal("zero-FPS DurationOf not 0")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("ProfileByName(%q) failed", p.Name)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("ProfileByName accepted unknown name")
+	}
+}

@@ -1,0 +1,313 @@
+package vql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a parsed VQL statement.
+type Query struct {
+	Select Select
+	Source string
+	// Detector names the object detector of the paper's PROCESS clause
+	// ("PROCESS inputVideo ... USING VehDetector"). Empty means the
+	// engine default.
+	Detector string
+	// Produce lists the attributes of the PROCESS clause, kept for
+	// round-tripping; the engine's schema is fixed.
+	Produce []string
+	Where   Expr // nil means "every frame"
+	Window  *WindowSpec
+}
+
+// String renders the query back to (canonical) VQL text.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(q.Select.String())
+	b.WriteString(" FROM ")
+	if q.Detector != "" || len(q.Produce) > 0 {
+		b.WriteString("(PROCESS ")
+		b.WriteString(q.Source)
+		if len(q.Produce) > 0 {
+			b.WriteString(" PRODUCE ")
+			b.WriteString(strings.Join(q.Produce, ", "))
+		}
+		if q.Detector != "" {
+			b.WriteString(" USING ")
+			b.WriteString(q.Detector)
+		}
+		b.WriteString(")")
+	} else {
+		b.WriteString(q.Source)
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if q.Window != nil {
+		kind := "HOPPING"
+		if q.Window.Kind == Sliding {
+			kind = "SLIDING"
+		}
+		fmt.Fprintf(&b, " WINDOW %s (SIZE %d, ADVANCE BY %d)", kind, q.Window.Size, q.Window.Advance)
+	}
+	return b.String()
+}
+
+// SelectKind distinguishes monitoring queries (emit qualifying frames)
+// from the two aggregate forms of Section III.
+type SelectKind int
+
+// Select kinds.
+const (
+	// SelectFrames reports every qualifying frame (a monitoring query).
+	SelectFrames SelectKind = iota
+	// SelectFrameCount reports the number of qualifying frames per window.
+	SelectFrameCount
+	// SelectAvg reports the average of a per-frame count (e.g. average
+	// number of bicycles in a bike lane) over qualifying frames.
+	SelectAvg
+)
+
+// Select is the projection clause.
+type Select struct {
+	Kind SelectKind
+	// Agg is the aggregated target for SelectAvg.
+	Agg *AggTarget
+}
+
+// String implements fmt.Stringer.
+func (s Select) String() string {
+	switch s.Kind {
+	case SelectFrames:
+		return "FRAMES"
+	case SelectFrameCount:
+		return "COUNT(FRAMES)"
+	case SelectAvg:
+		return fmt.Sprintf("AVG(%s)", s.Agg.String())
+	default:
+		return fmt.Sprintf("Select(%d)", int(s.Kind))
+	}
+}
+
+// AggTarget is the COUNT(class [IN region]) inside an AVG projection.
+type AggTarget struct {
+	Target ClassRef
+	Region *Region
+}
+
+// String implements fmt.Stringer.
+func (a *AggTarget) String() string {
+	if a.Region != nil {
+		return fmt.Sprintf("COUNT(%s IN %s)", a.Target.String(), a.Region.String())
+	}
+	return fmt.Sprintf("COUNT(%s)", a.Target.String())
+}
+
+// WindowKind distinguishes batch (hopping) from overlapping (sliding)
+// windows.
+type WindowKind int
+
+// Window kinds.
+const (
+	Hopping WindowKind = iota
+	Sliding
+)
+
+// WindowSpec is the paper's WINDOW HOPPING clause, extended with SLIDING
+// for overlapping windows (advance < size).
+type WindowSpec struct {
+	Kind    WindowKind
+	Size    int
+	Advance int
+}
+
+// ClassRef names an object class with an optional colour attribute:
+// car, car[red], stop-sign.
+type ClassRef struct {
+	Class string
+	Color string // empty means any colour
+}
+
+// String implements fmt.Stringer.
+func (c ClassRef) String() string {
+	if c.Color != "" {
+		return fmt.Sprintf("%s[%s]", c.Class, c.Color)
+	}
+	return c.Class
+}
+
+// CmpOp is a comparison operator in count predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNEQ
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String implements fmt.Stringer.
+func (o CmpOp) String() string {
+	switch o {
+	case CmpEQ:
+		return "="
+	case CmpNEQ:
+		return "!="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(o))
+	}
+}
+
+// Eval applies the operator to (lhs, rhs).
+func (o CmpOp) Eval(lhs, rhs int) bool {
+	switch o {
+	case CmpEQ:
+		return lhs == rhs
+	case CmpNEQ:
+		return lhs != rhs
+	case CmpLT:
+		return lhs < rhs
+	case CmpLE:
+		return lhs <= rhs
+	case CmpGT:
+		return lhs > rhs
+	case CmpGE:
+		return lhs >= rhs
+	default:
+		return false
+	}
+}
+
+// Region is a screen area: a named quadrant or an explicit rectangle in
+// frame coordinates.
+type Region struct {
+	Quadrant       string // "lower-left" etc.; empty when Rect is set
+	X0, Y0, X1, Y1 float64
+}
+
+// String implements fmt.Stringer.
+func (r *Region) String() string {
+	if r.Quadrant != "" {
+		return fmt.Sprintf("QUADRANT(%s)", strings.ToUpper(strings.ReplaceAll(r.Quadrant, "-", " ")))
+	}
+	return fmt.Sprintf("RECT(%g,%g,%g,%g)", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// Expr is a boolean predicate over one frame.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// AndExpr is conjunction.
+type AndExpr struct{ L, R Expr }
+
+// OrExpr is disjunction.
+type OrExpr struct{ L, R Expr }
+
+// NotExpr is negation.
+type NotExpr struct{ E Expr }
+
+// CountPred compares an object count with a constant: COUNT(car) = 2,
+// COUNT(*) >= 3.
+type CountPred struct {
+	All    bool // COUNT(*)
+	Target ClassRef
+	Op     CmpOp
+	Value  int
+}
+
+// SpatialPred is a directional constraint between two object classes:
+// car LEFT OF truck.
+type SpatialPred struct {
+	A, B ClassRef
+	Rel  string // "left-of", "right-of", "above", "below"
+}
+
+// RegionPred constrains objects relative to a screen region. With Count
+// false it asserts existence (car IN QUADRANT(LOWER LEFT)); with Count
+// true it compares the number of qualifying objects
+// (COUNT(person IN QUADRANT(LOWER LEFT)) >= 2).
+type RegionPred struct {
+	Target ClassRef
+	Region Region
+	Count  bool
+	Op     CmpOp
+	Value  int
+	Negate bool // NOT IN (bicycle NOT IN bike lane)
+}
+
+func (*AndExpr) isExpr()     {}
+func (*OrExpr) isExpr()      {}
+func (*NotExpr) isExpr()     {}
+func (*CountPred) isExpr()   {}
+func (*SpatialPred) isExpr() {}
+func (*RegionPred) isExpr()  {}
+
+// String implements fmt.Stringer.
+func (e *AndExpr) String() string { return fmt.Sprintf("(%s AND %s)", e.L, e.R) }
+
+// String implements fmt.Stringer.
+func (e *OrExpr) String() string { return fmt.Sprintf("(%s OR %s)", e.L, e.R) }
+
+// String implements fmt.Stringer.
+func (e *NotExpr) String() string { return fmt.Sprintf("NOT %s", e.E) }
+
+// String implements fmt.Stringer.
+func (e *CountPred) String() string {
+	target := "*"
+	if !e.All {
+		target = e.Target.String()
+	}
+	return fmt.Sprintf("COUNT(%s) %s %d", target, e.Op, e.Value)
+}
+
+// String implements fmt.Stringer.
+func (e *SpatialPred) String() string {
+	rel := map[string]string{
+		"left-of": "LEFT OF", "right-of": "RIGHT OF", "above": "ABOVE", "below": "BELOW",
+	}[e.Rel]
+	return fmt.Sprintf("%s %s %s", e.A, rel, e.B)
+}
+
+// String implements fmt.Stringer.
+func (e *RegionPred) String() string {
+	if e.Count {
+		return fmt.Sprintf("COUNT(%s IN %s) %s %d", e.Target, e.Region.String(), e.Op, e.Value)
+	}
+	if e.Negate {
+		return fmt.Sprintf("%s NOT IN %s", e.Target, e.Region.String())
+	}
+	return fmt.Sprintf("%s IN %s", e.Target, e.Region.String())
+}
+
+// Walk visits every node of the expression tree in depth-first order.
+func Walk(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *AndExpr:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *OrExpr:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *NotExpr:
+		Walk(n.E, visit)
+	}
+}

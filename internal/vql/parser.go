@@ -1,0 +1,512 @@
+package vql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse compiles a VQL statement into its AST.
+func Parse(input string) (*Query, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(EOF) {
+		return nil, errf(p.peek().Pos, "unexpected %q after query", p.peek().Text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k TokenKind) bool { return p.peek().Kind == k }
+
+// atKeyword reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == IDENT && strings.EqualFold(t.Text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errf(p.peek().Pos, "expected %s, found %q", strings.ToUpper(kw), p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.peek().Pos, "expected %s, found %q", k, p.peek().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	q := &Query{Select: sel}
+	if p.at(LPAREN) {
+		// The paper's full form: (PROCESS src [PRODUCE a, b, ...] [USING det]).
+		p.next()
+		if err := p.expectKeyword("process"); err != nil {
+			return nil, err
+		}
+		src, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		q.Source = strings.ToLower(src.Text)
+		if p.acceptKeyword("produce") {
+			for {
+				attr, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				q.Produce = append(q.Produce, attr.Text)
+				if !p.at(COMMA) {
+					break
+				}
+				p.next()
+			}
+		}
+		if p.acceptKeyword("using") {
+			det, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			q.Detector = det.Text
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		if q.Detector == "" && len(q.Produce) == 0 {
+			return nil, errf(p.peek().Pos, "PROCESS clause needs PRODUCE or USING")
+		}
+	} else {
+		src, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		q.Source = strings.ToLower(src.Text)
+	}
+	if p.acceptKeyword("where") {
+		q.Where, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("window") {
+		kind := Hopping
+		switch {
+		case p.acceptKeyword("hopping"):
+		case p.acceptKeyword("sliding"):
+			kind = Sliding
+		default:
+			return nil, errf(p.peek().Pos, "expected HOPPING or SLIDING, found %q", p.peek().Text)
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("size"); err != nil {
+			return nil, err
+		}
+		size, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(COMMA); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("advance"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		adv, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		if size <= 0 || adv <= 0 {
+			return nil, errf(p.peek().Pos, "window size and advance must be positive")
+		}
+		if kind == Hopping && adv < size {
+			return nil, errf(p.peek().Pos, "HOPPING windows need advance >= size; use WINDOW SLIDING for overlap")
+		}
+		q.Window = &WindowSpec{Kind: kind, Size: size, Advance: adv}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect() (Select, error) {
+	switch {
+	case p.acceptKeyword("frames"):
+		return Select{Kind: SelectFrames}, nil
+	case p.atKeyword("count"):
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return Select{}, err
+		}
+		if err := p.expectKeyword("frames"); err != nil {
+			return Select{}, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return Select{}, err
+		}
+		return Select{Kind: SelectFrameCount}, nil
+	case p.atKeyword("avg"):
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return Select{}, err
+		}
+		if err := p.expectKeyword("count"); err != nil {
+			return Select{}, err
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return Select{}, err
+		}
+		target, err := p.parseClassRef()
+		if err != nil {
+			return Select{}, err
+		}
+		agg := &AggTarget{Target: target}
+		if p.acceptKeyword("in") {
+			region, err := p.parseRegion()
+			if err != nil {
+				return Select{}, err
+			}
+			agg.Region = &region
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return Select{}, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return Select{}, err
+		}
+		return Select{Kind: SelectAvg, Agg: agg}, nil
+	default:
+		return Select{}, errf(p.peek().Pos, "expected FRAMES, COUNT(FRAMES) or AVG(...), found %q", p.peek().Text)
+	}
+}
+
+func (p *parser) parseInt() (int, error) {
+	t, err := p.expect(NUMBER)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(t.Text)
+	if err != nil {
+		return 0, errf(t.Pos, "expected integer, found %q", t.Text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseFloat() (float64, error) {
+	t, err := p.expect(NUMBER)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, errf(t.Pos, "expected number, found %q", t.Text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &OrExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseAtom()
+}
+
+// keywords that cannot start a class reference.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "window": true,
+	"and": true, "or": true, "not": true, "count": true, "avg": true,
+	"in": true, "left": true, "right": true, "above": true, "below": true,
+	"of": true, "quadrant": true, "rect": true, "frames": true,
+	"hopping": true, "size": true, "advance": true, "by": true,
+	"upper": true, "lower": true,
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	switch {
+	case p.at(LPAREN):
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.atKeyword("count"):
+		return p.parseCountPred()
+	case p.at(IDENT) && !reserved[strings.ToLower(p.peek().Text)]:
+		return p.parseObjectPred()
+	default:
+		return nil, errf(p.peek().Pos, "expected predicate, found %q", p.peek().Text)
+	}
+}
+
+// parseCountPred handles COUNT(*) op n, COUNT(class) op n and
+// COUNT(class IN region) op n.
+func (p *parser) parseCountPred() (Expr, error) {
+	p.next() // count
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if p.at(STAR) {
+		p.next()
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		op, v, err := p.parseCmpValue()
+		if err != nil {
+			return nil, err
+		}
+		return &CountPred{All: true, Op: op, Value: v}, nil
+	}
+	target, err := p.parseClassRef()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("in") {
+		region, err := p.parseRegion()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		op, v, err := p.parseCmpValue()
+		if err != nil {
+			return nil, err
+		}
+		return &RegionPred{Target: target, Region: region, Count: true, Op: op, Value: v}, nil
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	op, v, err := p.parseCmpValue()
+	if err != nil {
+		return nil, err
+	}
+	return &CountPred{Target: target, Op: op, Value: v}, nil
+}
+
+func (p *parser) parseCmpValue() (CmpOp, int, error) {
+	var op CmpOp
+	switch p.peek().Kind {
+	case EQ:
+		op = CmpEQ
+	case NEQ:
+		op = CmpNEQ
+	case LT:
+		op = CmpLT
+	case LE:
+		op = CmpLE
+	case GT:
+		op = CmpGT
+	case GE:
+		op = CmpGE
+	default:
+		return 0, 0, errf(p.peek().Pos, "expected comparison operator, found %q", p.peek().Text)
+	}
+	p.next()
+	v, err := p.parseInt()
+	return op, v, err
+}
+
+// parseObjectPred handles "class REL class", "class IN region" and
+// "class NOT IN region".
+func (p *parser) parseObjectPred() (Expr, error) {
+	a, err := p.parseClassRef()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atKeyword("left"), p.atKeyword("right"):
+		dir := strings.ToLower(p.next().Text)
+		if err := p.expectKeyword("of"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseClassRef()
+		if err != nil {
+			return nil, err
+		}
+		return &SpatialPred{A: a, B: b, Rel: dir + "-of"}, nil
+	case p.atKeyword("above"), p.atKeyword("below"):
+		rel := strings.ToLower(p.next().Text)
+		b, err := p.parseClassRef()
+		if err != nil {
+			return nil, err
+		}
+		return &SpatialPred{A: a, B: b, Rel: rel}, nil
+	case p.atKeyword("in"):
+		p.next()
+		region, err := p.parseRegion()
+		if err != nil {
+			return nil, err
+		}
+		return &RegionPred{Target: a, Region: region, Op: CmpGE, Value: 1}, nil
+	case p.atKeyword("not"):
+		p.next()
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		region, err := p.parseRegion()
+		if err != nil {
+			return nil, err
+		}
+		return &RegionPred{Target: a, Region: region, Negate: true, Op: CmpGE, Value: 1}, nil
+	default:
+		return nil, errf(p.peek().Pos, "expected spatial relation or IN after %q, found %q", a.String(), p.peek().Text)
+	}
+}
+
+func (p *parser) parseClassRef() (ClassRef, error) {
+	t, err := p.expect(IDENT)
+	if err != nil {
+		return ClassRef{}, err
+	}
+	if reserved[strings.ToLower(t.Text)] {
+		return ClassRef{}, errf(t.Pos, "reserved word %q cannot name a class", t.Text)
+	}
+	ref := ClassRef{Class: strings.ToLower(t.Text)}
+	if p.at(LBRACKET) {
+		p.next()
+		col, err := p.expect(IDENT)
+		if err != nil {
+			return ClassRef{}, err
+		}
+		ref.Color = strings.ToLower(col.Text)
+		if _, err := p.expect(RBRACKET); err != nil {
+			return ClassRef{}, err
+		}
+	}
+	return ref, nil
+}
+
+func (p *parser) parseRegion() (Region, error) {
+	switch {
+	case p.acceptKeyword("quadrant"):
+		if _, err := p.expect(LPAREN); err != nil {
+			return Region{}, err
+		}
+		var parts []string
+		for p.at(IDENT) {
+			parts = append(parts, strings.ToLower(p.next().Text))
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return Region{}, err
+		}
+		name := strings.Join(parts, "-")
+		switch name {
+		case "upper-left", "upper-right", "lower-left", "lower-right":
+			return Region{Quadrant: name}, nil
+		default:
+			return Region{}, errf(p.peek().Pos, "unknown quadrant %q", name)
+		}
+	case p.acceptKeyword("rect"):
+		if _, err := p.expect(LPAREN); err != nil {
+			return Region{}, err
+		}
+		var coords [4]float64
+		for i := 0; i < 4; i++ {
+			v, err := p.parseFloat()
+			if err != nil {
+				return Region{}, err
+			}
+			coords[i] = v
+			if i < 3 {
+				if _, err := p.expect(COMMA); err != nil {
+					return Region{}, err
+				}
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return Region{}, err
+		}
+		if coords[2] <= coords[0] || coords[3] <= coords[1] {
+			return Region{}, errf(p.peek().Pos, "empty RECT region")
+		}
+		return Region{X0: coords[0], Y0: coords[1], X1: coords[2], Y1: coords[3]}, nil
+	default:
+		return Region{}, errf(p.peek().Pos, "expected QUADRANT(...) or RECT(...), found %q", p.peek().Text)
+	}
+}

@@ -1,0 +1,136 @@
+package vql
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// genQuery builds a random but valid query AST; rendering it with String
+// and reparsing must reproduce an identical rendering (a full grammar
+// round-trip property).
+func genQuery(rng *rand.Rand) *Query {
+	q := &Query{Source: pick(rng, "coral", "jackson", "detrac", "cam1")}
+	if rng.IntN(4) == 0 {
+		q.Detector = pick(rng, "maskrcnn", "yolo")
+		if rng.IntN(2) == 0 {
+			q.Produce = []string{"cameraID", "frameID"}
+		}
+	}
+	switch rng.IntN(3) {
+	case 0:
+		q.Select = Select{Kind: SelectFrames}
+	case 1:
+		q.Select = Select{Kind: SelectFrameCount}
+	default:
+		agg := &AggTarget{Target: genClassRef(rng)}
+		if rng.IntN(2) == 0 {
+			r := genRegion(rng)
+			agg.Region = &r
+		}
+		q.Select = Select{Kind: SelectAvg, Agg: agg}
+	}
+	if rng.IntN(5) > 0 {
+		q.Where = genExpr(rng, 3)
+	}
+	if rng.IntN(3) == 0 {
+		size := 1 + rng.IntN(9999)
+		if rng.IntN(2) == 0 {
+			// Hopping windows need advance >= size.
+			q.Window = &WindowSpec{Kind: Hopping, Size: size, Advance: size + rng.IntN(5000)}
+		} else {
+			q.Window = &WindowSpec{Kind: Sliding, Size: size, Advance: 1 + rng.IntN(9999)}
+		}
+	}
+	return q
+}
+
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth > 0 {
+		switch rng.IntN(6) {
+		case 0:
+			return &AndExpr{L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+		case 1:
+			return &OrExpr{L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+		case 2:
+			return &NotExpr{E: genExpr(rng, depth-1)}
+		}
+	}
+	switch rng.IntN(4) {
+	case 0:
+		return &CountPred{All: true, Op: CmpOp(rng.IntN(6)), Value: rng.IntN(20)}
+	case 1:
+		return &CountPred{Target: genClassRef(rng), Op: CmpOp(rng.IntN(6)), Value: rng.IntN(20)}
+	case 2:
+		rels := []string{"left-of", "right-of", "above", "below"}
+		return &SpatialPred{A: genClassRef(rng), B: genClassRef(rng), Rel: pick(rng, rels...)}
+	default:
+		rp := &RegionPred{Target: genClassRef(rng), Region: genRegion(rng)}
+		switch rng.IntN(3) {
+		case 0: // existence
+			rp.Op, rp.Value = CmpGE, 1
+		case 1: // negated existence
+			rp.Op, rp.Value, rp.Negate = CmpGE, 1, true
+		default: // counted
+			rp.Count = true
+			rp.Op = CmpOp(rng.IntN(6))
+			rp.Value = rng.IntN(10)
+		}
+		return rp
+	}
+}
+
+func genClassRef(rng *rand.Rand) ClassRef {
+	ref := ClassRef{Class: pick(rng, "car", "person", "bus", "truck", "bicycle", "stop-sign")}
+	if rng.IntN(3) == 0 {
+		ref.Color = pick(rng, "red", "blue", "green", "white", "black", "yellow")
+	}
+	return ref
+}
+
+func genRegion(rng *rand.Rand) Region {
+	if rng.IntN(2) == 0 {
+		return Region{Quadrant: pick(rng, "upper-left", "upper-right", "lower-left", "lower-right")}
+	}
+	x0 := float64(rng.IntN(100))
+	y0 := float64(rng.IntN(100))
+	return Region{X0: x0, Y0: y0, X1: x0 + 1 + float64(rng.IntN(300)), Y1: y0 + 1 + float64(rng.IntN(300))}
+}
+
+func pick(rng *rand.Rand, xs ...string) string { return xs[rng.IntN(len(xs))] }
+
+func TestRandomQueryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 42))
+	for i := 0; i < 2000; i++ {
+		q := genQuery(rng)
+		text := q.String()
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("iteration %d: generated query failed to parse:\n  %s\n  %v", i, text, err)
+		}
+		if got := parsed.String(); got != text {
+			t.Fatalf("iteration %d: round trip changed:\n  %s\n  %s", i, text, got)
+		}
+	}
+}
+
+// Parsing is total: arbitrary byte soup either parses or returns a
+// SyntaxError — it must never panic.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	alphabet := []byte("SELECT FRAMES COUNT WHERE AND OR NOT car ()[]<>=!*,0123456789 leftofquadrant#@\n\t")
+	for i := 0; i < 3000; i++ {
+		n := rng.IntN(60)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.IntN(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", buf, r)
+				}
+			}()
+			_, _ = Parse(string(buf))
+		}()
+	}
+}

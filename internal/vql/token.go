@@ -1,0 +1,193 @@
+// Package vql implements the declarative video query language of the
+// paper (whose syntax follows Lu et al.'s probabilistic-predicates
+// dialect): SELECT over a processed video source with WHERE predicates on
+// object counts, colours, spatial relations between objects and screen
+// regions, and WINDOW HOPPING clauses for streaming aggregates.
+//
+// The concrete grammar accepted here is a cleaned-up equivalent of the
+// paper's examples:
+//
+//	SELECT FRAMES FROM jackson
+//	WHERE COUNT(car) = 1 AND COUNT(person) = 1 AND car LEFT OF person
+//
+//	SELECT COUNT(FRAMES) FROM jackson
+//	WHERE car[blue] LEFT OF stop-sign
+//	WINDOW HOPPING (SIZE 5000, ADVANCE BY 5000)
+//
+//	SELECT AVG(COUNT(bicycle IN RECT(0,300,150,448))) FROM jackson
+//	WHERE COUNT(*) >= 1
+//
+// Keywords are case-insensitive; class, colour and dataset names are
+// lower-case identifiers (hyphens allowed, e.g. stop-sign).
+package vql
+
+import "fmt"
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	IDENT
+	NUMBER
+	LPAREN
+	RPAREN
+	LBRACKET
+	RBRACKET
+	COMMA
+	STAR
+	EQ  // =
+	NEQ // !=
+	LT
+	LE
+	GT
+	GE
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case EOF:
+		return "end of query"
+	case IDENT:
+		return "identifier"
+	case NUMBER:
+		return "number"
+	case LPAREN:
+		return "'('"
+	case RPAREN:
+		return "')'"
+	case LBRACKET:
+		return "'['"
+	case RBRACKET:
+		return "']'"
+	case COMMA:
+		return "','"
+	case STAR:
+		return "'*'"
+	case EQ:
+		return "'='"
+	case NEQ:
+		return "'!='"
+	case LT:
+		return "'<'"
+	case LE:
+		return "'<='"
+	case GT:
+		return "'>'"
+	case GE:
+		return "'>='"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// SyntaxError reports a parse failure with position context.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("vql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenises the input. Identifiers may contain letters, digits,
+// underscores and interior hyphens (stop-sign).
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, Token{LPAREN, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{RPAREN, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, Token{LBRACKET, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, Token{RBRACKET, "]", i})
+			i++
+		case c == ',':
+			toks = append(toks, Token{COMMA, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, Token{STAR, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, Token{EQ, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, Token{NEQ, "!=", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected '!'")
+			}
+		case c == '<':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, Token{LE, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{LT, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, Token{GE, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{GT, ">", i})
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, Token{NUMBER, input[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(input) && isIdentPart(input[j]) {
+				j++
+			}
+			// Interior hyphens only: trim a trailing hyphen run.
+			for j > i && input[j-1] == '-' {
+				j--
+			}
+			toks = append(toks, Token{IDENT, input[i:j], i})
+			i = j
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{EOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '-'
+}

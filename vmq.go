@@ -1,0 +1,221 @@
+// Package vmq is a from-scratch Go implementation of "Video Monitoring
+// Queries" (Koudas, Li, Xarchakos — ICDE 2020): declarative queries over
+// streaming video with count and spatial constraints, accelerated by
+// approximate IC/OD filters, with control-variate estimation for windowed
+// aggregates.
+//
+// The package is a facade over the internal implementation. A typical
+// monitoring query runs in three lines:
+//
+//	q, _ := vmq.ParseQuery(`SELECT FRAMES FROM jackson
+//	    WHERE COUNT(car) = 1 AND COUNT(person) = 1 AND car LEFT OF person`)
+//	sess := vmq.NewSession(vmq.Jackson(), 42)
+//	res, _ := sess.RunQuery(q, 3000)
+//
+// Aggregate queries with control variates (Section III of the paper) go
+// through RunAggregate; the experiment harness that regenerates every
+// table and figure of the paper's evaluation lives under Experiments.
+package vmq
+
+import (
+	"fmt"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/query"
+	"vmq/internal/simclock"
+	"vmq/internal/stream"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the single
+// source of truth while giving users one import.
+type (
+	// Profile describes a synthetic dataset (classes, density, motion).
+	Profile = video.Profile
+	// Frame is one video frame with ground-truth annotations.
+	Frame = video.Frame
+	// Object is one ground-truth object instance.
+	Object = video.Object
+	// Class identifies an object class (car, person, ...).
+	Class = video.Class
+	// Color is an object colour attribute.
+	Color = video.Color
+	// Query is a parsed VQL statement.
+	Query = vql.Query
+	// Plan is a query bound to a dataset profile.
+	Plan = query.Plan
+	// Tolerances selects filter variants (CCF-1/2, CLF-1/2).
+	Tolerances = query.Tolerances
+	// Result summarises a monitoring-query execution.
+	Result = query.Result
+	// AggregateResult is a windowed aggregate estimate with CV statistics.
+	AggregateResult = query.AggregateResult
+	// Backend produces filter estimates for frames.
+	Backend = filters.Backend
+	// Output is one filter forward pass (counts + location maps).
+	Output = filters.Output
+	// Detector is a full object detector (the confirmation stage).
+	Detector = detect.Detector
+	// Detection is one detected object.
+	Detection = detect.Detection
+	// Clock accounts virtual per-operator time.
+	Clock = simclock.Clock
+)
+
+// Object classes.
+const (
+	Person   = video.Person
+	Car      = video.Car
+	Bus      = video.Bus
+	Truck    = video.Truck
+	Bicycle  = video.Bicycle
+	StopSign = video.StopSign
+)
+
+// Dataset profiles matching Table II of the paper.
+var (
+	// Coral is the aquarium stream (8.7 persons/frame).
+	Coral = video.Coral
+	// Jackson is the traffic intersection (1.2 objects/frame).
+	Jackson = video.Jackson
+	// Detrac is the dense traffic benchmark (15.8 objects/frame).
+	Detrac = video.Detrac
+	// Datasets returns all three profiles in paper order.
+	Datasets = video.Profiles
+)
+
+// ParseQuery compiles a VQL statement.
+func ParseQuery(src string) (*Query, error) { return vql.Parse(src) }
+
+// Session bundles a dataset stream with the standard filter/detector
+// stack: an OD filter backend (the paper's best-performing family), the
+// Mask R-CNN-stand-in oracle detector, and a virtual clock.
+type Session struct {
+	Profile  Profile
+	Stream   *video.Stream
+	Backend  Backend
+	Detector Detector
+	Clock    *Clock
+	// Tol selects the filter variants used by RunQuery (default: CCF-1
+	// with CLF-1, a robust general-purpose combination).
+	Tol Tolerances
+
+	seed uint64
+}
+
+// NewSession creates a session over the profile with deterministic
+// behaviour for the given seed.
+func NewSession(p Profile, seed uint64) *Session {
+	clk := simclock.New()
+	return &Session{
+		Profile:  p,
+		Stream:   video.NewStream(p, seed),
+		Backend:  filters.NewODFilter(p, seed, clk),
+		Detector: detect.NewOracle(clk),
+		Clock:    clk,
+		Tol:      Tolerances{Count: 1, Location: 1},
+		seed:     seed,
+	}
+}
+
+// UseICFilters switches the session to the IC filter family.
+func (s *Session) UseICFilters() {
+	s.Backend = filters.NewICFilter(s.Profile, s.seed, s.Clock)
+}
+
+// Bind compiles and binds a query against the session's profile.
+func (s *Session) Bind(q *Query) (*Plan, error) { return query.Bind(q, s.Profile) }
+
+// detectorFor honours the query's USING clause: "maskrcnn"/"oracle" select
+// the exact annotator, "yolo" the simulated full-YOLOv2 pass. An empty
+// clause keeps the session default.
+func (s *Session) detectorFor(q *Query) (Detector, error) {
+	switch q.Detector {
+	case "":
+		return s.Detector, nil
+	case "maskrcnn", "oracle":
+		return detect.NewOracle(s.Clock), nil
+	case "yolo", "yolov2":
+		return detect.NewSimYOLO(s.Clock, s.seed), nil
+	default:
+		return nil, fmt.Errorf("vmq: unknown detector %q in USING clause", q.Detector)
+	}
+}
+
+// RunQuery executes a monitoring query over the next n frames of the
+// session's stream using the filter-then-detect cascade.
+func (s *Session) RunQuery(q *Query, n int) (*Result, error) {
+	plan, err := s.Bind(q)
+	if err != nil {
+		return nil, err
+	}
+	det, err := s.detectorFor(q)
+	if err != nil {
+		return nil, err
+	}
+	eng := &query.Engine{Backend: s.Backend, Detector: det, Tol: s.Tol}
+	return eng.Run(plan, s.Stream.Take(n)), nil
+}
+
+// RunQueryBrute executes the brute-force baseline (detector on every
+// frame) for comparison.
+func (s *Session) RunQueryBrute(q *Query, n int) (*Result, error) {
+	plan, err := s.Bind(q)
+	if err != nil {
+		return nil, err
+	}
+	eng := &query.Engine{Detector: s.Detector}
+	return eng.Run(plan, s.Stream.Take(n)), nil
+}
+
+// RunAggregate executes a windowed aggregate with sampling and (multiple)
+// control variates over the next window of frames. The window size is
+// taken from the query's WINDOW clause, or windowSize when absent.
+func (s *Session) RunAggregate(q *Query, windowSize, sampleSize int) (*AggregateResult, error) {
+	plan, err := s.Bind(q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Window != nil {
+		windowSize = q.Window.Size
+	}
+	if windowSize <= 0 {
+		return nil, fmt.Errorf("vmq: no window size (add a WINDOW clause or pass windowSize)")
+	}
+	frames := s.Stream.Take(windowSize)
+	return query.RunAggregate(plan, frames, s.Backend, s.Detector, query.AggregateConfig{
+		SampleSize:       sampleSize,
+		Sampler:          stream.NewUniformSampler(s.seed + 101),
+		MuFromFullWindow: true,
+	})
+}
+
+// GroundTruth evaluates the plan's predicate on simulator ground truth for
+// the given frames (no detector cost) — the reference for accuracy.
+func GroundTruth(plan *Plan, frames []*Frame) []bool { return query.GroundTruth(plan, frames) }
+
+// Score returns the paper's Table III accuracy measure (recall of true
+// frames) for a result against ground truth.
+func Score(res *Result, truth []bool) float64 { return query.Score(res, truth) }
+
+// TrainFilter trains a real CNN filter backend (package nn) on rendered
+// frames of the profile, following the paper's Eq. 2 multi-task training
+// recipe. It is laptop-slow (seconds to minutes depending on cfg) and
+// exists to validate the architecture; the calibrated backends are the
+// fast path.
+func TrainFilter(tech filters.Technique, p Profile, cfg filters.TrainedConfig) Backend {
+	return filters.TrainFilter(tech, p, cfg, simclock.New())
+}
+
+// Filter techniques.
+const (
+	// ICTechnique selects image-classification-style filters.
+	ICTechnique = filters.IC
+	// ODTechnique selects object-detection-style filters.
+	ODTechnique = filters.OD
+)
+
+// TrainedConfig configures TrainFilter.
+type TrainedConfig = filters.TrainedConfig
