@@ -6,11 +6,13 @@
 //	vmq datasets
 //	vmq query   -q 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' [-frames N] [-ctol K] [-ltol K] [-brute]
 //	vmq aggregate -q 'SELECT COUNT(FRAMES) FROM jackson WHERE car LEFT OF person' [-window N] [-samples K]
+//	vmq windows -q 'SELECT COUNT(FRAMES) FROM jackson WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 1000, ADVANCE BY 1000)' [-n N] [-samples K]
 //	vmq experiment -name tableII|fig7|fig11|fig15|tableIII|tableIV|constraint|branch|anomaly|all [-frames N] [-reps N]
 //	vmq train   [-dataset jackson] [-frames N] [-epochs N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +40,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "aggregate":
 		err = cmdAggregate(os.Args[2:])
+	case "windows":
+		err = cmdWindows(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "train":
@@ -62,6 +66,7 @@ commands:
   datasets     list the benchmark dataset profiles (Table II)
   query        run a monitoring query through the filter cascade
   aggregate    run a windowed aggregate with control variates
+  windows      run a windowed aggregate over n consecutive windows
   experiment   regenerate a paper table/figure (tableII, fig7, fig11,
                fig15, tableIII, tableIV, constraint, branch, anomaly, all)
   train        train a real CNN filter and report its accuracy`)
@@ -185,6 +190,42 @@ func cmdAggregate(args []string) error {
 	if q.Select.Kind == vql.SelectFrameCount {
 		fmt.Printf("window total:     %.1f frames estimated, %.1f true\n",
 			res.CV.Estimate*float64(res.WindowSize), res.TruePerFrameMean*float64(res.WindowSize))
+	}
+	return nil
+}
+
+func cmdWindows(args []string) error {
+	fs := flag.NewFlagSet("windows", flag.ExitOnError)
+	src := fs.String("q", "", "VQL aggregate query text (must carry a WINDOW clause)")
+	n := fs.Int("n", 5, "number of consecutive windows to estimate")
+	samples := fs.Int("samples", 200, "detector samples per window")
+	seed := fs.Uint64("seed", 42, "stream seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *src == "" {
+		return fmt.Errorf("windows: -q is required")
+	}
+	q, err := vmq.ParseQuery(*src)
+	if err != nil {
+		return err
+	}
+	p, err := profileOf(q)
+	if err != nil {
+		return err
+	}
+	sess := vmq.NewSession(p, *seed)
+	results, err := sess.RunWindows(q, *n, *samples)
+	if err != nil && !errors.Is(err, vmq.ErrStreamExhausted) {
+		return err
+	}
+	fmt.Printf("query: %s\n", q)
+	for i, r := range results {
+		fmt.Printf("window %2d: CV estimate %8.4f/frame (plain %8.4f, truth %8.4f, var reduced %.1fx)\n",
+			i, r.CV.Estimate, r.Plain.Mean, r.TruePerFrameMean, r.CV.Reduction)
+	}
+	if err != nil {
+		fmt.Printf("source exhausted after %d of %d windows\n", len(results), *n)
 	}
 	return nil
 }

@@ -63,4 +63,15 @@ func main() {
 	fmt.Printf("\nfleet total: %d matches, %v virtual pipeline time (brute force: %v)\n",
 		len(total.Matched), total.VirtualTime,
 		cameras*framesPerCam*simclock.CostMaskRCNN.PerCall)
+
+	// Merged matches keep their camera attribution — a bare frame index
+	// would be ambiguous across feeds. Print the first few alerts the way
+	// a monitoring console would.
+	for i, ref := range total.Matched {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(total.Matched)-5)
+			break
+		}
+		fmt.Printf("  alert: %s frame %d\n", ref.CameraID, ref.Index)
+	}
 }

@@ -24,7 +24,10 @@ func main() {
 
 	// A session bundles the synthetic stream, the OD filter backend
 	// (branching off a detector backbone, 1.9 ms/frame of virtual time)
-	// and the Mask R-CNN stand-in detector (200 ms/frame).
+	// and the Mask R-CNN stand-in detector (200 ms/frame). RunQuery pulls
+	// frames through the pipelined streaming executor: the filter stage
+	// fans out across a worker pool while the detector confirms survivors
+	// in frame order, so results are identical to a sequential scan.
 	const frames = 3000
 	sess := vmq.NewSession(vmq.Jackson(), 42)
 	sess.Tol = vmq.Tolerances{} // exact CCF, the paper's q3 configuration

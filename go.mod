@@ -1,0 +1,3 @@
+module vmq
+
+go 1.22

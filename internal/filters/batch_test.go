@@ -1,0 +1,80 @@
+package filters
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+)
+
+// EvaluateBatch through the calibrated backend's native batch path must
+// match per-frame Evaluate output exactly and charge the same total cost,
+// with a single clock transaction for the whole batch.
+func TestCalibratedEvaluateBatchMatchesEvaluate(t *testing.T) {
+	p := video.Detrac()
+	frames := video.NewStream(p, 6).Take(64)
+
+	single := NewODFilter(p, 6, simclock.New())
+	batchClk := simclock.New()
+	batched := NewODFilter(p, 6, batchClk)
+
+	outs := EvaluateBatch(batched, frames)
+	if len(outs) != len(frames) {
+		t.Fatalf("batch outputs = %d, want %d", len(outs), len(frames))
+	}
+	for i, f := range frames {
+		want := single.Evaluate(f)
+		if !reflect.DeepEqual(outs[i], want) {
+			t.Fatalf("frame %d: batch output diverged from Evaluate", i)
+		}
+	}
+	if got := batchClk.Calls("od-filter"); got != int64(len(frames)) {
+		t.Fatalf("batch clock charges = %d, want %d", got, len(frames))
+	}
+	if batchClk.Elapsed() != time.Duration(len(frames))*OD.Cost().PerCall {
+		t.Fatalf("batch clock elapsed = %v", batchClk.Elapsed())
+	}
+}
+
+// A backend without a native batch path gets the per-frame fallback.
+type plainBackend struct{ inner Backend }
+
+func (p *plainBackend) Technique() Technique            { return p.inner.Technique() }
+func (p *plainBackend) Grid() int                       { return p.inner.Grid() }
+func (p *plainBackend) Evaluate(f *video.Frame) *Output { return p.inner.Evaluate(f) }
+
+func TestEvaluateBatchFallback(t *testing.T) {
+	p := video.Jackson()
+	frames := video.NewStream(p, 7).Take(16)
+	clk := simclock.New()
+	b := &plainBackend{inner: NewICFilter(p, 7, clk)}
+	outs := EvaluateBatch(b, frames)
+	ref := NewICFilter(p, 7, nil)
+	for i, f := range frames {
+		if !reflect.DeepEqual(outs[i], ref.Evaluate(f)) {
+			t.Fatalf("fallback output %d diverged", i)
+		}
+	}
+	if got := clk.Calls("ic-filter"); got != int64(len(frames)) {
+		t.Fatalf("fallback charges = %d, want %d", got, len(frames))
+	}
+	// Empty batches are a no-op either way.
+	if got := EvaluateBatch(b, nil); len(got) != 0 {
+		t.Fatalf("empty batch produced %d outputs", len(got))
+	}
+	if got := EvaluateBatch(NewICFilter(p, 7, nil), nil); len(got) != 0 {
+		t.Fatalf("empty native batch produced %d outputs", len(got))
+	}
+}
+
+func TestConcurrentSafeDeclaration(t *testing.T) {
+	p := video.Jackson()
+	if !ConcurrentSafe(NewODFilter(p, 1, nil)) {
+		t.Fatal("calibrated backend should be concurrency-safe")
+	}
+	if ConcurrentSafe(&plainBackend{inner: NewODFilter(p, 1, nil)}) {
+		t.Fatal("undeclared backend must default to single-threaded")
+	}
+}

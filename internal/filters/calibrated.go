@@ -154,6 +154,28 @@ func (c *Calibrated) Grid() int { return c.G }
 // Evaluate implements Backend.
 func (c *Calibrated) Evaluate(f *video.Frame) *Output {
 	c.Clock.Charge(c.Tech.Cost(), 1)
+	return c.eval(f)
+}
+
+// EvaluateBatch implements BatchBackend: identical per-frame outputs, but
+// the virtual cost is charged (and the clock mutex taken) once for the
+// whole batch.
+func (c *Calibrated) EvaluateBatch(frames []*video.Frame) []*Output {
+	c.Clock.Charge(c.Tech.Cost(), int64(len(frames)))
+	out := make([]*Output, len(frames))
+	for i, f := range frames {
+		out[i] = c.eval(f)
+	}
+	return out
+}
+
+// ConcurrentSafe implements ConcurrentBackend: evaluation state is a
+// per-frame derived RNG and the clock is mutex-guarded, so concurrent
+// calls are race-free and per-frame deterministic.
+func (c *Calibrated) ConcurrentSafe() bool { return true }
+
+// eval produces the frame's output without charging the clock.
+func (c *Calibrated) eval(f *video.Frame) *Output {
 	rng := c.frameRNG(f)
 	out := &Output{}
 

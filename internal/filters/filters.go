@@ -101,6 +101,51 @@ type Backend interface {
 	Evaluate(f *video.Frame) *Output
 }
 
+// BatchBackend is implemented by backends with a native multi-frame
+// evaluation path that amortises per-call overhead (clock locking,
+// dispatch, batched tensor layouts) across a whole batch.
+type BatchBackend interface {
+	Backend
+	// EvaluateBatch evaluates frames in order, returning one Output per
+	// frame. It must produce the same outputs as len(frames) Evaluate
+	// calls and charge the same total cost.
+	EvaluateBatch(frames []*video.Frame) []*Output
+}
+
+// EvaluateBatch evaluates frames through b's native batch path when it
+// implements BatchBackend, and otherwise falls back to one Evaluate call
+// per frame. It is the default wrapper the execution engines use, so any
+// backend gains batching by implementing BatchBackend — no engine changes
+// needed.
+func EvaluateBatch(b Backend, frames []*video.Frame) []*Output {
+	if bb, ok := b.(BatchBackend); ok {
+		return bb.EvaluateBatch(frames)
+	}
+	out := make([]*Output, len(frames))
+	for i, f := range frames {
+		out[i] = b.Evaluate(f)
+	}
+	return out
+}
+
+// ConcurrentBackend is implemented by backends whose Evaluate may be
+// called from multiple goroutines at once with per-frame deterministic
+// results (output depends only on the frame, not on call order).
+type ConcurrentBackend interface {
+	Backend
+	// ConcurrentSafe reports whether concurrent Evaluate calls are safe.
+	ConcurrentSafe() bool
+}
+
+// ConcurrentSafe reports whether b's Evaluate may be fanned out across a
+// worker pool. Backends that do not declare themselves via
+// ConcurrentBackend are conservatively treated as single-threaded (the
+// trained CNN backends reuse forward-pass activation buffers).
+func ConcurrentSafe(b Backend) bool {
+	cb, ok := b.(ConcurrentBackend)
+	return ok && cb.ConcurrentSafe()
+}
+
 // CountVariant selects the tolerance of a count filter: 0 is the exact
 // filter, 1 and 2 the paper's CF-1/CCF-1 and CF-2/CCF-2 variants.
 type CountVariant int

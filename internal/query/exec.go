@@ -5,6 +5,7 @@ import (
 
 	"vmq/internal/detect"
 	"vmq/internal/filters"
+	"vmq/internal/stream"
 	"vmq/internal/video"
 )
 
@@ -17,6 +18,11 @@ type Engine struct {
 	Backend  filters.Backend
 	Detector detect.Detector
 	Tol      Tolerances
+	// Workers caps RunStream's filter worker pool. 0 (the default) sizes
+	// the pool to GOMAXPROCS; callers that already parallelise above the
+	// engine (one engine per camera, say) set it lower so the fleet's
+	// total worker count still matches the machine.
+	Workers int
 }
 
 // Result summarises one monitoring-query execution.
@@ -43,8 +49,21 @@ func (r *Result) Selectivity() float64 {
 	return float64(r.FilterPassed) / float64(r.FramesTotal)
 }
 
-// Run executes a bound monitoring query over frames.
+// Run executes a bound monitoring query over frames. It is a thin
+// adapter over the pipelined streaming path (RunStream); the results are
+// identical to the single-threaded reference loop (RunSequential) by
+// construction, which TestRunStreamMatchesSequential enforces.
 func (e *Engine) Run(plan *Plan, frames []*video.Frame) *Result {
+	return e.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))
+}
+
+// RunSequential executes a bound monitoring query over frames with the
+// single-threaded reference loop: filter every frame, confirm survivors
+// with the detector, in strict frame order on one goroutine. RunStream is
+// the production path; this loop is kept as the semantic specification
+// the pipelined executor is tested against, and as the baseline
+// BenchmarkRunStream measures speedup over.
+func (e *Engine) RunSequential(plan *Plan, frames []*video.Frame) *Result {
 	res := &Result{FramesTotal: len(frames)}
 	var filterCost, detectCost time.Duration
 	if e.Backend != nil {

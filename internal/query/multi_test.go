@@ -64,6 +64,21 @@ func TestRunMultiMatchesSequential(t *testing.T) {
 	if len(merged.Matched) != wantMatched {
 		t.Fatalf("merged matches = %d, want %d", len(merged.Matched), wantMatched)
 	}
+	// Merged matches carry per-camera attribution: the same (camera,
+	// index) pairs the per-camera results report, in camera order.
+	pos := 0
+	for i, s := range sequential {
+		for _, idx := range s.Matched {
+			want := FrameRef{CameraID: fmt.Sprintf("cam%d", i), Index: idx}
+			if merged.Matched[pos] != want {
+				t.Fatalf("merged.Matched[%d] = %+v, want %+v", pos, merged.Matched[pos], want)
+			}
+			pos++
+		}
+	}
+	if merged.Selectivity() <= 0 || merged.Selectivity() > 1 {
+		t.Fatalf("merged selectivity = %v", merged.Selectivity())
+	}
 }
 
 // The virtual clock is safe under concurrent charging from all cameras.

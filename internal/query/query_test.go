@@ -379,7 +379,7 @@ func TestRunWindowsHopping(t *testing.T) {
 	plan := MustBind(parse(t, `SELECT COUNT(FRAMES) FROM jackson
 		WHERE car IN QUADRANT(LOWER RIGHT)
 		WINDOW HOPPING (SIZE 800, ADVANCE BY 800)`), p)
-	src := video.NewStream(p, 33)
+	src := stream.FromStream(video.NewStream(p, 33))
 	results, err := RunWindows(plan, src, filters.NewODFilter(p, 1, nil), detect.NewOracle(nil), 3,
 		AggregateConfig{SampleSize: 100, Sampler: stream.NewUniformSampler(3), MuFromFullWindow: true})
 	if err != nil {
@@ -403,7 +403,7 @@ func TestRunWindowsSliding(t *testing.T) {
 	plan := MustBind(parse(t, `SELECT COUNT(FRAMES) FROM jackson
 		WHERE COUNT(car) >= 1
 		WINDOW SLIDING (SIZE 600, ADVANCE BY 200)`), p)
-	src := video.NewStream(p, 34)
+	src := stream.FromStream(video.NewStream(p, 34))
 	results, err := RunWindows(plan, src, filters.NewODFilter(p, 1, nil), detect.NewOracle(nil), 4,
 		AggregateConfig{SampleSize: 80, Sampler: stream.NewUniformSampler(4), MuFromFullWindow: true})
 	if err != nil {
@@ -424,7 +424,7 @@ func TestRunWindowsSliding(t *testing.T) {
 func TestRunWindowsNeedsWindowClause(t *testing.T) {
 	p := video.Jackson()
 	plan := MustBind(parse(t, `SELECT COUNT(FRAMES) FROM jackson WHERE COUNT(car) = 1`), p)
-	src := video.NewStream(p, 35)
+	src := stream.FromStream(video.NewStream(p, 35))
 	if _, err := RunWindows(plan, src, filters.NewODFilter(p, 1, nil), detect.NewOracle(nil), 2,
 		AggregateConfig{SampleSize: 10}); err == nil {
 		t.Fatal("missing WINDOW clause accepted")

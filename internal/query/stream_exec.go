@@ -1,0 +1,160 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"vmq/internal/filters"
+	"vmq/internal/stream"
+	"vmq/internal/video"
+)
+
+// streamChunk is the unit of work flowing through the pipeline: a run of
+// consecutive frames starting at stream index start. Chunking amortises
+// channel operations and lets backends batch via filters.EvaluateBatch.
+type streamChunk struct {
+	seq    int // chunk sequence number, for ordered reassembly
+	start  int // stream index of frames[0]
+	frames []*video.Frame
+	pass   []bool // filter verdicts, set by the filter stage
+}
+
+// chunkSize balances channel overhead against pipeline latency: large
+// enough that per-chunk costs vanish next to filter evaluation, small
+// enough that the worker pool stays busy on short queries.
+const chunkSize = 32
+
+// RunStream executes a bound monitoring query over up to n frames pulled
+// from src, overlapping the pipeline stages the sequential loop
+// interleaves:
+//
+//	source -> filter workers (fan-out) -> reorder -> detector (in order)
+//
+// The source stage pulls frames and groups them into chunks; a pool of
+// filter workers (GOMAXPROCS-wide when the backend declares itself
+// concurrency-safe, one otherwise) evaluates the filter stage; chunks are
+// reassembled in stream order; and the detector stage confirms surviving
+// frames sequentially on the caller's goroutine. All channels are
+// bounded, so a slow detector back-pressures the source instead of
+// buffering the whole stream.
+//
+// The result is identical — field for field, including Matched order and
+// VirtualTime — to RunSequential over the same frames: the filter output
+// of the deterministic backends depends only on the frame, the detector
+// (whose RNG, if any, is call-order sensitive) always runs in frame
+// order on a single goroutine, and virtual-time accounting is the same
+// arithmetic over the same per-frame decisions. A short source ends the
+// query gracefully: FramesTotal reports the frames actually seen.
+func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
+	res := &Result{}
+	if n <= 0 {
+		return res
+	}
+	filtering := e.Backend != nil && plan.Where != nil
+	workers := 1
+	if filtering && filters.ConcurrentSafe(e.Backend) {
+		workers = runtime.GOMAXPROCS(0)
+		if e.Workers > 0 && e.Workers < workers {
+			workers = e.Workers
+		}
+	}
+
+	// Stage 1: pull frames from the source and chunk them.
+	jobs := make(chan *streamChunk, workers)
+	go func() {
+		defer close(jobs)
+		for start := 0; start < n; start += chunkSize {
+			want := chunkSize
+			if rem := n - start; rem < want {
+				want = rem
+			}
+			frames := stream.Take(src, want)
+			if len(frames) > 0 {
+				jobs <- &streamChunk{seq: start / chunkSize, start: start, frames: frames}
+			}
+			if len(frames) < want {
+				return // source exhausted
+			}
+		}
+	}()
+
+	// Stage 2: filter fan-out. Each worker evaluates whole chunks through
+	// the backend's batch path and records per-frame verdicts.
+	filtered := make(chan *streamChunk, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				c.pass = make([]bool, len(c.frames))
+				if !filtering {
+					for i := range c.pass {
+						c.pass[i] = true
+					}
+					filtered <- c
+					continue
+				}
+				outs := filters.EvaluateBatch(e.Backend, c.frames)
+				for i, f := range c.frames {
+					c.pass[i] = plan.Where.EvalFilter(outs[i], f.Bounds, e.Tol)
+				}
+				filtered <- c
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(filtered)
+	}()
+
+	// Stage 3: reassemble chunks in stream order. The buffer holds at most
+	// one chunk per in-flight worker, so memory stays bounded.
+	ordered := make(chan *streamChunk, workers)
+	go func() {
+		defer close(ordered)
+		pending := make(map[int]*streamChunk, workers)
+		next := 0
+		for c := range filtered {
+			pending[c.seq] = c
+			for {
+				head, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				ordered <- head
+			}
+		}
+	}()
+
+	// Stage 4: confirm survivors with the detector, in frame order, on
+	// this goroutine — the only stage that may carry order-sensitive
+	// state (e.g. SimYOLO's RNG).
+	var filterCost time.Duration
+	if filtering {
+		filterCost = e.Backend.Technique().Cost().PerCall
+	}
+	detectCost := e.Detector.Cost().PerCall
+	for c := range ordered {
+		for i, f := range c.frames {
+			res.FramesTotal++
+			if filtering {
+				res.VirtualTime += filterCost
+			}
+			if !c.pass[i] {
+				continue
+			}
+			res.FilterPassed++
+			dets := e.Detector.Detect(f)
+			res.DetectorCalls++
+			res.VirtualTime += detectCost
+			if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
+				res.Matched = append(res.Matched, c.start+i)
+			}
+		}
+	}
+	return res
+}

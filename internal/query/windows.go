@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 
 	"vmq/internal/detect"
@@ -13,7 +14,9 @@ import (
 // windows drawn from src, honouring the query's WINDOW clause (HOPPING
 // windows tile or skip; SLIDING windows overlap). Each window is estimated
 // independently with RunAggregate, which is how the paper's monitoring
-// deployment reports one value per batch window.
+// deployment reports one value per batch window. If src runs out before n
+// windows complete, the finished windows' estimates are returned together
+// with an error wrapping stream.ErrExhausted.
 func RunWindows(plan *Plan, src stream.Source, backend filters.Backend, det detect.Detector, n int, cfg AggregateConfig) ([]*AggregateResult, error) {
 	w := plan.Query.Window
 	if w == nil {
@@ -28,10 +31,14 @@ func RunWindows(plan *Plan, src stream.Source, backend filters.Backend, det dete
 	} else {
 		wins, err = stream.HoppingWindows(src, w.Size, w.Advance, n)
 	}
-	if err != nil {
+	if err != nil && !errors.Is(err, stream.ErrExhausted) {
 		return nil, err
 	}
-	out := make([]*AggregateResult, 0, n)
+	// On a short source the builders hand back the windows that did
+	// complete; estimate those and propagate the exhaustion error so the
+	// caller knows the batch ended early.
+	exhausted := err
+	out := make([]*AggregateResult, 0, len(wins))
 	for _, win := range wins {
 		res, err := RunAggregate(plan, win.Frames, backend, det, cfg)
 		if err != nil {
@@ -39,5 +46,5 @@ func RunWindows(plan *Plan, src stream.Source, backend filters.Backend, det dete
 		}
 		out = append(out, res)
 	}
-	return out, nil
+	return out, exhausted
 }

@@ -6,18 +6,47 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
 	"vmq/internal/video"
 )
 
-// Source yields frames one at a time; it is satisfied by *video.Stream.
+// ErrExhausted reports that a pull-based source ran out of frames before
+// the caller got everything it asked for. Window builders wrap it with
+// positional detail; callers test with errors.Is.
+var ErrExhausted = errors.New("stream: source exhausted")
+
+// Source yields frames one at a time. Next returns the next frame and
+// true, or (nil, false) once the source is exhausted; after the first
+// false return every subsequent call must also return false. Unbounded
+// generators (such as the frame simulator) never return false — wrap them
+// with FromStream.
 type Source interface {
-	Next() *video.Frame
+	Next() (*video.Frame, bool)
 }
 
-var _ Source = (*video.Stream)(nil)
+// streamSource adapts the unbounded frame simulator to Source.
+type streamSource struct{ s *video.Stream }
+
+func (ss streamSource) Next() (*video.Frame, bool) { return ss.s.Next(), true }
+
+// FromStream adapts a *video.Stream (an unbounded generator) to Source.
+func FromStream(s *video.Stream) Source { return streamSource{s} }
+
+// Take pulls up to n frames from src, stopping early on exhaustion.
+func Take(src Source, n int) []*video.Frame {
+	out := make([]*video.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, f)
+	}
+	return out
+}
 
 // Window is a contiguous batch of frames.
 type Window struct {
@@ -29,7 +58,12 @@ type Window struct {
 // of the given size advancing by advance frames (the paper's
 // WINDOW HOPPING (SIZE s, ADVANCE BY a)). When advance == size the windows
 // tile the stream (a batch window). advance > size skips frames; advance
-// < size is rejected because a pull-based source cannot rewind.
+// < size is rejected because a pull-based source cannot rewind. If src
+// runs out before n full windows are built, the complete windows are
+// returned alongside an error wrapping ErrExhausted. The gap after the
+// final window is consumed too (so repeated calls on a shared source stay
+// on the ADVANCE grid), but running dry inside that trailing gap is not
+// an error — every requested window is already complete.
 func HoppingWindows(src Source, size, advance, n int) ([]Window, error) {
 	if size <= 0 || advance <= 0 || n <= 0 {
 		return nil, fmt.Errorf("stream: invalid window spec size=%d advance=%d n=%d", size, advance, n)
@@ -42,14 +76,23 @@ func HoppingWindows(src Source, size, advance, n int) ([]Window, error) {
 	for w := 0; w < n; w++ {
 		win := Window{Start: pos, Frames: make([]*video.Frame, 0, size)}
 		for i := 0; i < size; i++ {
-			win.Frames = append(win.Frames, src.Next())
+			f, ok := src.Next()
+			if !ok {
+				return out, fmt.Errorf("%w: window %d of %d needs %d frames, got %d", ErrExhausted, w+1, n, size, i)
+			}
+			win.Frames = append(win.Frames, f)
 		}
 		pos += size
+		out = append(out, win)
 		for i := size; i < advance; i++ {
-			src.Next() // discard the gap
+			if _, ok := src.Next(); !ok {
+				if w == n-1 {
+					return out, nil // all windows complete; only the trailing gap ran dry
+				}
+				return out, fmt.Errorf("%w: in the gap before window %d of %d", ErrExhausted, w+2, n)
+			}
 			pos++
 		}
-		out = append(out, win)
 	}
 	return out, nil
 }
@@ -58,6 +101,8 @@ func HoppingWindows(src Source, size, advance, n int) ([]Window, error) {
 // advancing by advance frames (advance < size allowed), buffering the
 // overlap so the pull-based source is read exactly once. It complements
 // HoppingWindows, which streams non-overlapping batches without buffering.
+// If src runs out early, the complete windows are returned alongside an
+// error wrapping ErrExhausted.
 func SlidingWindows(src Source, size, advance, n int) ([]Window, error) {
 	if size <= 0 || advance <= 0 || n <= 0 {
 		return nil, fmt.Errorf("stream: invalid window spec size=%d advance=%d n=%d", size, advance, n)
@@ -70,7 +115,11 @@ func SlidingWindows(src Source, size, advance, n int) ([]Window, error) {
 	pos := 0 // stream index of buf[0]
 	for w := 0; w < n; w++ {
 		for len(buf) < size {
-			buf = append(buf, src.Next())
+			f, ok := src.Next()
+			if !ok {
+				return out, fmt.Errorf("%w: window %d of %d needs %d frames, got %d", ErrExhausted, w+1, n, size, len(buf))
+			}
+			buf = append(buf, f)
 		}
 		frames := make([]*video.Frame, size)
 		copy(frames, buf)
@@ -214,18 +263,21 @@ func (r *Reservoir[T]) Offer(item T) {
 // Seen returns the number of items offered so far.
 func (r *Reservoir[T]) Seen() int { return r.seen }
 
-// SliceSource adapts a pre-materialised frame slice to Source, cycling is
-// not performed: Next panics past the end.
+// SliceSource adapts a pre-materialised frame slice to Source. Next
+// returns (nil, false) once the slice is exhausted.
 type SliceSource struct {
 	Frames []*video.Frame
 	pos    int
 }
 
 // Next implements Source.
-func (s *SliceSource) Next() *video.Frame {
+func (s *SliceSource) Next() (*video.Frame, bool) {
+	if s.pos >= len(s.Frames) {
+		return nil, false
+	}
 	f := s.Frames[s.pos]
 	s.pos++
-	return f
+	return f, true
 }
 
 // Remaining returns how many frames are left.

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestHoppingWindowsTile(t *testing.T) {
-	src := video.NewStream(video.Jackson(), 1)
+	src := FromStream(video.NewStream(video.Jackson(), 1))
 	wins, err := HoppingWindows(src, 100, 100, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +31,7 @@ func TestHoppingWindowsTile(t *testing.T) {
 }
 
 func TestHoppingWindowsWithGap(t *testing.T) {
-	src := video.NewStream(video.Jackson(), 2)
+	src := FromStream(video.NewStream(video.Jackson(), 2))
 	wins, err := HoppingWindows(src, 10, 25, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -41,7 +42,7 @@ func TestHoppingWindowsWithGap(t *testing.T) {
 }
 
 func TestHoppingWindowsErrors(t *testing.T) {
-	src := video.NewStream(video.Jackson(), 3)
+	src := FromStream(video.NewStream(video.Jackson(), 3))
 	if _, err := HoppingWindows(src, 0, 1, 1); err == nil {
 		t.Error("size 0 accepted")
 	}
@@ -54,7 +55,7 @@ func TestHoppingWindowsErrors(t *testing.T) {
 }
 
 func TestSlidingWindowsOverlap(t *testing.T) {
-	src := video.NewStream(video.Jackson(), 4)
+	src := FromStream(video.NewStream(video.Jackson(), 4))
 	wins, err := SlidingWindows(src, 10, 3, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +81,7 @@ func TestSlidingWindowsOverlap(t *testing.T) {
 }
 
 func TestSlidingWindowsDelegatesWhenNonOverlapping(t *testing.T) {
-	src := video.NewStream(video.Jackson(), 5)
+	src := FromStream(video.NewStream(video.Jackson(), 5))
 	wins, err := SlidingWindows(src, 5, 5, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -252,12 +253,88 @@ func TestSliceSource(t *testing.T) {
 	if src.Remaining() != 5 {
 		t.Fatal("Remaining wrong")
 	}
-	f := src.Next()
-	if f != frames[0] || src.Remaining() != 4 {
+	f, ok := src.Next()
+	if !ok || f != frames[0] || src.Remaining() != 4 {
 		t.Fatal("Next wrong")
 	}
 	wins, err := HoppingWindows(src, 2, 2, 2)
 	if err != nil || len(wins) != 2 {
 		t.Fatalf("windows over slice source failed: %v", err)
+	}
+	// Exhausted: every further Next reports EOF, never panics.
+	for i := 0; i < 3; i++ {
+		if f, ok := src.Next(); ok || f != nil {
+			t.Fatalf("exhausted Next returned (%v, %v)", f, ok)
+		}
+	}
+	if src.Remaining() != 0 {
+		t.Fatalf("Remaining after exhaustion = %d", src.Remaining())
+	}
+}
+
+func TestTakeStopsAtExhaustion(t *testing.T) {
+	frames := video.NewStream(video.Jackson(), 10).Take(3)
+	got := Take(&SliceSource{Frames: frames}, 10)
+	if len(got) != 3 || got[0] != frames[0] || got[2] != frames[2] {
+		t.Fatalf("Take over short source = %d frames", len(got))
+	}
+	if got := Take(FromStream(video.NewStream(video.Jackson(), 10)), 7); len(got) != 7 {
+		t.Fatalf("Take over unbounded source = %d frames", len(got))
+	}
+}
+
+func TestHoppingWindowsExhaustion(t *testing.T) {
+	frames := video.NewStream(video.Jackson(), 11).Take(25)
+	src := &SliceSource{Frames: frames}
+	wins, err := HoppingWindows(src, 10, 10, 4)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("short source error = %v, want ErrExhausted", err)
+	}
+	if len(wins) != 2 {
+		t.Fatalf("complete windows = %d, want 2", len(wins))
+	}
+	for i, w := range wins {
+		if len(w.Frames) != 10 || w.Start != i*10 {
+			t.Fatalf("window %d malformed: %d frames at %d", i, len(w.Frames), w.Start)
+		}
+	}
+	// A source holding exactly n full windows succeeds: running dry in the
+	// trailing gap is not an error once every window is complete.
+	src2 := &SliceSource{Frames: frames[:20]}
+	wins2, err := HoppingWindows(src2, 5, 15, 2)
+	if err != nil || len(wins2) != 2 {
+		t.Fatalf("exact-fit gapped windows: %v (%d wins)", err, len(wins2))
+	}
+	// On a longer source the trailing gap is consumed, so repeated calls
+	// stay on the ADVANCE grid.
+	src4 := FromStream(video.NewStream(video.Jackson(), 13))
+	if _, err := HoppingWindows(src4, 5, 15, 2); err != nil {
+		t.Fatal(err)
+	}
+	more, err := HoppingWindows(src4, 5, 15, 1)
+	if err != nil || more[0].Frames[0].Index != 30 {
+		t.Fatalf("second call off the hop grid: %v, first index %d", err, more[0].Frames[0].Index)
+	}
+	// Exhaustion inside the gap still reports the typed error.
+	src3 := &SliceSource{Frames: frames[:12]}
+	if _, err := HoppingWindows(src3, 5, 15, 2); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("gap exhaustion error = %v", err)
+	}
+}
+
+func TestSlidingWindowsExhaustion(t *testing.T) {
+	frames := video.NewStream(video.Jackson(), 12).Take(14)
+	src := &SliceSource{Frames: frames}
+	wins, err := SlidingWindows(src, 10, 2, 5)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("short source error = %v, want ErrExhausted", err)
+	}
+	if len(wins) != 3 {
+		t.Fatalf("complete windows = %d, want 3 (starts 0,2,4)", len(wins))
+	}
+	for i, w := range wins {
+		if w.Start != i*2 || len(w.Frames) != 10 {
+			t.Fatalf("window %d malformed", i)
+		}
 	}
 }

@@ -62,7 +62,21 @@ type (
 	Detection = detect.Detection
 	// Clock accounts virtual per-operator time.
 	Clock = simclock.Clock
+	// Source yields frames one at a time with graceful end-of-stream
+	// (Next returns false once exhausted).
+	Source = stream.Source
+	// FrameRef identifies a matched frame by camera and frame index.
+	FrameRef = query.FrameRef
+	// MergedResult is a multi-camera roll-up with per-camera attribution.
+	MergedResult = query.MergedResult
 )
+
+// ErrStreamExhausted is returned (wrapped) when a bounded source runs out
+// of frames before a window or batch completes.
+var ErrStreamExhausted = stream.ErrExhausted
+
+// SliceSource adapts a pre-materialised frame slice to Source.
+func SliceSource(frames []*Frame) Source { return &stream.SliceSource{Frames: frames} }
 
 // Object classes.
 const (
@@ -144,9 +158,22 @@ func (s *Session) detectorFor(q *Query) (Detector, error) {
 	}
 }
 
+// Source wraps the session's frame stream as a pull-based Source for the
+// pipelined executor and the window builders.
+func (s *Session) Source() Source { return stream.FromStream(s.Stream) }
+
 // RunQuery executes a monitoring query over the next n frames of the
-// session's stream using the filter-then-detect cascade.
+// session's stream using the filter-then-detect cascade, on the pipelined
+// streaming executor: frames are pulled from the stream, filtered by a
+// worker pool, and confirmed in order — never materialising the clip.
 func (s *Session) RunQuery(q *Query, n int) (*Result, error) {
+	return s.RunQueryOn(q, s.Source(), n)
+}
+
+// RunQueryOn executes a monitoring query over up to n frames pulled from
+// an arbitrary source (a recorded clip via SliceSource, a live feed, ...).
+// A short source ends the query gracefully.
+func (s *Session) RunQueryOn(q *Query, src Source, n int) (*Result, error) {
 	plan, err := s.Bind(q)
 	if err != nil {
 		return nil, err
@@ -156,7 +183,7 @@ func (s *Session) RunQuery(q *Query, n int) (*Result, error) {
 		return nil, err
 	}
 	eng := &query.Engine{Backend: s.Backend, Detector: det, Tol: s.Tol}
-	return eng.Run(plan, s.Stream.Take(n)), nil
+	return eng.RunStream(plan, src, n), nil
 }
 
 // RunQueryBrute executes the brute-force baseline (detector on every
@@ -167,7 +194,7 @@ func (s *Session) RunQueryBrute(q *Query, n int) (*Result, error) {
 		return nil, err
 	}
 	eng := &query.Engine{Detector: s.Detector}
-	return eng.Run(plan, s.Stream.Take(n)), nil
+	return eng.RunStream(plan, s.Source(), n), nil
 }
 
 // RunAggregate executes a windowed aggregate with sampling and (multiple)
@@ -186,6 +213,23 @@ func (s *Session) RunAggregate(q *Query, windowSize, sampleSize int) (*Aggregate
 	}
 	frames := s.Stream.Take(windowSize)
 	return query.RunAggregate(plan, frames, s.Backend, s.Detector, query.AggregateConfig{
+		SampleSize:       sampleSize,
+		Sampler:          stream.NewUniformSampler(s.seed + 101),
+		MuFromFullWindow: true,
+	})
+}
+
+// RunWindows executes a windowed aggregate query over n consecutive
+// windows of the session's stream, honouring the query's WINDOW clause
+// (HOPPING windows tile or skip; SLIDING windows overlap), and reports
+// one estimate per window. If the query has no WINDOW clause an error is
+// returned.
+func (s *Session) RunWindows(q *Query, n, sampleSize int) ([]*AggregateResult, error) {
+	plan, err := s.Bind(q)
+	if err != nil {
+		return nil, err
+	}
+	return query.RunWindows(plan, s.Source(), s.Backend, s.Detector, n, query.AggregateConfig{
 		SampleSize:       sampleSize,
 		Sampler:          stream.NewUniformSampler(s.seed + 101),
 		MuFromFullWindow: true,
