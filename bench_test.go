@@ -6,12 +6,14 @@
 package vmq_test
 
 import (
+	"sync"
 	"testing"
 
 	"vmq/internal/detect"
 	"vmq/internal/experiments"
 	"vmq/internal/filters"
 	"vmq/internal/query"
+	"vmq/internal/server"
 	"vmq/internal/stream"
 	"vmq/internal/video"
 	"vmq/internal/vql"
@@ -232,6 +234,116 @@ func BenchmarkRunStream(b *testing.B) {
 		eng.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))
 	}
 	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// --- Server benchmarks: shared-scan fan-out vs independent queries ---
+
+// benchServerQueries is the standing-query fleet both fan-out benchmarks
+// run: the same predicate registered nQueries times over one 512-frame
+// Jackson clip.
+const benchServerQueries = 8
+
+func benchServerClip(b *testing.B) (video.Profile, []*video.Frame, *query.Plan) {
+	b.Helper()
+	p := video.Jackson()
+	q, err := vql.Parse(`SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, video.NewStream(p, 15).Take(512), query.MustBind(q, p)
+}
+
+// benchCountingBackend counts true filter evaluations.
+type benchCountingBackend struct {
+	filters.Backend
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *benchCountingBackend) Evaluate(f *video.Frame) *filters.Output {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.Backend.Evaluate(f)
+}
+
+func (c *benchCountingBackend) ConcurrentSafe() bool { return filters.ConcurrentSafe(c.Backend) }
+
+// BenchmarkServerFanout runs benchServerQueries identical queries through
+// the continuous-query server's shared-scan schedule: the feed is decoded
+// once and the filter backend evaluated once per frame for the whole
+// fleet. The backend-evals/frame metric should sit at ~1.0 — 1/N the
+// invocations of the independent baseline below — while every query's
+// results stay identical to a standalone run (enforced by test).
+func BenchmarkServerFanout(b *testing.B) {
+	p, frames, _ := benchServerClip(b)
+	totalEvals := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counting := &benchCountingBackend{Backend: filters.NewODFilter(p, 15, nil)}
+		srv := server.New(server.Config{})
+		if err := srv.AddFeed(server.FeedConfig{
+			Name: p.Name, Profile: p,
+			Source:  &stream.SliceSource{Frames: frames},
+			Backend: counting,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		regs := make([]*server.Registration, benchServerQueries)
+		for j := range regs {
+			q, _ := vql.Parse(`SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`)
+			reg, err := srv.Register(q, server.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			regs[j] = reg
+		}
+		srv.Start()
+		var wg sync.WaitGroup
+		for _, reg := range regs {
+			wg.Add(1)
+			go func(reg *server.Registration) {
+				defer wg.Done()
+				for range reg.Results() {
+				}
+			}(reg)
+		}
+		wg.Wait()
+		srv.Close()
+		totalEvals += counting.calls
+	}
+	b.ReportMetric(float64(totalEvals)/float64(b.N*len(frames)), "backend-evals/frame")
+	b.ReportMetric(float64(len(frames)*benchServerQueries)*float64(b.N)/b.Elapsed().Seconds(), "query-frames/s")
+}
+
+// BenchmarkServerFanoutIndependent is the baseline the shared scan is
+// measured against: the same fleet of queries each running a standalone
+// RunStream over the clip, so the filter backend is evaluated N times per
+// frame.
+func BenchmarkServerFanoutIndependent(b *testing.B) {
+	p, frames, plan := benchServerClip(b)
+	totalEvals := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counting := &benchCountingBackend{Backend: filters.NewODFilter(p, 15, nil)}
+		var wg sync.WaitGroup
+		for j := 0; j < benchServerQueries; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eng := &query.Engine{
+					Backend:  counting,
+					Detector: detect.NewOracle(nil),
+					Tol:      query.Tolerances{Count: 1, Location: 1},
+				}
+				eng.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))
+			}()
+		}
+		wg.Wait()
+		totalEvals += counting.calls
+	}
+	b.ReportMetric(float64(totalEvals)/float64(b.N*len(frames)), "backend-evals/frame")
+	b.ReportMetric(float64(len(frames)*benchServerQueries)*float64(b.N)/b.Elapsed().Seconds(), "query-frames/s")
 }
 
 // --- Micro-benchmarks: per-operation costs of the building blocks ---

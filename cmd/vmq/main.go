@@ -7,6 +7,7 @@
 //	vmq query   -q 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' [-frames N] [-ctol K] [-ltol K] [-brute]
 //	vmq aggregate -q 'SELECT COUNT(FRAMES) FROM jackson WHERE car LEFT OF person' [-window N] [-samples K]
 //	vmq windows -q 'SELECT COUNT(FRAMES) FROM jackson WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 1000, ADVANCE BY 1000)' [-n N] [-samples K]
+//	vmq serve   [-addr :8372] [-feeds jackson,detrac] [-fps 30] [-seed 42]
 //	vmq experiment -name tableII|fig7|fig11|fig15|tableIII|tableIV|constraint|branch|anomaly|all [-frames N] [-reps N]
 //	vmq train   [-dataset jackson] [-frames N] [-epochs N]
 package main
@@ -15,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vmq/internal/experiments"
@@ -28,53 +30,74 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "datasets":
-		err = cmdDatasets()
-	case "query":
-		err = cmdQuery(os.Args[2:])
-	case "aggregate":
-		err = cmdAggregate(os.Args[2:])
-	case "windows":
-		err = cmdWindows(os.Args[2:])
-	case "experiment":
-		err = cmdExperiment(os.Args[2:])
-	case "train":
-		err = cmdTrain(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "vmq: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vmq: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vmq <command> [flags]
+// run dispatches a command line and returns the process exit code. It is
+// the testable core of main: commands print to out, diagnostics to errw.
+func run(argv []string, out, errw io.Writer) int {
+	if len(argv) < 1 {
+		usage(errw)
+		return 2
+	}
+	var err error
+	switch argv[0] {
+	case "datasets":
+		err = cmdDatasets(out)
+	case "query":
+		err = cmdQuery(argv[1:], out, errw)
+	case "aggregate":
+		err = cmdAggregate(argv[1:], out, errw)
+	case "windows":
+		err = cmdWindows(argv[1:], out, errw)
+	case "serve":
+		err = cmdServe(argv[1:], out, errw)
+	case "experiment":
+		err = cmdExperiment(argv[1:], out, errw)
+	case "train":
+		err = cmdTrain(argv[1:], out, errw)
+	case "-h", "--help", "help":
+		usage(errw)
+	default:
+		fmt.Fprintf(errw, "vmq: unknown command %q\n", argv[0])
+		usage(errw)
+		return 2
+	}
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // the user asked for help; match flag.ExitOnError's success exit
+		}
+		fmt.Fprintf(errw, "vmq: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(errw io.Writer) {
+	fmt.Fprintln(errw, `usage: vmq <command> [flags]
 
 commands:
   datasets     list the benchmark dataset profiles (Table II)
   query        run a monitoring query through the filter cascade
   aggregate    run a windowed aggregate with control variates
   windows      run a windowed aggregate over n consecutive windows
+  serve        host continuous queries over live feeds (HTTP API)
   experiment   regenerate a paper table/figure (tableII, fig7, fig11,
                fig15, tableIII, tableIV, constraint, branch, anomaly, all)
   train        train a real CNN filter and report its accuracy`)
 }
 
-func cmdDatasets() error {
+// newFlagSet builds a flag set that reports parse errors instead of
+// exiting the process, so run stays testable.
+func newFlagSet(name string, errw io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(errw)
+	return fs
+}
+
+func cmdDatasets(out io.Writer) error {
 	rows := experiments.TableII(experiments.Config{Frames: 3000})
-	fmt.Print(experiments.FormatTableII(rows))
+	fmt.Fprint(out, experiments.FormatTableII(rows))
 	return nil
 }
 
@@ -86,8 +109,8 @@ func profileOf(q *vql.Query) (video.Profile, error) {
 	return p, nil
 }
 
-func cmdQuery(args []string) error {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+func cmdQuery(args []string, out, errw io.Writer) error {
+	fs := newFlagSet("query", errw)
 	src := fs.String("q", "", "VQL query text")
 	frames := fs.Int("frames", 3000, "number of stream frames to process")
 	ctol := fs.Int("ctol", 1, "count tolerance (0=exact CCF, 1=CCF-1, 2=CCF-2)")
@@ -117,7 +140,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	if *explain {
-		fmt.Print(plan.Describe(sess.Backend, sess.Tol))
+		fmt.Fprint(out, plan.Describe(sess.Backend, sess.Tol))
 		return nil
 	}
 	framesSlice := sess.Stream.Take(*frames)
@@ -136,26 +159,26 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("query: %s\n", q)
-	fmt.Printf("frames: %d  true frames: %d  matched: %d  accuracy: %.3f\n",
+	fmt.Fprintf(out, "query: %s\n", q)
+	fmt.Fprintf(out, "frames: %d  true frames: %d  matched: %d  accuracy: %.3f\n",
 		res.FramesTotal, trueCount, len(res.Matched), vmq.Score(res, truth))
-	fmt.Printf("filter passed: %d (selectivity %.3f)  detector calls: %d\n",
+	fmt.Fprintf(out, "filter passed: %d (selectivity %.3f)  detector calls: %d\n",
 		res.FilterPassed, res.Selectivity(), res.DetectorCalls)
-	fmt.Printf("virtual pipeline time: %v\n", res.VirtualTime)
+	fmt.Fprintf(out, "virtual pipeline time: %v\n", res.VirtualTime)
 	if *brute {
 		sess3 := vmq.NewSession(p, *seed)
 		bres, err := sess3.RunQueryBrute(q, *frames)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("brute force: %v (%0.1fx speedup)\n",
+		fmt.Fprintf(out, "brute force: %v (%0.1fx speedup)\n",
 			bres.VirtualTime, bres.VirtualTime.Seconds()/res.VirtualTime.Seconds())
 	}
 	return nil
 }
 
-func cmdAggregate(args []string) error {
-	fs := flag.NewFlagSet("aggregate", flag.ExitOnError)
+func cmdAggregate(args []string, out, errw io.Writer) error {
+	fs := newFlagSet("aggregate", errw)
 	src := fs.String("q", "", "VQL aggregate query text")
 	window := fs.Int("window", 5000, "window size when the query has no WINDOW clause")
 	samples := fs.Int("samples", 300, "detector samples per window")
@@ -179,23 +202,23 @@ func cmdAggregate(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("query: %s\n", q)
-	fmt.Printf("window: %d frames, %d detector samples, %d control variate(s)\n",
+	fmt.Fprintf(out, "query: %s\n", q)
+	fmt.Fprintf(out, "window: %d frames, %d detector samples, %d control variate(s)\n",
 		res.WindowSize, res.Samples, res.Controls)
-	fmt.Printf("plain estimate:   %.4f/frame (stderr %.4f)\n", res.Plain.Mean, res.Plain.StdErr())
-	fmt.Printf("CV estimate:      %.4f/frame (variance reduced %.1fx, beta %v)\n",
+	fmt.Fprintf(out, "plain estimate:   %.4f/frame (stderr %.4f)\n", res.Plain.Mean, res.Plain.StdErr())
+	fmt.Fprintf(out, "CV estimate:      %.4f/frame (variance reduced %.1fx, beta %v)\n",
 		res.CV.Estimate, res.CV.Reduction, res.CV.Beta)
-	fmt.Printf("ground truth:     %.4f/frame\n", res.TruePerFrameMean)
-	fmt.Printf("per-sample cost:  %v (filter + detector)\n", res.VirtualTimePerSample)
+	fmt.Fprintf(out, "ground truth:     %.4f/frame\n", res.TruePerFrameMean)
+	fmt.Fprintf(out, "per-sample cost:  %v (filter + detector)\n", res.VirtualTimePerSample)
 	if q.Select.Kind == vql.SelectFrameCount {
-		fmt.Printf("window total:     %.1f frames estimated, %.1f true\n",
+		fmt.Fprintf(out, "window total:     %.1f frames estimated, %.1f true\n",
 			res.CV.Estimate*float64(res.WindowSize), res.TruePerFrameMean*float64(res.WindowSize))
 	}
 	return nil
 }
 
-func cmdWindows(args []string) error {
-	fs := flag.NewFlagSet("windows", flag.ExitOnError)
+func cmdWindows(args []string, out, errw io.Writer) error {
+	fs := newFlagSet("windows", errw)
 	src := fs.String("q", "", "VQL aggregate query text (must carry a WINDOW clause)")
 	n := fs.Int("n", 5, "number of consecutive windows to estimate")
 	samples := fs.Int("samples", 200, "detector samples per window")
@@ -219,19 +242,19 @@ func cmdWindows(args []string) error {
 	if err != nil && !errors.Is(err, vmq.ErrStreamExhausted) {
 		return err
 	}
-	fmt.Printf("query: %s\n", q)
+	fmt.Fprintf(out, "query: %s\n", q)
 	for i, r := range results {
-		fmt.Printf("window %2d: CV estimate %8.4f/frame (plain %8.4f, truth %8.4f, var reduced %.1fx)\n",
+		fmt.Fprintf(out, "window %2d: CV estimate %8.4f/frame (plain %8.4f, truth %8.4f, var reduced %.1fx)\n",
 			i, r.CV.Estimate, r.Plain.Mean, r.TruePerFrameMean, r.CV.Reduction)
 	}
 	if err != nil {
-		fmt.Printf("source exhausted after %d of %d windows\n", len(results), *n)
+		fmt.Fprintf(out, "source exhausted after %d of %d windows\n", len(results), *n)
 	}
 	return nil
 }
 
-func cmdExperiment(args []string) error {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+func cmdExperiment(args []string, out, errw io.Writer) error {
+	fs := newFlagSet("experiment", errw)
 	name := fs.String("name", "all", "experiment name")
 	frames := fs.Int("frames", 0, "frames per dataset (0 = paper test-split size)")
 	reps := fs.Int("reps", 0, "aggregate repetitions (0 = 20)")
@@ -243,32 +266,32 @@ func cmdExperiment(args []string) error {
 	run := func(n string) error {
 		switch n {
 		case "tableII":
-			fmt.Print(experiments.FormatTableII(experiments.TableII(cfg)))
+			fmt.Fprint(out, experiments.FormatTableII(experiments.TableII(cfg)))
 		case "fig7":
-			fmt.Print(experiments.FormatFigure7(experiments.Figure7(cfg)))
+			fmt.Fprint(out, experiments.FormatFigure7(experiments.Figure7(cfg)))
 		case "fig11":
-			fmt.Print(experiments.FormatFigure11(experiments.Figure11(cfg)))
+			fmt.Fprint(out, experiments.FormatFigure11(experiments.Figure11(cfg)))
 		case "fig15":
-			fmt.Print(experiments.FormatFigure15(experiments.Figure15(cfg)))
+			fmt.Fprint(out, experiments.FormatFigure15(experiments.Figure15(cfg)))
 		case "tableIII":
-			fmt.Print(experiments.FormatTableIII(experiments.TableIII(cfg)))
+			fmt.Fprint(out, experiments.FormatTableIII(experiments.TableIII(cfg)))
 		case "tableIV":
-			fmt.Print(experiments.FormatTableIV(experiments.TableIV(cfg)))
+			fmt.Fprint(out, experiments.FormatTableIV(experiments.TableIV(cfg)))
 		case "tableIVhf":
-			fmt.Print(experiments.FormatTableIV(experiments.TableIVHighFidelity(cfg)))
+			fmt.Fprint(out, experiments.FormatTableIV(experiments.TableIVHighFidelity(cfg)))
 		case "constraint":
-			fmt.Print(experiments.FormatConstraintAccuracy(experiments.ConstraintAccuracy(cfg)))
+			fmt.Fprint(out, experiments.FormatConstraintAccuracy(experiments.ConstraintAccuracy(cfg)))
 		case "branch":
-			fmt.Print(experiments.FormatBranchTradeoff(experiments.BranchTradeoff(cfg)))
+			fmt.Fprint(out, experiments.FormatBranchTradeoff(experiments.BranchTradeoff(cfg)))
 		case "anomaly":
-			fmt.Print(experiments.FormatUnexpectedObjects(experiments.UnexpectedObjects(cfg)))
+			fmt.Fprint(out, experiments.FormatUnexpectedObjects(experiments.UnexpectedObjects(cfg)))
 		case "planner":
-			fmt.Print(experiments.FormatPlanner(experiments.Planner(cfg)))
+			fmt.Fprint(out, experiments.FormatPlanner(experiments.Planner(cfg)))
 		case "trained":
 			rows, sweep := experiments.TrainedComparison(cfg)
-			fmt.Print(experiments.FormatTrainedComparison(rows, sweep))
+			fmt.Fprint(out, experiments.FormatTrainedComparison(rows, sweep))
 		case "samplers":
-			fmt.Print(experiments.FormatSamplerAblation(experiments.SamplerAblation(cfg)))
+			fmt.Fprint(out, experiments.FormatSamplerAblation(experiments.SamplerAblation(cfg)))
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
@@ -279,15 +302,15 @@ func cmdExperiment(args []string) error {
 			if err := run(n); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		return nil
 	}
 	return run(*name)
 }
 
-func cmdTrain(args []string) error {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
+func cmdTrain(args []string, out, errw io.Writer) error {
+	fs := newFlagSet("train", errw)
 	dataset := fs.String("dataset", "jackson", "dataset profile")
 	frames := fs.Int("frames", 300, "training frames")
 	epochs := fs.Int("epochs", 3, "training epochs")
@@ -306,7 +329,7 @@ func cmdTrain(args []string) error {
 	if *tech == "od" {
 		family = filters.OD
 	}
-	fmt.Printf("training %s filter on %s (%d frames, %d epochs, %dx%d px)...\n",
+	fmt.Fprintf(out, "training %s filter on %s (%d frames, %d epochs, %dx%d px)...\n",
 		family, p.Name, *frames, *epochs, *img, *img)
 	backend := filters.TrainFilter(family, p, filters.TrainedConfig{
 		Frames: *frames, Epochs: *epochs, Img: *img, Channels: 16, Seed: 1,
@@ -320,15 +343,15 @@ func cmdTrain(args []string) error {
 	}
 	for i := 0; i < *test; i++ {
 		f := s.Next()
-		out := backend.Evaluate(f)
-		total.Observe(f.Count()-len(p.Static), out.Total)
+		est := backend.Evaluate(f)
+		total.Observe(f.Count()-len(p.Static), est.Total)
 		for _, cm := range p.Classes {
-			perClass[cm.Class].Observe(f.CountClass(cm.Class), out.Counts[cm.Class])
+			perClass[cm.Class].Observe(f.CountClass(cm.Class), est.Counts[cm.Class])
 		}
 	}
-	fmt.Printf("total count:  %s\n", total.String())
+	fmt.Fprintf(out, "total count:  %s\n", total.String())
 	for _, cm := range p.Classes {
-		fmt.Printf("%-12s %s\n", cm.Class.String()+":", perClass[cm.Class].String())
+		fmt.Fprintf(out, "%-12s %s\n", cm.Class.String()+":", perClass[cm.Class].String())
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
@@ -339,7 +362,7 @@ func cmdTrain(args []string) error {
 		if err := backend.SaveWeights(f); err != nil {
 			return err
 		}
-		fmt.Printf("weights saved to %s\n", *save)
+		fmt.Fprintf(out, "weights saved to %s\n", *save)
 	}
 	return nil
 }

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vmq/internal/server"
+)
+
+// runCmd drives the dispatcher exactly as main does, capturing output.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// An unknown subcommand prints the usage to stderr and exits non-zero.
+func TestUnknownCommand(t *testing.T) {
+	code, stdout, stderr := runCmd("frobnicate")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Fatalf("unexpected stdout %q", stdout)
+	}
+	if !strings.Contains(stderr, `unknown command "frobnicate"`) || !strings.Contains(stderr, "usage: vmq") {
+		t.Fatalf("stderr = %q, want the error and the usage", stderr)
+	}
+}
+
+// No arguments at all is a usage error too.
+func TestNoCommand(t *testing.T) {
+	code, _, stderr := runCmd()
+	if code != 2 || !strings.Contains(stderr, "usage: vmq") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// Bad flags surface as a non-zero exit without killing the process (the
+// flag sets must not use ExitOnError).
+func TestBadFlag(t *testing.T) {
+	code, _, stderr := runCmd("query", "-definitely-not-a-flag")
+	if code == 0 {
+		t.Fatal("bad flag accepted")
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+// Asking a subcommand for help prints its flags and exits 0, as the
+// pre-refactor flag.ExitOnError behaviour did.
+func TestSubcommandHelp(t *testing.T) {
+	code, _, stderr := runCmd("query", "-h")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "-q string") {
+		t.Fatalf("stderr = %q, want the flag listing", stderr)
+	}
+}
+
+// A missing -q is a command error with exit code 1.
+func TestQueryMissingFlag(t *testing.T) {
+	code, _, stderr := runCmd("query")
+	if code != 1 || !strings.Contains(stderr, "-q is required") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// The query happy path on a small synthetic stream reports the cascade
+// counters.
+func TestQueryHappyPath(t *testing.T) {
+	code, stdout, stderr := runCmd("query",
+		"-q", "SELECT FRAMES FROM jackson WHERE COUNT(car) = 1",
+		"-frames", "200")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, stderr)
+	}
+	for _, want := range []string{"query: SELECT FRAMES FROM jackson", "frames: 200", "filter passed:", "virtual pipeline time:"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// The windows happy path estimates consecutive hopping windows.
+func TestWindowsHappyPath(t *testing.T) {
+	code, stdout, stderr := runCmd("windows",
+		"-q", "SELECT COUNT(FRAMES) FROM jackson WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 150, ADVANCE BY 150)",
+		"-n", "2", "-samples", "30")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "window  0:") || !strings.Contains(stdout, "window  1:") {
+		t.Fatalf("stdout missing window estimates:\n%s", stdout)
+	}
+}
+
+// serve's feed parsing rejects unknown datasets and assembles real
+// servers for known ones; the assembled server speaks the HTTP API end
+// to end.
+func TestServeBuildServer(t *testing.T) {
+	if _, err := buildServer("jackson,nosuch", 1, 0, 100); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := buildServer("", 1, 0, 0); err == nil {
+		t.Fatal("empty feed list accepted")
+	}
+	srv, err := buildServer("jackson, detrac", 1, 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/queries", "text/plain",
+		strings.NewReader("SELECT FRAMES FROM detrac WHERE COUNT(car) >= 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID   string `json:"id"`
+		Feed string `json:"feed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if created.Feed != "detrac" {
+		t.Fatalf("created = %+v", created)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/queries/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sawEnd := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev server.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON %q: %v", sc.Text(), err)
+		}
+		if ev.Kind == server.EventEnd {
+			sawEnd = true
+			if ev.Final == nil || ev.Final.FramesTotal != 120 {
+				t.Fatalf("final = %+v, want a 120-frame run", ev.Final)
+			}
+		}
+	}
+	if !sawEnd {
+		t.Fatal("result stream ended without an end event")
+	}
+}

@@ -1,0 +1,112 @@
+package filters
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vmq/internal/video"
+)
+
+// Shared wraps a Backend with a bounded per-frame output cache, turning N
+// query pipelines that scan the same feed into one shared scan: whichever
+// pipeline reaches a frame first runs the network (and pays its virtual
+// cost); every other pipeline gets the cached Output for free. This is
+// sound for exactly the backends the pipelined executor can fan out — the
+// output must depend only on the frame, not on call order — and the
+// calibrated backends document that property. A backend that is not
+// concurrency-safe is still usable: Shared serialises its calls and the
+// memoisation makes the combination safe to share across goroutines.
+//
+// Entries are keyed by frame pointer (the fan-out tee delivers the same
+// *Frame to every subscriber) and evicted first-in-first-out once the
+// cache exceeds its capacity. Eviction never breaks correctness — a
+// pipeline trailing further behind than the capacity simply re-evaluates —
+// so the capacity only needs to cover the skew the bounded fan-out
+// channels allow.
+type Shared struct {
+	inner    Backend
+	capacity int
+	serial   bool // inner is not concurrency-safe: serialise its calls
+
+	mu      sync.Mutex
+	entries map[*video.Frame]*sharedEntry
+	order   []*video.Frame // FIFO eviction queue
+	evalMu  sync.Mutex
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// sharedEntry latches one frame's output: the Once guarantees a single
+// inner evaluation per cached frame even when pipelines race to it.
+type sharedEntry struct {
+	once sync.Once
+	out  *Output
+}
+
+// NewShared wraps inner with a cache of the given capacity (frames).
+// Capacity defaults to 4096 when non-positive — comfortably above the
+// skew the server's bounded channels permit between queries on one feed.
+func NewShared(inner Backend, capacity int) *Shared {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Shared{
+		inner:    inner,
+		capacity: capacity,
+		serial:   !ConcurrentSafe(inner),
+		entries:  make(map[*video.Frame]*sharedEntry, capacity),
+	}
+}
+
+// Inner returns the wrapped backend.
+func (s *Shared) Inner() Backend { return s.inner }
+
+// Technique implements Backend.
+func (s *Shared) Technique() Technique { return s.inner.Technique() }
+
+// Grid implements Backend.
+func (s *Shared) Grid() int { return s.inner.Grid() }
+
+// ConcurrentSafe implements ConcurrentBackend: the cache is mutex-guarded
+// and inner calls are serialised when the inner backend needs it, so
+// Shared may always be fanned out.
+func (s *Shared) ConcurrentSafe() bool { return true }
+
+// Stats reports cache hits (outputs served without an inner evaluation)
+// and misses (inner evaluations) so far.
+func (s *Shared) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Evaluate implements Backend. The first caller for a frame evaluates the
+// inner backend (charging its clock once); concurrent callers for the
+// same frame block until that evaluation completes and then share its
+// output.
+func (s *Shared) Evaluate(f *video.Frame) *Output {
+	s.mu.Lock()
+	e, ok := s.entries[f]
+	if !ok {
+		e = &sharedEntry{}
+		s.entries[f] = e
+		s.order = append(s.order, f)
+		if len(s.order) > s.capacity {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.entries, oldest)
+		}
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		s.misses.Add(1)
+		if s.serial {
+			s.evalMu.Lock()
+			defer s.evalMu.Unlock()
+		}
+		e.out = s.inner.Evaluate(f)
+	})
+	if ok {
+		s.hits.Add(1)
+	}
+	return e.out
+}

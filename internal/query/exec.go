@@ -23,6 +23,34 @@ type Engine struct {
 	// engine (one engine per camera, say) set it lower so the fleet's
 	// total worker count still matches the machine.
 	Workers int
+	// ChunkSize sets RunStream's pipeline granularity in frames. 0 (the
+	// default) selects a batch-friendly 32; latency-sensitive callers
+	// (the continuous-query server streaming matches off a paced live
+	// feed) set 1 so a match is confirmed as soon as its frame arrives
+	// instead of after a full chunk accumulates. Results are identical
+	// for every chunk size.
+	ChunkSize int
+	// Observe, when non-nil, receives one FrameObservation per executed
+	// frame, in frame order, from the confirmation stage. It is how
+	// long-running callers (the continuous-query server) stream matches
+	// out of an execution that has not finished yet. The callback runs on
+	// the confirmation goroutine: if it blocks, the pipeline back-pressures
+	// exactly as a slow detector would. It must not mutate the frame.
+	Observe func(FrameObservation)
+}
+
+// FrameObservation reports one frame's outcome as it leaves the engine's
+// confirmation stage.
+type FrameObservation struct {
+	// Index is the frame's position within the executed sequence (the same
+	// index Result.Matched records).
+	Index int
+	Frame *video.Frame
+	// Passed reports the filter verdict (always true when filtering is
+	// disabled).
+	Passed bool
+	// Matched reports whether the detector confirmed the predicate.
+	Matched bool
 }
 
 // Result summarises one monitoring-query execution.
@@ -77,15 +105,19 @@ func (e *Engine) RunSequential(plan *Plan, frames []*video.Frame) *Result {
 			res.VirtualTime += filterCost
 			pass = plan.Where.EvalFilter(out, f.Bounds, e.Tol)
 		}
-		if !pass {
-			continue
+		matched := false
+		if pass {
+			res.FilterPassed++
+			dets := e.Detector.Detect(f)
+			res.DetectorCalls++
+			res.VirtualTime += detectCost
+			if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
+				res.Matched = append(res.Matched, i)
+				matched = true
+			}
 		}
-		res.FilterPassed++
-		dets := e.Detector.Detect(f)
-		res.DetectorCalls++
-		res.VirtualTime += detectCost
-		if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
-			res.Matched = append(res.Matched, i)
+		if e.Observe != nil {
+			e.Observe(FrameObservation{Index: i, Frame: f, Passed: pass, Matched: matched})
 		}
 	}
 	return res
@@ -96,13 +128,19 @@ func (e *Engine) RunSequential(plan *Plan, frames []*video.Frame) *Result {
 func GroundTruth(plan *Plan, frames []*video.Frame) []bool {
 	out := make([]bool, len(frames))
 	for i, f := range frames {
-		if plan.Where == nil {
-			out[i] = true
-			continue
-		}
-		out[i] = plan.Where.EvalExact(truthDetections(f), f.Bounds)
+		out[i] = GroundTruthFrame(plan, f)
 	}
 	return out
+}
+
+// GroundTruthFrame evaluates the plan's predicate on one frame's simulator
+// ground truth. The server uses it to maintain online recall/precision
+// proxies for registered queries without charging any virtual cost.
+func GroundTruthFrame(plan *Plan, f *video.Frame) bool {
+	if plan.Where == nil {
+		return true
+	}
+	return plan.Where.EvalExact(truthDetections(f), f.Bounds)
 }
 
 // truthDetections converts a frame's ground truth into detections without

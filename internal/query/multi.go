@@ -26,6 +26,13 @@ type CameraFeed struct {
 type CameraResult struct {
 	CameraID string
 	Result   *Result
+	// Workers is the filter worker budget RunMulti granted this feed's
+	// engine: GOMAXPROCS divided across the fleet, floored at 1. With many
+	// feeds on few cores the budget silently degrades to one worker per
+	// feed, so the scheduling decision is surfaced here for the server's
+	// metrics endpoint and for tests to assert on. The engine may use
+	// fewer workers (a single-threaded backend always runs with one).
+	Workers int
 }
 
 // RunMulti executes the same bound query over several camera feeds
@@ -50,7 +57,11 @@ func RunMulti(plan *Plan, feeds []CameraFeed, tol Tolerances) []CameraResult {
 			defer wg.Done()
 			eng := &Engine{Backend: feed.Backend, Detector: feed.Detector, Tol: tol, Workers: perFeed}
 			src := &stream.SliceSource{Frames: feed.Frames}
-			out[i] = CameraResult{CameraID: feed.CameraID, Result: eng.RunStream(plan, src, len(feed.Frames))}
+			out[i] = CameraResult{
+				CameraID: feed.CameraID,
+				Result:   eng.RunStream(plan, src, len(feed.Frames)),
+				Workers:  perFeed,
+			}
 		}(i, feed)
 	}
 	wg.Wait()

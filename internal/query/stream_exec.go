@@ -20,10 +20,11 @@ type streamChunk struct {
 	pass   []bool // filter verdicts, set by the filter stage
 }
 
-// chunkSize balances channel overhead against pipeline latency: large
-// enough that per-chunk costs vanish next to filter evaluation, small
-// enough that the worker pool stays busy on short queries.
-const chunkSize = 32
+// defaultChunkSize balances channel overhead against pipeline latency:
+// large enough that per-chunk costs vanish next to filter evaluation,
+// small enough that the worker pool stays busy on short queries.
+// Engine.ChunkSize overrides it for latency-sensitive callers.
+const defaultChunkSize = 32
 
 // RunStream executes a bound monitoring query over up to n frames pulled
 // from src, overlapping the pipeline stages the sequential loop
@@ -59,6 +60,20 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 			workers = e.Workers
 		}
 	}
+	chunkSize := e.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = defaultChunkSize
+	}
+
+	// tokens bounds the chunks in flight between the source and the
+	// reorder stage. Without it a single stalled worker lets the others
+	// keep cycling: the reorder buffer would absorb every finished chunk
+	// while waiting for the stalled one, growing without bound. A token
+	// is taken per chunk read and returned when the chunk leaves the
+	// reorder stage, so total buffered memory stays O(workers·chunkSize)
+	// no matter how unevenly the workers run.
+	maxInflight := 3*workers + 2
+	tokens := make(chan struct{}, maxInflight)
 
 	// Stage 1: pull frames from the source and chunk them.
 	jobs := make(chan *streamChunk, workers)
@@ -69,6 +84,7 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 			if rem := n - start; rem < want {
 				want = rem
 			}
+			tokens <- struct{}{}
 			frames := stream.Take(src, want)
 			if len(frames) > 0 {
 				jobs <- &streamChunk{seq: start / chunkSize, start: start, frames: frames}
@@ -109,12 +125,13 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 		close(filtered)
 	}()
 
-	// Stage 3: reassemble chunks in stream order. The buffer holds at most
-	// one chunk per in-flight worker, so memory stays bounded.
+	// Stage 3: reassemble chunks in stream order. The token bound caps
+	// how many chunks can be waiting here for a straggler, so memory
+	// stays bounded even when one worker runs far behind its peers.
 	ordered := make(chan *streamChunk, workers)
 	go func() {
 		defer close(ordered)
-		pending := make(map[int]*streamChunk, workers)
+		pending := make(map[int]*streamChunk, maxInflight)
 		next := 0
 		for c := range filtered {
 			pending[c.seq] = c
@@ -126,6 +143,7 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 				delete(pending, next)
 				next++
 				ordered <- head
+				<-tokens
 			}
 		}
 	}()
@@ -144,15 +162,19 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 			if filtering {
 				res.VirtualTime += filterCost
 			}
-			if !c.pass[i] {
-				continue
+			matched := false
+			if c.pass[i] {
+				res.FilterPassed++
+				dets := e.Detector.Detect(f)
+				res.DetectorCalls++
+				res.VirtualTime += detectCost
+				if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
+					res.Matched = append(res.Matched, c.start+i)
+					matched = true
+				}
 			}
-			res.FilterPassed++
-			dets := e.Detector.Detect(f)
-			res.DetectorCalls++
-			res.VirtualTime += detectCost
-			if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
-				res.Matched = append(res.Matched, c.start+i)
+			if e.Observe != nil {
+				e.Observe(FrameObservation{Index: c.start + i, Frame: f, Passed: c.pass[i], Matched: matched})
 			}
 		}
 	}

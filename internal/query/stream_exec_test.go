@@ -87,6 +87,12 @@ func TestRunStreamMatchesSequential(t *testing.T) {
 			capped.Workers = 1
 			requireSameResult(t, "Workers=1",
 				capped.RunStream(plan, &stream.SliceSource{Frames: frames}, n), want)
+			// Nor does frame-at-a-time chunking (as the server uses for
+			// low-latency match streaming).
+			unchunked := mkEngine()
+			unchunked.ChunkSize = 1
+			requireSameResult(t, "ChunkSize=1",
+				unchunked.RunStream(plan, &stream.SliceSource{Frames: frames}, n), want)
 		})
 	}
 }
@@ -184,6 +190,61 @@ func TestRunStreamSingleWorkerForUnsafeBackend(t *testing.T) {
 	want := (&Engine{Backend: filters.NewODFilter(p, 8, nil), Detector: detect.NewOracle(nil), Tol: Tolerances{Count: 1}}).
 		RunSequential(plan, frames)
 	requireSameResult(t, "unsafe backend", res, want)
+}
+
+// The Observe hook fires once per frame, in frame order, on both
+// executors, and its Passed/Matched flags reconcile exactly with the
+// returned Result — the contract the continuous-query server's event
+// stream depends on.
+func TestEngineObserveHook(t *testing.T) {
+	p := video.Jackson()
+	plan := MustBind(parse(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`), p)
+	frames := video.NewStream(p, 21).Take(300)
+	run := func(label string, exec func(e *Engine) *Result) {
+		var obs []FrameObservation
+		eng := &Engine{
+			Backend:  filters.NewODFilter(p, 21, nil),
+			Detector: detect.NewOracle(nil),
+			Tol:      Tolerances{Count: 1},
+			Observe:  func(o FrameObservation) { obs = append(obs, o) },
+		}
+		res := exec(eng)
+		if len(obs) != res.FramesTotal {
+			t.Fatalf("%s: %d observations for %d frames", label, len(obs), res.FramesTotal)
+		}
+		var matched []int
+		passed := 0
+		for i, o := range obs {
+			if o.Index != i {
+				t.Fatalf("%s: observation %d carries index %d", label, i, o.Index)
+			}
+			if o.Frame != frames[i] {
+				t.Fatalf("%s: observation %d carries the wrong frame", label, i)
+			}
+			if o.Matched && !o.Passed {
+				t.Fatalf("%s: frame %d matched without passing the filter", label, i)
+			}
+			if o.Passed {
+				passed++
+			}
+			if o.Matched {
+				matched = append(matched, i)
+			}
+		}
+		if passed != res.FilterPassed {
+			t.Fatalf("%s: observed %d passes, result says %d", label, passed, res.FilterPassed)
+		}
+		if !reflect.DeepEqual(matched, res.Matched) {
+			t.Fatalf("%s: observed matches %v, result says %v", label, matched, res.Matched)
+		}
+		if len(matched) == 0 {
+			t.Fatalf("%s: degenerate case, nothing matched", label)
+		}
+	}
+	run("sequential", func(e *Engine) *Result { return e.RunSequential(plan, frames) })
+	run("stream", func(e *Engine) *Result {
+		return e.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))
+	})
 }
 
 // RunWindows on an exhausted source returns the completed windows'

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/stream"
+	"vmq/internal/video"
+)
+
+// FeedConfig describes one named live feed: where its frames come from
+// and the default operator stack queries on it share.
+type FeedConfig struct {
+	// Name is the feed's registry key; queries address it via their FROM
+	// clause, so it must match the profile name the VQL references.
+	Name string
+	// Profile is the dataset profile queries are bound against.
+	Profile video.Profile
+	// Source supplies the frames. A bounded source (a recording) ends the
+	// feed and every query on it gracefully; an unbounded one (a live
+	// camera) runs until the server closes.
+	Source stream.Source
+	// Backend is the default filter backend for queries on this feed. It
+	// is wrapped in a shared-scan memo, so no matter how many queries
+	// register, the network runs once per frame. Nil selects the OD
+	// family over the profile (the paper's best performer).
+	Backend filters.Backend
+	// NewDetector builds one confirmation detector per registered query.
+	// Detectors carry call-order-sensitive state (SimYOLO's RNG), so they
+	// cannot be shared the way filter outputs can. Nil selects the
+	// Mask R-CNN-stand-in oracle.
+	NewDetector func() detect.Detector
+	// FrameInterval paces the feed (e.g. 33 ms for a 30 fps camera).
+	// Zero runs as fast as the slowest query consumes.
+	FrameInterval time.Duration
+	// MaxFrames ends the feed after this many frames. Zero means
+	// unbounded (or until the source itself ends).
+	MaxFrames int
+}
+
+// LiveFeed is the standard synthetic live feed over a profile: an
+// unbounded simulator stream with the OD filter family and oracle
+// confirmation, deterministic for the seed.
+func LiveFeed(p video.Profile, seed uint64) FeedConfig {
+	return FeedConfig{
+		Name:    p.Name,
+		Profile: p,
+		Source:  stream.FromStream(video.NewStream(p, seed)),
+		Backend: filters.NewODFilter(p, seed, nil),
+	}
+}
+
+// feed is one running feed: the fan-out pump plus the shared-scan filter
+// memos queries on this feed draw from.
+type feed struct {
+	name    string
+	profile video.Profile
+	fanout  *stream.Fanout
+	newDet  func() detect.Detector
+	deflt   *filters.Shared
+
+	mu      sync.Mutex
+	shared  map[filters.Backend]*filters.Shared
+	started time.Time
+	running bool
+}
+
+func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap int) (*feed, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("server: feed needs a name")
+	}
+	if cfg.Name != cfg.Profile.Name {
+		return nil, fmt.Errorf("server: feed %q must carry its profile's name %q (VQL FROM clauses resolve against it)",
+			cfg.Name, cfg.Profile.Name)
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("server: feed %q needs a source", cfg.Name)
+	}
+	src := cfg.Source
+	if cfg.MaxFrames > 0 {
+		src = &limitSource{src: src, left: cfg.MaxFrames}
+	}
+	if cfg.FrameInterval > 0 {
+		src = &pacedSource{src: src, interval: cfg.FrameInterval}
+	}
+	backend := cfg.Backend
+	if backend == nil {
+		backend = filters.NewODFilter(cfg.Profile, 1, nil)
+	}
+	newDet := cfg.NewDetector
+	if newDet == nil {
+		newDet = func() detect.Detector { return detect.NewOracle(nil) }
+	}
+	f := &feed{
+		name:    cfg.Name,
+		profile: cfg.Profile,
+		fanout:  stream.NewFanout(src, fanoutBuffer),
+		newDet:  newDet,
+		shared:  make(map[filters.Backend]*filters.Shared),
+	}
+	f.deflt = filters.NewShared(backend, cacheCap)
+	f.shared[backend] = f.deflt
+	return f, nil
+}
+
+// sharedFor returns the feed's memoised wrapper for a backend, creating
+// one on first use so every query naming the same backend instance joins
+// the same shared scan. A nil backend selects the feed default.
+func (f *feed) sharedFor(b filters.Backend, cacheCap int) *filters.Shared {
+	if b == nil {
+		return f.deflt
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.shared[b]; ok {
+		return s
+	}
+	s := filters.NewShared(b, cacheCap)
+	f.shared[b] = s
+	return s
+}
+
+// start launches the pump goroutine (once).
+func (f *feed) start() {
+	f.mu.Lock()
+	if f.running {
+		f.mu.Unlock()
+		return
+	}
+	f.running = true
+	f.started = time.Now()
+	f.mu.Unlock()
+	go f.fanout.Run()
+}
+
+// limitSource caps a source at n frames.
+type limitSource struct {
+	src  stream.Source
+	left int
+}
+
+func (l *limitSource) Next() (*video.Frame, bool) {
+	if l.left <= 0 {
+		return nil, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// pacedSource spaces frames at least interval apart — a real-time camera
+// instead of a CPU-bound generator.
+type pacedSource struct {
+	src      stream.Source
+	interval time.Duration
+	last     time.Time
+}
+
+func (p *pacedSource) Next() (*video.Frame, bool) {
+	if !p.last.IsZero() {
+		if wait := p.interval - time.Since(p.last); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	p.last = time.Now()
+	return p.src.Next()
+}

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"vmq/internal/vql"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /queries              register a query (VQL text in, id out)
+//	GET    /queries              list registered queries
+//	GET    /queries/{id}/results stream results as NDJSON until the query ends
+//	DELETE /queries/{id}         unregister
+//	GET    /metrics              server telemetry snapshot
+//
+// POST accepts either a raw VQL statement (text/plain) or a JSON body
+// {"query": "...", "count_tolerance": n, "location_tolerance": n,
+// "max_frames": n, "samples": n, "seed": n}.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.handleRegister)
+	mux.HandleFunc("GET /queries", s.handleList)
+	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleUnregister)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// registerRequest is the JSON form of POST /queries.
+type registerRequest struct {
+	Query             string `json:"query"`
+	CountTolerance    *int   `json:"count_tolerance,omitempty"`
+	LocationTolerance *int   `json:"location_tolerance,omitempty"`
+	MaxFrames         int    `json:"max_frames,omitempty"`
+	Samples           int    `json:"samples,omitempty"`
+	Seed              uint64 `json:"seed,omitempty"`
+}
+
+// registerResponse answers POST /queries.
+type registerResponse struct {
+	ID    string `json:"id"`
+	Feed  string `json:"feed"`
+	Query string `json:"query"` // canonical rendering
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	req := registerRequest{}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "decode request: %v", err)
+			return
+		}
+	} else {
+		req.Query = string(body)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		httpError(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	q, err := vql.Parse(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	opt := Options{MaxFrames: req.MaxFrames, SampleSize: req.Samples, Seed: req.Seed}
+	if req.CountTolerance != nil || req.LocationTolerance != nil {
+		tol := *s.cfg.Tol
+		if req.CountTolerance != nil {
+			tol.Count = *req.CountTolerance
+		}
+		if req.LocationTolerance != nil {
+			tol.Location = *req.LocationTolerance
+		}
+		opt.Tol = &tol
+	}
+	reg, err := s.Register(q, opt)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(registerResponse{ID: reg.ID(), Feed: reg.Feed(), Query: reg.Query().String()})
+}
+
+// listedQuery is one row of GET /queries.
+type listedQuery struct {
+	ID    string `json:"id"`
+	Feed  string `json:"feed"`
+	Query string `json:"query"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]listedQuery, 0, len(s.regs))
+	for _, reg := range s.regs {
+		out = append(out, listedQuery{ID: reg.id, Feed: reg.feed.name, Query: reg.qry.String()})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return lessID(out[a].ID, out[b].ID) })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func lessID(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b) // q2 < q10
+	}
+	return a < b
+}
+
+// handleResults streams the query's events as newline-delimited JSON. The
+// connection stays open until the query ends, is unregistered, or the
+// client goes away; each event is flushed as it happens, so a curl client
+// sees matches live.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no query %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-reg.Results():
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Unregister(id); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"unregistered": id})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Metrics())
+}

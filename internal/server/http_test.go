@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vmq/internal/video"
+)
+
+func newHTTPServer(t *testing.T, n int) (*Server, *httptest.Server) {
+	t.Helper()
+	p := video.Jackson()
+	cfg, _ := clipFeed(p, 42, n)
+	srv := New(Config{})
+	if err := srv.AddFeed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// The full HTTP lifecycle: register with plain VQL text, stream NDJSON
+// results to completion, observe the query in listings and metrics, and
+// unregister.
+func TestHTTPQueryLifecycle(t *testing.T) {
+	_, ts := newHTTPServer(t, 300)
+
+	// Register with a raw VQL body.
+	resp, err := http.Post(ts.URL+"/queries", "text/plain",
+		strings.NewReader(`SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+	var created registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if created.ID == "" || created.Feed != "jackson" {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// The query shows up in the listing.
+	resp, err = http.Get(ts.URL + "/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []listedQuery
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed) != 1 || listed[0].ID != created.ID {
+		t.Fatalf("listing = %+v", listed)
+	}
+
+	// Stream results: NDJSON events ending with an "end" event carrying
+	// totals for the whole 300-frame clip.
+	resp, err = http.Get(ts.URL + "/queries/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results content type = %q", ct)
+	}
+	matches := 0
+	var final *Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Kind {
+		case EventMatch:
+			matches++
+		case EventEnd:
+			final = &ev
+		}
+	}
+	resp.Body.Close()
+	if final == nil || final.Final == nil {
+		t.Fatal("stream ended without an end event")
+	}
+	if final.Final.FramesTotal != 300 || matches != len(final.Final.Matched) {
+		t.Fatalf("streamed %d matches, final = %+v", matches, final.Final)
+	}
+	if matches == 0 {
+		t.Fatal("degenerate clip: nothing matched")
+	}
+
+	// Metrics report the feed and the (finished) query.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(m.Feeds) != 1 || m.Feeds[0].Frames != 300 {
+		t.Fatalf("metrics feeds = %+v", m.Feeds)
+	}
+	if len(m.Queries) != 1 || !m.Queries[0].Done || m.Queries[0].Matches != matches {
+		t.Fatalf("metrics queries = %+v", m.Queries)
+	}
+
+	// Unregister; the listing empties and a second delete 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/"+created.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE status = %d", resp.StatusCode)
+	}
+}
+
+// JSON registration bodies carry tolerances and budgets through to the
+// engine.
+func TestHTTPRegisterJSONOptions(t *testing.T) {
+	_, ts := newHTTPServer(t, 200)
+	body := `{"query": "SELECT FRAMES FROM jackson WHERE COUNT(car) = 1", "count_tolerance": 0, "location_tolerance": 0, "max_frames": 120}`
+	resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/queries/" + created.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final *Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == EventEnd {
+			final = &ev
+		}
+	}
+	resp.Body.Close()
+	if final == nil || final.Final == nil || final.Final.FramesTotal != 120 {
+		t.Fatalf("final = %+v, want a 120-frame run", final)
+	}
+}
+
+// Malformed registrations and unknown ids produce structured errors.
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newHTTPServer(t, 50)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/queries", "", http.StatusBadRequest},
+		{"POST", "/queries", "SELECT nonsense", http.StatusBadRequest},
+		{"POST", "/queries", "SELECT FRAMES FROM nosuchfeed WHERE COUNT(car) = 1", http.StatusUnprocessableEntity},
+		{"GET", "/queries/q999/results", "", http.StatusNotFound},
+		{"DELETE", "/queries/q999", "", http.StatusNotFound},
+		{"PUT", "/queries", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %s -> %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}

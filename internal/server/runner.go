@@ -1,0 +1,252 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"vmq/internal/detect"
+	"vmq/internal/filters"
+	"vmq/internal/metrics"
+	"vmq/internal/query"
+	"vmq/internal/stream"
+	"vmq/internal/video"
+	"vmq/internal/vql"
+)
+
+// Options tunes one query registration.
+type Options struct {
+	// Tol overrides the server's default filter tolerances.
+	Tol *query.Tolerances
+	// Backend overrides the feed's default filter backend (e.g. to put
+	// one query on the IC family). Registrations naming the same backend
+	// instance share one memoised scan of it.
+	Backend filters.Backend
+	// Detector overrides the feed's per-query detector factory.
+	Detector detect.Detector
+	// MaxFrames ends the query after this many frames (0 = until the
+	// feed ends or the query is unregistered).
+	MaxFrames int
+	// SampleSize is the detector sample budget per window for aggregate
+	// queries (default 200).
+	SampleSize int
+	// Seed seeds the window sampler (default 1).
+	Seed uint64
+	// ResultBuffer overrides the server's default event-channel buffer.
+	ResultBuffer int
+}
+
+// EventKind distinguishes the entries of a registration's result stream.
+type EventKind string
+
+// Event kinds.
+const (
+	// EventMatch reports one detector-confirmed frame of a monitoring
+	// query.
+	EventMatch EventKind = "match"
+	// EventWindow reports one completed window of a continuous aggregate
+	// query.
+	EventWindow EventKind = "window"
+	// EventEnd is the final entry before the stream closes, carrying the
+	// run's totals.
+	EventEnd EventKind = "end"
+)
+
+// Event is one entry in a registered query's result stream.
+type Event struct {
+	Kind    EventKind `json:"kind"`
+	QueryID string    `json:"query_id"`
+	Feed    string    `json:"feed"`
+
+	// Match events: Seq is the frame's index within the query's executed
+	// sequence (what Result.Matched records), FrameIndex the frame's
+	// global position in its camera stream, Objects its ground-truth
+	// object count. No omitempty — zero is a legitimate value for all
+	// three (a match on the very first frame), and NDJSON consumers must
+	// be able to tell it from an absent field.
+	Seq        int `json:"seq"`
+	FrameIndex int `json:"frame_index"`
+	Objects    int `json:"objects"`
+
+	// Window events.
+	WindowStart int                    `json:"window_start"`
+	Window      *query.AggregateResult `json:"window,omitempty"`
+
+	// End events.
+	Final *query.Result `json:"final,omitempty"`
+}
+
+// Registration is one continuous query registered against a feed.
+type Registration struct {
+	id   string
+	feed *feed
+	qry  *vql.Query
+	plan *query.Plan
+	sub  *stream.Subscription
+
+	events chan Event
+	done   chan struct{}
+
+	stats regStats
+}
+
+// regStats is the registration's live telemetry, updated from the
+// runner's confirmation stage and snapshotted by Metrics.
+type regStats struct {
+	mu           sync.Mutex
+	frames       int
+	passed       int
+	matches      int
+	windows      int
+	windowed     bool // the runner estimates windows; cost is per sample, not per frame
+	acc          metrics.BoolAccuracy
+	filterCost   time.Duration // per-frame filter charge (0 when not filtering)
+	detectCost   time.Duration // per-confirmation detector charge
+	virtualExtra time.Duration // window runners: per-sample cost actually paid
+	finished     bool
+}
+
+// ID returns the registration id the HTTP API addresses.
+func (r *Registration) ID() string { return r.id }
+
+// Feed returns the feed name the query runs on.
+func (r *Registration) Feed() string { return r.feed.name }
+
+// Query returns the registered query.
+func (r *Registration) Query() *vql.Query { return r.qry }
+
+// Results is the registration's event stream: matches (or window
+// estimates) as they confirm, then one EventEnd, then the channel closes.
+// The stream must be drained — an abandoned consumer eventually
+// back-pressures the whole feed, which is the lossless-delivery contract
+// (admission control is future work, see ROADMAP).
+func (r *Registration) Results() <-chan Event { return r.events }
+
+// Done closes when the runner has finished (feed ended, frame budget
+// reached, or unregistered).
+func (r *Registration) Done() <-chan struct{} { return r.done }
+
+// emit delivers an event unless the registration was cancelled (then the
+// consumer is gone and the event is dropped so the runner can wind down).
+func (r *Registration) emit(ev Event) {
+	ev.QueryID = r.id
+	ev.Feed = r.feed.name
+	select {
+	case r.events <- ev:
+	case <-r.sub.Cancelled():
+	}
+}
+
+// runMonitor executes a SELECT FRAMES query on the pipelined executor,
+// streaming matches out of the confirmation stage as they happen.
+func (r *Registration) runMonitor(eng *query.Engine, n int) {
+	defer close(r.done)
+	defer close(r.events)
+	defer r.sub.Cancel()
+	if n <= 0 {
+		n = math.MaxInt
+	}
+	eng.Observe = func(o query.FrameObservation) {
+		truth := query.GroundTruthFrame(r.plan, o.Frame)
+		r.stats.mu.Lock()
+		r.stats.frames++
+		if o.Passed {
+			r.stats.passed++
+		}
+		if o.Matched {
+			r.stats.matches++
+		}
+		r.stats.acc.Observe(o.Matched, truth)
+		r.stats.mu.Unlock()
+		if o.Matched {
+			r.emit(Event{
+				Kind:       EventMatch,
+				Seq:        o.Index,
+				FrameIndex: o.Frame.Index,
+				Objects:    len(o.Frame.Objects),
+			})
+		}
+	}
+	res := eng.RunStream(r.plan, r.sub, n)
+	r.stats.mu.Lock()
+	r.stats.finished = true
+	r.stats.mu.Unlock()
+	r.emit(Event{Kind: EventEnd, Final: res})
+}
+
+// runWindows executes a windowed aggregate query continuously: it builds
+// each window incrementally from the subscription (hopping windows tile
+// or skip, sliding windows overlap) and emits one estimate per window
+// until the feed ends or the query is unregistered.
+func (r *Registration) runWindows(backend filters.Backend, det detect.Detector, cfg query.AggregateConfig, maxFrames int) {
+	defer close(r.done)
+	defer close(r.events)
+	defer r.sub.Cancel()
+	w := r.qry.Window
+	if maxFrames <= 0 {
+		maxFrames = math.MaxInt
+	}
+	var (
+		buf      []*video.Frame
+		start    int // stream position of buf[0] within the subscription
+		consumed int
+	)
+	next := func() (*video.Frame, bool) {
+		if consumed >= maxFrames {
+			return nil, false
+		}
+		f, ok := r.sub.Next()
+		if ok {
+			consumed++
+			r.stats.mu.Lock()
+			r.stats.frames++
+			r.stats.mu.Unlock()
+		}
+		return f, ok
+	}
+	for {
+		for len(buf) < w.Size {
+			f, ok := next()
+			if !ok {
+				r.finishWindows()
+				return
+			}
+			buf = append(buf, f)
+		}
+		frames := make([]*video.Frame, w.Size)
+		copy(frames, buf)
+		res, err := query.RunAggregate(r.plan, frames, backend, det, cfg)
+		if err != nil {
+			// Unreachable for a bound aggregate query over a full window;
+			// finish rather than wedge the feed.
+			r.finishWindows()
+			return
+		}
+		r.stats.mu.Lock()
+		r.stats.windows++
+		r.stats.virtualExtra += res.VirtualTimePerSample * time.Duration(res.Samples)
+		r.stats.mu.Unlock()
+		r.emit(Event{Kind: EventWindow, WindowStart: start, Window: res})
+		if w.Kind == vql.Sliding && w.Advance < w.Size {
+			buf = buf[:copy(buf, buf[w.Advance:])]
+			start += w.Advance
+		} else {
+			buf = buf[:0]
+			start += w.Size
+			for skip := w.Size; skip < w.Advance; skip++ {
+				if _, ok := next(); !ok {
+					r.finishWindows()
+					return
+				}
+				start++
+			}
+		}
+	}
+}
+
+func (r *Registration) finishWindows() {
+	r.stats.mu.Lock()
+	r.stats.finished = true
+	r.stats.mu.Unlock()
+	r.emit(Event{Kind: EventEnd})
+}

@@ -1,0 +1,460 @@
+// Package server is the continuous-query layer over the vmq engine: the
+// paper's deployment model is standing monitoring queries evaluated
+// forever over live camera feeds, and this package turns the one-shot
+// executor of internal/query into that serving system.
+//
+// Clients register parsed VQL queries against named feeds and receive a
+// stream of results (matches for monitoring queries, per-window estimates
+// for aggregates) on a channel. Per feed, a shared-scan schedule keeps
+// the marginal cost of another query near zero on the filter stage: the
+// feed is decoded once (stream.Fanout tees the same frames to every
+// query's pipeline) and each distinct filter backend is evaluated once
+// per frame (filters.Shared memoises outputs across the pipelines), so N
+// queries sharing a backend cost one network scan plus N cheap predicate
+// evaluations — only the per-query confirmation detectors scale with N,
+// and those the filters already keep rare. Each query still runs the
+// pipelined executor of internal/query end to end, which is what makes
+// its results field-identical to a standalone RunStream over the same
+// frames.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vmq/internal/query"
+	"vmq/internal/stream"
+	"vmq/internal/vql"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// Tol is the default filter tolerance pair for registered queries
+	// (CCF-1/CLF-1 when zero — the robust general-purpose combination).
+	Tol *query.Tolerances
+	// FanoutBuffer is the per-query frame buffer of each feed tee
+	// (default 64): how far queries on one feed may drift apart before
+	// the slowest throttles the rest.
+	FanoutBuffer int
+	// ResultBuffer is the default event-channel buffer per registration
+	// (default 64).
+	ResultBuffer int
+	// SharedCacheCap caps each shared filter memo, in frames
+	// (default 4096).
+	SharedCacheCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tol == nil {
+		c.Tol = &query.Tolerances{Count: 1, Location: 1}
+	}
+	if c.FanoutBuffer <= 0 {
+		c.FanoutBuffer = 64
+	}
+	if c.ResultBuffer <= 0 {
+		c.ResultBuffer = 64
+	}
+	if c.SharedCacheCap <= 0 {
+		c.SharedCacheCap = 4096
+	}
+	return c
+}
+
+// Server hosts named feeds and the continuous queries registered on them.
+type Server struct {
+	cfg      Config
+	birth    time.Time
+	mu       sync.Mutex
+	feeds    map[string]*feed
+	regs     map[string]*Registration
+	finished []string // finished registration ids, oldest first
+	nextID   int
+	started  bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// retainFinished caps how many finished registrations the server keeps
+// around for inspection (listings, metrics). Beyond it the oldest
+// finished ones are dropped, so a long-running server with query churn
+// does not grow its registry — and its /metrics payload — without bound.
+const retainFinished = 64
+
+// New creates an empty server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:   cfg.withDefaults(),
+		birth: time.Now(),
+		feeds: make(map[string]*feed),
+		regs:  make(map[string]*Registration),
+	}
+}
+
+// AddFeed registers a named feed. Feeds added after Start begin pumping
+// immediately; feeds added before Start wait for it.
+func (s *Server) AddFeed(cfg FeedConfig) error {
+	f, err := newFeed(cfg, s.cfg.FanoutBuffer, s.cfg.SharedCacheCap)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("server: closed")
+	}
+	if _, dup := s.feeds[f.name]; dup {
+		return fmt.Errorf("server: feed %q already exists", f.name)
+	}
+	s.feeds[f.name] = f
+	if s.started {
+		f.start()
+	}
+	return nil
+}
+
+// Feeds lists the configured feed names, sorted.
+func (s *Server) Feeds() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.feeds))
+	for n := range s.feeds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Start begins pumping every feed. Frames only flow to feeds with at
+// least one registered query, so starting an idle server is free.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	for _, f := range s.feeds {
+		f.start()
+	}
+}
+
+// Register binds q against the feed its FROM clause names and starts its
+// runner. The returned registration's Results channel must be drained.
+// Registering before Start is how a batch of queries is guaranteed to see
+// the feed's very first frame; registering later joins mid-stream.
+func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: closed")
+	}
+	f, ok := s.feeds[q.Source]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: no feed %q (have %v)", q.Source, s.feedNamesLocked())
+	}
+	s.nextID++
+	id := fmt.Sprintf("q%d", s.nextID)
+	s.mu.Unlock()
+
+	plan, err := query.Bind(q, f.profile)
+	if err != nil {
+		return nil, err
+	}
+	isWindowed := q.Select.Kind != vql.SelectFrames
+	if isWindowed && q.Window == nil {
+		return nil, fmt.Errorf("server: continuous aggregate query needs a WINDOW clause")
+	}
+	if !isWindowed && q.Window != nil && q.Window.Advance < q.Window.Size {
+		return nil, fmt.Errorf("server: SELECT FRAMES does not take a sliding window")
+	}
+
+	tol := *s.cfg.Tol
+	if opt.Tol != nil {
+		tol = *opt.Tol
+	}
+	det := opt.Detector
+	if det == nil {
+		det = f.newDet()
+	}
+	backend := f.sharedFor(opt.Backend, s.cfg.SharedCacheCap)
+	buffer := opt.ResultBuffer
+	if buffer <= 0 {
+		buffer = s.cfg.ResultBuffer
+	}
+
+	r := &Registration{
+		id:     id,
+		feed:   f,
+		qry:    q,
+		plan:   plan,
+		sub:    f.fanout.Subscribe(),
+		events: make(chan Event, buffer),
+		done:   make(chan struct{}),
+	}
+	r.stats.detectCost = det.Cost().PerCall
+	r.stats.windowed = isWindowed
+	if plan.Where != nil && !isWindowed {
+		r.stats.filterCost = backend.Technique().Cost().PerCall
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		r.sub.Cancel()
+		return nil, fmt.Errorf("server: closed")
+	}
+	s.regs[id] = r
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	if isWindowed {
+		sampleSize := opt.SampleSize
+		if sampleSize <= 0 {
+			sampleSize = 200
+		}
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		cfg := query.AggregateConfig{
+			SampleSize:       sampleSize,
+			Sampler:          stream.NewUniformSampler(seed),
+			MuFromFullWindow: true,
+		}
+		go func() {
+			defer s.wg.Done()
+			r.runWindows(backend, det, cfg, opt.MaxFrames)
+			s.retire(id)
+		}()
+	} else {
+		// ChunkSize 1: a monitoring server exists to surface matches the
+		// moment they happen, so the pipeline must not sit on a partial
+		// chunk waiting for a paced feed to fill it.
+		eng := &query.Engine{Backend: backend, Detector: det, Tol: tol, ChunkSize: 1}
+		go func() {
+			defer s.wg.Done()
+			r.runMonitor(eng, opt.MaxFrames)
+			s.retire(id)
+		}()
+	}
+	return r, nil
+}
+
+// retire records that a registration's runner finished on its own,
+// evicting the oldest finished registrations beyond the retention cap.
+// (Unregister removes entries directly; a stale id in the finished list
+// is then a harmless no-op delete.)
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.regs[id]; !ok {
+		return // already unregistered
+	}
+	s.finished = append(s.finished, id)
+	for len(s.finished) > retainFinished {
+		delete(s.regs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+func (s *Server) feedNamesLocked() []string {
+	names := make([]string, 0, len(s.feeds))
+	for n := range s.feeds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns a registration by id.
+func (s *Server) Get(id string) (*Registration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.regs[id]
+	return r, ok
+}
+
+// Unregister cancels a query: its runner winds down, emits nothing
+// further, and closes the result stream. The registration disappears
+// from the metrics snapshot.
+func (s *Server) Unregister(id string) error {
+	s.mu.Lock()
+	r, ok := s.regs[id]
+	if ok {
+		delete(s.regs, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no query %q", id)
+	}
+	r.sub.Cancel()
+	<-r.done
+	return nil
+}
+
+// Close stops every feed and query and waits for the runners. The server
+// cannot be restarted.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	feeds := make([]*feed, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	regs := make([]*Registration, 0, len(s.regs))
+	for _, r := range s.regs {
+		regs = append(regs, r)
+	}
+	s.mu.Unlock()
+	for _, r := range regs {
+		r.sub.Cancel()
+	}
+	for _, f := range feeds {
+		f.fanout.Stop()
+		f.start() // a never-started pump still needs its Run to observe Stop and close subscriptions
+	}
+	s.wg.Wait()
+}
+
+// Metrics is the server-wide telemetry snapshot the /metrics endpoint
+// serves.
+type Metrics struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Feeds         []FeedMetrics  `json:"feeds"`
+	Queries       []QueryMetrics `json:"queries"`
+}
+
+// FeedMetrics is one feed's share of the snapshot.
+type FeedMetrics struct {
+	Name string `json:"name"`
+	// Frames is the number of frames the pump has dispatched.
+	Frames int64 `json:"frames"`
+	// FramesPerSec is the dispatch rate since the pump started.
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// Queries is the number of live subscriptions.
+	Queries int `json:"queries"`
+	// SharedFilters reports each memoised backend's shared-scan economy.
+	SharedFilters []SharedFilterMetrics `json:"shared_filters"`
+}
+
+// SharedFilterMetrics reports one shared backend's cache counters: Misses
+// is the number of true network evaluations, Hits the evaluations other
+// queries got for free.
+type SharedFilterMetrics struct {
+	Technique string  `json:"technique"`
+	Misses    int64   `json:"evaluations"`
+	Hits      int64   `json:"hits"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// QueryMetrics is one registration's share of the snapshot.
+type QueryMetrics struct {
+	ID    string `json:"id"`
+	Feed  string `json:"feed"`
+	Query string `json:"query"`
+	Done  bool   `json:"done"`
+	// Frames/FilterPassed/DetectorCalls/Matches mirror query.Result for
+	// the frames processed so far.
+	Frames        int     `json:"frames"`
+	FilterPassed  int     `json:"filter_passed"`
+	DetectorCalls int     `json:"detector_calls"`
+	Matches       int     `json:"matches"`
+	Windows       int     `json:"windows"`
+	Selectivity   float64 `json:"selectivity"`
+	// Recall and Precision are online proxies against simulator ground
+	// truth (internal/metrics.BoolAccuracy over per-frame outcomes).
+	Recall    float64 `json:"recall"`
+	Precision float64 `json:"precision"`
+	// QueueDepth is the query's backlog in its feed tee.
+	QueueDepth int `json:"queue_depth"`
+	// VirtualTimeMs is the simulated pipeline cost so far.
+	VirtualTimeMs float64 `json:"virtual_time_ms"`
+}
+
+// Metrics snapshots the server.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	feeds := make([]*feed, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	regs := make([]*Registration, 0, len(s.regs))
+	for _, r := range s.regs {
+		regs = append(regs, r)
+	}
+	s.mu.Unlock()
+
+	m := Metrics{UptimeSeconds: time.Since(s.birth).Seconds()}
+	for _, f := range feeds {
+		fm := FeedMetrics{
+			Name:    f.name,
+			Frames:  f.fanout.Frames(),
+			Queries: f.fanout.Subscribers(),
+		}
+		f.mu.Lock()
+		if f.running {
+			if secs := time.Since(f.started).Seconds(); secs > 0 {
+				fm.FramesPerSec = float64(fm.Frames) / secs
+			}
+		}
+		for _, sh := range f.shared {
+			hits, misses := sh.Stats()
+			sf := SharedFilterMetrics{
+				Technique: sh.Technique().String(),
+				Misses:    misses,
+				Hits:      hits,
+			}
+			if hits+misses > 0 {
+				sf.HitRate = float64(hits) / float64(hits+misses)
+			}
+			fm.SharedFilters = append(fm.SharedFilters, sf)
+		}
+		f.mu.Unlock()
+		sort.Slice(fm.SharedFilters, func(a, b int) bool {
+			return fm.SharedFilters[a].Technique < fm.SharedFilters[b].Technique
+		})
+		m.Feeds = append(m.Feeds, fm)
+	}
+	sort.Slice(m.Feeds, func(a, b int) bool { return m.Feeds[a].Name < m.Feeds[b].Name })
+
+	for _, r := range regs {
+		r.stats.mu.Lock()
+		qm := QueryMetrics{
+			ID:            r.id,
+			Feed:          r.feed.name,
+			Query:         r.qry.String(),
+			Done:          r.stats.finished,
+			Frames:        r.stats.frames,
+			FilterPassed:  r.stats.passed,
+			DetectorCalls: r.stats.passed,
+			Matches:       r.stats.matches,
+			Windows:       r.stats.windows,
+			Recall:        r.stats.acc.Recall(),
+			Precision:     r.stats.acc.Precision(),
+			QueueDepth:    r.sub.Depth(),
+		}
+		if r.stats.frames > 0 {
+			qm.Selectivity = float64(r.stats.passed) / float64(r.stats.frames)
+		}
+		// Window runners pay per sampled frame (virtualExtra), monitor
+		// runners per frame filtered plus per confirmation.
+		virtual := r.stats.virtualExtra
+		if !r.stats.windowed {
+			virtual += r.stats.filterCost*time.Duration(r.stats.frames) +
+				r.stats.detectCost*time.Duration(r.stats.passed)
+		}
+		qm.VirtualTimeMs = float64(virtual) / float64(time.Millisecond)
+		r.stats.mu.Unlock()
+		m.Queries = append(m.Queries, qm)
+	}
+	sort.Slice(m.Queries, func(a, b int) bool { return lessID(m.Queries[a].ID, m.Queries[b].ID) })
+	return m
+}

@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vmq/internal/video"
+)
+
+// Fanout pumps frames from one source to every current subscriber — the
+// shared-scan tee of the continuous-query server: a camera feed is decoded
+// once and the same *Frame pointers flow into every registered query's
+// pipeline. Delivery is lossless and ordered: the pump blocks until every
+// subscriber has accepted the frame into its bounded buffer, so the
+// slowest query back-pressures the feed instead of dropping frames or
+// buffering without bound. Subscribers may join and leave while the pump
+// runs; a new subscriber sees frames from its subscription point onward.
+type Fanout struct {
+	src    Source
+	buffer int
+	frames atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	subs    map[*Subscription]struct{}
+	stopped bool
+	done    bool // pump finished; late subscriptions are born closed
+}
+
+// NewFanout wraps src. Each subscription gets a bounded frame buffer of
+// the given size (minimum 1): larger buffers absorb more skew between
+// queries before the slowest one throttles the rest.
+func NewFanout(src Source, buffer int) *Fanout {
+	if buffer < 1 {
+		buffer = 1
+	}
+	f := &Fanout{src: src, buffer: buffer, subs: make(map[*Subscription]struct{})}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Subscription is one subscriber's view of the fanout: a Source that
+// yields the feed's frames from the subscription point until the feed
+// ends or Cancel is called.
+type Subscription struct {
+	ch     chan *video.Frame
+	cancel chan struct{}
+	once   sync.Once
+}
+
+// Next implements Source. After Cancel it returns false immediately, even
+// if frames remain buffered; after the feed ends it drains the buffer
+// first.
+func (s *Subscription) Next() (*video.Frame, bool) {
+	select {
+	case <-s.cancel:
+		return nil, false
+	default:
+	}
+	select {
+	case f, ok := <-s.ch:
+		if !ok {
+			return nil, false
+		}
+		return f, true
+	case <-s.cancel:
+		return nil, false
+	}
+}
+
+// Cancel detaches the subscription: the pump stops delivering to it and
+// Next returns false from now on. Safe to call more than once, and safe
+// concurrently with Next.
+func (s *Subscription) Cancel() { s.once.Do(func() { close(s.cancel) }) }
+
+// Cancelled closes when Cancel is called — for selects that must abandon
+// work the moment the subscriber detaches.
+func (s *Subscription) Cancelled() <-chan struct{} { return s.cancel }
+
+// Depth reports how many frames are buffered and not yet consumed — the
+// per-query queue depth the metrics endpoint exposes.
+func (s *Subscription) Depth() int { return len(s.ch) }
+
+// Subscribe attaches a new subscriber. If the pump has already finished,
+// the subscription is born exhausted (Next returns false).
+func (f *Fanout) Subscribe() *Subscription {
+	sub := &Subscription{ch: make(chan *video.Frame, f.buffer), cancel: make(chan struct{})}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		close(sub.ch)
+		return sub
+	}
+	f.subs[sub] = struct{}{}
+	f.cond.Broadcast() // wake a pump idling on an empty subscriber set
+	return sub
+}
+
+// Frames reports how many frames the pump has dispatched so far.
+func (f *Fanout) Frames() int64 { return f.frames.Load() }
+
+// Subscribers reports the current subscriber count.
+func (f *Fanout) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// Stop ends the pump after the in-flight frame. Idempotent.
+func (f *Fanout) Stop() {
+	f.mu.Lock()
+	f.stopped = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Run pumps the source until it is exhausted or Stop is called, then
+// closes every remaining subscription so each query drains its buffer and
+// ends gracefully. While no subscriber is attached the pump idles without
+// consuming the source — a bounded recording must not drain before the
+// first query registers. Run returns the number of frames dispatched; it
+// must be called at most once.
+func (f *Fanout) Run() int64 {
+	for {
+		subs := f.waitSubscribers()
+		if subs == nil {
+			break // stopped
+		}
+		frame, ok := f.src.Next()
+		if !ok {
+			break
+		}
+		f.frames.Add(1)
+		for _, sub := range subs {
+			select {
+			case sub.ch <- frame:
+			case <-sub.cancel:
+				f.drop(sub)
+			}
+		}
+	}
+	f.mu.Lock()
+	f.done = true
+	for sub := range f.subs {
+		close(sub.ch)
+		delete(f.subs, sub)
+	}
+	f.mu.Unlock()
+	return f.frames.Load()
+}
+
+// waitSubscribers blocks until at least one subscriber is attached (or
+// the fanout is stopped, returning nil) and snapshots the subscriber set.
+func (f *Fanout) waitSubscribers() []*Subscription {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.subs) == 0 && !f.stopped {
+		f.cond.Wait()
+	}
+	if f.stopped {
+		return nil
+	}
+	out := make([]*Subscription, 0, len(f.subs))
+	for sub := range f.subs {
+		out = append(out, sub)
+	}
+	return out
+}
+
+// drop removes a cancelled subscription from the delivery set.
+func (f *Fanout) drop(sub *Subscription) {
+	f.mu.Lock()
+	delete(f.subs, sub)
+	f.mu.Unlock()
+}

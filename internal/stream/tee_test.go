@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"vmq/internal/video"
+)
+
+func takeFrames(t *testing.T, p video.Profile, seed uint64, n int) []*video.Frame {
+	t.Helper()
+	return video.NewStream(p, seed).Take(n)
+}
+
+// Every subscriber of a fanout sees every frame, in order, as the same
+// pointers the source produced — the invariant the shared-scan memo cache
+// keys on.
+func TestFanoutDeliversAllFramesToAllSubscribers(t *testing.T) {
+	frames := takeFrames(t, video.Jackson(), 7, 300)
+	fo := NewFanout(&SliceSource{Frames: frames}, 8)
+	const subscribers = 5
+	subs := make([]*Subscription, subscribers)
+	for i := range subs {
+		subs[i] = fo.Subscribe()
+	}
+	var wg sync.WaitGroup
+	got := make([][]*video.Frame, subscribers)
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub *Subscription) {
+			defer wg.Done()
+			for {
+				f, ok := sub.Next()
+				if !ok {
+					return
+				}
+				got[i] = append(got[i], f)
+			}
+		}(i, sub)
+	}
+	if n := fo.Run(); n != int64(len(frames)) {
+		t.Fatalf("pump dispatched %d frames, want %d", n, len(frames))
+	}
+	wg.Wait()
+	for i, g := range got {
+		if len(g) != len(frames) {
+			t.Fatalf("subscriber %d saw %d frames, want %d", i, len(g), len(frames))
+		}
+		for j, f := range g {
+			if f != frames[j] {
+				t.Fatalf("subscriber %d frame %d is not the source pointer", i, j)
+			}
+		}
+	}
+}
+
+// The pump idles while nobody is subscribed: a bounded recording must not
+// drain before the first query registers.
+func TestFanoutIdlesWithoutSubscribers(t *testing.T) {
+	frames := takeFrames(t, video.Jackson(), 8, 50)
+	fo := NewFanout(&SliceSource{Frames: frames}, 4)
+	done := make(chan int64, 1)
+	go func() { done <- fo.Run() }()
+	// Nothing consumed yet: the source still holds every frame.
+	if fo.Frames() != 0 {
+		t.Fatalf("pump consumed %d frames with no subscribers", fo.Frames())
+	}
+	sub := fo.Subscribe()
+	seen := 0
+	for {
+		_, ok := sub.Next()
+		if !ok {
+			break
+		}
+		seen++
+	}
+	if n := <-done; n != 50 || seen != 50 {
+		t.Fatalf("dispatched %d, subscriber saw %d, want 50/50", n, seen)
+	}
+}
+
+// Cancelling one subscription ends that query immediately without
+// disturbing the others, and Stop ends the pump even mid-stream.
+func TestFanoutCancelAndStop(t *testing.T) {
+	src := FromStream(video.NewStream(video.Jackson(), 9)) // unbounded
+	fo := NewFanout(src, 4)
+	keeper, quitter := fo.Subscribe(), fo.Subscribe()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	kept := 0
+	go func() { // quitter drains until its cancellation takes effect
+		defer wg.Done()
+		for {
+			if _, ok := quitter.Next(); !ok {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			_, ok := keeper.Next()
+			if !ok {
+				return
+			}
+			kept++
+			if kept == 20 {
+				quitter.Cancel()
+			}
+			if kept == 60 {
+				fo.Stop()
+			}
+		}
+	}()
+	fo.Run()
+	wg.Wait()
+	if kept < 60 {
+		t.Fatalf("keeper saw only %d frames", kept)
+	}
+	if _, ok := quitter.Next(); ok {
+		t.Fatal("cancelled subscription still yields frames")
+	}
+	// Subscribing after the pump finished yields an exhausted source.
+	late := fo.Subscribe()
+	if _, ok := late.Next(); ok {
+		t.Fatal("late subscription yielded a frame")
+	}
+}
+
+// A subscriber joining mid-stream sees only frames from its subscription
+// point onward, still in order.
+func TestFanoutLateSubscriberJoinsMidStream(t *testing.T) {
+	frames := takeFrames(t, video.Jackson(), 10, 200)
+	fo := NewFanout(&SliceSource{Frames: frames}, 4)
+	early := fo.Subscribe()
+	handoff := make(chan *Subscription, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for {
+			_, ok := early.Next()
+			if !ok {
+				return
+			}
+			n++
+			if n == 50 {
+				handoff <- fo.Subscribe()
+			}
+		}
+	}()
+	go fo.Run()
+	late := <-handoff
+	var lateFirst *video.Frame
+	lateSeen := 0
+	for {
+		f, ok := late.Next()
+		if !ok {
+			break
+		}
+		if lateFirst == nil {
+			lateFirst = f
+		}
+		lateSeen++
+	}
+	wg.Wait()
+	if lateFirst == nil || lateFirst.Index < 49 {
+		t.Fatalf("late subscriber started at %v, want a mid-stream frame", lateFirst)
+	}
+	if lateSeen == 0 || lateSeen > 151 {
+		t.Fatalf("late subscriber saw %d frames", lateSeen)
+	}
+}

@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` output into the JSON
+// artifact CI publishes per commit (BENCH_<sha>.json), so the repository's
+// performance trajectory — ns/op, allocs/op and the domain metrics the
+// benchmarks report (frames/s, backend-evals/frame, variance reductions)
+// — is machine-readable run over run.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -sha $GITHUB_SHA > BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the artifact's top level.
+type Report struct {
+	SHA        string      `json:"sha,omitempty"`
+	GoVersion  string      `json:"go,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Pkg  string `json:"pkg,omitempty"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the benchmark name (0 if absent).
+	Procs      int `json:"procs,omitempty"`
+	Iterations int `json:"iterations"`
+	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op" plus any
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	sha := flag.String("sha", "", "commit sha recorded in the artifact")
+	goVersion := flag.String("go", "", "go version recorded in the artifact")
+	flag.Parse()
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	report.SHA = *sha
+	report.GoVersion = *goVersion
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: warning: no benchmark lines found")
+	}
+}
+
+// parse reads `go test -bench` output: "pkg:" headers set the current
+// package, "Benchmark..." result lines become entries, everything else
+// (goos/goarch/cpu headers, PASS/ok trailers, test logs) is ignored.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b.Pkg = pkg
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	return report, sc.Err()
+}
+
+// parseLine decodes one result line:
+//
+//	BenchmarkRunStream-8   100  12345 ns/op  67 B/op  8 allocs/op  90.5 frames/s
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	if name, procs, ok := splitProcs(fields[0]); ok {
+		b.Name, b.Procs = name, procs
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// splitProcs strips the -GOMAXPROCS suffix the bench runner appends.
+func splitProcs(name string) (string, int, bool) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return "", 0, false
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return "", 0, false
+	}
+	return name[:i], procs, true
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: vmq
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunSequential-8   	      22	  50123456 ns/op	 1234567 B/op	    4567 allocs/op	     39902 frames/s
+BenchmarkRunStream-8       	      85	  13456789 ns/op	 2345678 B/op	    7890 allocs/op	    148623 frames/s
+BenchmarkServerFanout-8    	       3	   5647476 ns/op	         1.000 backend-evals/frame	    725301 query-frames/s
+PASS
+ok  	vmq	12.345s
+pkg: vmq/internal/grid
+BenchmarkDilate	     100	    123456 ns/op
+PASS
+ok  	vmq/internal/grid	1.2s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(report.Benchmarks))
+	}
+	seq := report.Benchmarks[0]
+	if seq.Name != "BenchmarkRunSequential" || seq.Procs != 8 || seq.Pkg != "vmq" || seq.Iterations != 22 {
+		t.Fatalf("sequential = %+v", seq)
+	}
+	if seq.Metrics["ns/op"] != 50123456 || seq.Metrics["allocs/op"] != 4567 {
+		t.Fatalf("sequential metrics = %+v", seq.Metrics)
+	}
+	fanout := report.Benchmarks[2]
+	if fanout.Name != "BenchmarkServerFanout" || fanout.Metrics["backend-evals/frame"] != 1.0 {
+		t.Fatalf("fanout = %+v", fanout)
+	}
+	// The perf trajectory's key comparison survives the round trip.
+	if !(report.Benchmarks[1].Metrics["ns/op"] < seq.Metrics["ns/op"]) {
+		t.Fatal("sample lost the stream-vs-sequential ordering")
+	}
+	// A name without a -procs suffix and a line from a later pkg header.
+	dilate := report.Benchmarks[3]
+	if dilate.Name != "BenchmarkDilate" || dilate.Procs != 0 || dilate.Pkg != "vmq/internal/grid" {
+		t.Fatalf("dilate = %+v", dilate)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noisy := `random log line
+Benchmark	garbage
+BenchmarkNoMetrics-4	12
+--- BENCH: BenchmarkX-4
+    bench_test.go:10: some log
+`
+	report, err := parse(strings.NewReader(noisy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %+v", report.Benchmarks)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"vmq/internal/detect"
 	"vmq/internal/filters"
 	"vmq/internal/query"
+	"vmq/internal/server"
 	"vmq/internal/simclock"
 	"vmq/internal/stream"
 	"vmq/internal/video"
@@ -69,7 +70,45 @@ type (
 	FrameRef = query.FrameRef
 	// MergedResult is a multi-camera roll-up with per-camera attribution.
 	MergedResult = query.MergedResult
+	// Server hosts continuous queries over named live feeds with
+	// shared-scan scheduling (one filter evaluation per frame, however
+	// many queries share the feed).
+	Server = server.Server
+	// ServerConfig tunes a Server.
+	ServerConfig = server.Config
+	// FeedConfig describes one named live feed.
+	FeedConfig = server.FeedConfig
+	// Registration is one continuous query registered on a Server.
+	Registration = server.Registration
+	// RegistrationOptions tunes one query registration.
+	RegistrationOptions = server.Options
+	// Event is one entry in a registration's result stream.
+	Event = server.Event
+	// ServerMetrics is the server telemetry snapshot.
+	ServerMetrics = server.Metrics
 )
+
+// Continuous-query event kinds.
+const (
+	// EventMatch reports one confirmed frame of a monitoring query.
+	EventMatch = server.EventMatch
+	// EventWindow reports one completed window of an aggregate query.
+	EventWindow = server.EventWindow
+	// EventEnd closes a registration's stream with the run's totals.
+	EventEnd = server.EventEnd
+)
+
+// NewServer creates a continuous-query server. Add feeds (LiveFeed, or a
+// custom FeedConfig over any Source), Register parsed queries, then
+// Start; each registration's Results channel streams matches or window
+// estimates until the feed ends or the query is unregistered. Server
+// .Handler() exposes the same lifecycle over HTTP (see cmd/vmq serve).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// LiveFeed is the standard synthetic live feed over a profile: an
+// unbounded simulator stream with OD filtering and oracle confirmation,
+// deterministic for the seed.
+func LiveFeed(p Profile, seed uint64) FeedConfig { return server.LiveFeed(p, seed) }
 
 // ErrStreamExhausted is returned (wrapped) when a bounded source runs out
 // of frames before a window or batch completes.

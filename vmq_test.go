@@ -126,3 +126,41 @@ func TestBindErrorSurfaceted(t *testing.T) {
 		t.Fatal("mismatched source accepted")
 	}
 }
+
+func TestServerFacade(t *testing.T) {
+	srv := vmq.NewServer(vmq.ServerConfig{})
+	if err := srv.AddFeed(vmq.LiveFeed(vmq.Jackson(), 42)); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	q, err := vmq.ParseQuery(`SELECT FRAMES FROM jackson WHERE COUNT(car) >= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := srv.Register(q, vmq.RegistrationOptions{MaxFrames: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	matches := 0
+	var final *vmq.Event
+	for ev := range reg.Results() {
+		switch ev.Kind {
+		case vmq.EventMatch:
+			matches++
+		case vmq.EventEnd:
+			e := ev
+			final = &e
+		}
+	}
+	if final == nil || final.Final == nil || final.Final.FramesTotal != 200 {
+		t.Fatalf("final = %+v", final)
+	}
+	if matches != len(final.Final.Matched) || matches == 0 {
+		t.Fatalf("streamed %d matches, final reports %d", matches, len(final.Final.Matched))
+	}
+	m := srv.Metrics()
+	if len(m.Feeds) != 1 || len(m.Queries) != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
