@@ -12,6 +12,7 @@ import (
 	"vmq/internal/detect"
 	"vmq/internal/experiments"
 	"vmq/internal/filters"
+	"vmq/internal/grid"
 	"vmq/internal/query"
 	"vmq/internal/server"
 	"vmq/internal/stream"
@@ -229,6 +230,92 @@ func BenchmarkRunSequential(b *testing.B) {
 func BenchmarkRunStream(b *testing.B) {
 	plan, frames, mk := benchEngineSetup(b)
 	eng := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))
+	}
+	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// --- Trained-backend benchmarks: batched vs per-frame inference path ---
+
+// benchTrainedSetup builds the real-CNN workload: an untrained OD branch
+// network (random weights exercise the same kernels as trained ones) over
+// a Jackson clip under a count query.
+func benchTrainedSetup(b *testing.B) (*query.Plan, []*video.Frame, *filters.Trained) {
+	b.Helper()
+	p := video.Jackson()
+	q, err := vql.Parse(`SELECT FRAMES FROM jackson WHERE COUNT(car) >= 1`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := query.MustBind(q, p)
+	frames := video.NewStream(p, 17).Take(256)
+	backend := filters.NewUntrained(filters.OD, p, filters.TrainedConfig{Img: 48, Channels: 16, Seed: 17}, nil)
+	return plan, frames, backend
+}
+
+// perFrameTrained reproduces the pre-batching inference path — rasterise
+// one frame, run the naive per-frame Forward, build the Output — hiding
+// the backend's BatchBackend implementation from the engine. It is the
+// baseline BenchmarkRunStreamBatched is measured against.
+type perFrameTrained struct {
+	inner   *filters.Trained
+	classes []video.Class
+}
+
+func newPerFrameTrained(inner *filters.Trained, p video.Profile) *perFrameTrained {
+	t := &perFrameTrained{inner: inner}
+	for _, cm := range p.Classes {
+		t.classes = append(t.classes, cm.Class)
+	}
+	return t
+}
+
+func (t *perFrameTrained) Technique() filters.Technique { return t.inner.Technique() }
+func (t *perFrameTrained) Grid() int                    { return t.inner.Grid() }
+
+func (t *perFrameTrained) Evaluate(f *video.Frame) *filters.Output {
+	img := video.Render(f, t.inner.Img, t.inner.Img, t.inner.NoiseSeed)
+	counts, maps := t.inner.Net.Forward(img)
+	out := &filters.Output{}
+	g := t.inner.Net.Grid()
+	plane := g * g
+	for ci, cls := range t.classes {
+		v := float64(counts.Data[ci])
+		out.Counts[cls] = v
+		out.Total += v
+		gm := grid.NewMap(g)
+		copy(gm.Cells, maps.Data[ci*plane:(ci+1)*plane])
+		out.Maps[cls] = gm.Threshold(t.inner.Threshold)
+	}
+	return out
+}
+
+// BenchmarkRunStreamBatched runs the pipelined executor with the trained
+// backend's native batch path: each 32-frame chunk is rasterised into one
+// NCHW batch and pushed through one GEMM per layer on the reusable arena.
+func BenchmarkRunStreamBatched(b *testing.B) {
+	plan, frames, backend := benchTrainedSetup(b)
+	eng := &query.Engine{Backend: backend, Detector: detect.NewOracle(nil), Tol: query.Tolerances{Count: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))
+	}
+	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkRunStreamTrainedPerFrame is the pre-batching baseline: the
+// same executor and workload, but every frame takes the naive per-frame
+// forward with fresh allocations at each layer.
+func BenchmarkRunStreamTrainedPerFrame(b *testing.B) {
+	plan, frames, backend := benchTrainedSetup(b)
+	p := video.Jackson()
+	eng := &query.Engine{
+		Backend:  newPerFrameTrained(backend, p),
+		Detector: detect.NewOracle(nil),
+		Tol:      query.Tolerances{Count: 1},
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))

@@ -68,6 +68,11 @@ func (o *Oracle) Detect(f *video.Frame) []Detection {
 // Cost implements Detector.
 func (o *Oracle) Cost() simclock.Cost { return simclock.CostMaskRCNN }
 
+// OrderInsensitiveDetections implements OrderInsensitive: the oracle
+// copies ground truth, so its detections are a pure function of the frame
+// and may be shared across queries via a Memo.
+func (o *Oracle) OrderInsensitiveDetections() bool { return true }
+
 // SimYOLO simulates a full YOLOv2 pass: boxes are jittered by a few pixels
 // (localisation remains strong), heavily-overlapping same-class detections
 // are merged (undercounting in dense frames) and a small fraction of

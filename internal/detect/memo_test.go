@@ -1,0 +1,87 @@
+package detect
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+)
+
+func TestOrderInsensitiveDeclarations(t *testing.T) {
+	if !IsOrderInsensitive(NewOracle(nil)) {
+		t.Fatal("oracle must declare order-insensitive detections")
+	}
+	if IsOrderInsensitive(NewSimYOLO(nil, 1)) {
+		t.Fatal("SimYOLO's RNG is call-order sensitive; it must not qualify")
+	}
+	if NewMemo(NewSimYOLO(nil, 1), 0) != nil {
+		t.Fatal("NewMemo must refuse an order-sensitive detector")
+	}
+}
+
+// The memo serves identical detections to every query while running the
+// inner detector (and charging its clock) once per frame.
+func TestMemoSharesDetections(t *testing.T) {
+	p := video.Detrac()
+	frames := video.NewStream(p, 21).Take(48)
+	clk := simclock.New()
+	memo := NewMemo(NewOracle(clk), 0)
+	if memo == nil {
+		t.Fatal("memo over the oracle must construct")
+	}
+	if memo.Cost() != simclock.CostMaskRCNN {
+		t.Fatalf("cost not forwarded: %+v", memo.Cost())
+	}
+
+	const queries = 5
+	var wg sync.WaitGroup
+	outs := make([][][]Detection, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for _, f := range frames {
+				outs[q] = append(outs[q], memo.Detect(f))
+			}
+		}(q)
+	}
+	wg.Wait()
+
+	if got := clk.Calls("mask-rcnn"); got != int64(len(frames)) {
+		t.Fatalf("inner detector ran %d times for %d frames x %d queries", got, len(frames), queries)
+	}
+	hits, misses := memo.Stats()
+	if misses != int64(len(frames)) || hits != int64((queries-1)*len(frames)) {
+		t.Fatalf("stats = %d hits / %d misses", hits, misses)
+	}
+	reference := NewOracle(nil)
+	for q := 0; q < queries; q++ {
+		for i, f := range frames {
+			if !reflect.DeepEqual(outs[q][i], reference.Detect(f)) {
+				t.Fatalf("query %d frame %d: memoised detections diverge from a fresh oracle", q, i)
+			}
+		}
+	}
+}
+
+// Eviction bounds the cache without breaking correctness.
+func TestMemoEviction(t *testing.T) {
+	p := video.Jackson()
+	frames := video.NewStream(p, 22).Take(40)
+	clk := simclock.New()
+	memo := NewMemo(NewOracle(clk), 8)
+	for _, f := range frames {
+		memo.Detect(f)
+	}
+	reference := NewOracle(nil)
+	for _, f := range frames {
+		if !reflect.DeepEqual(memo.Detect(f), reference.Detect(f)) {
+			t.Fatalf("frame %d: post-eviction detections diverge", f.Index)
+		}
+	}
+	if got := clk.Calls("mask-rcnn"); got != int64(2*len(frames)) {
+		t.Fatalf("inner ran %d times, want %d (full re-evaluation after thrash)", got, 2*len(frames))
+	}
+}

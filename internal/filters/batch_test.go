@@ -2,6 +2,7 @@ package filters
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -66,6 +67,126 @@ func TestEvaluateBatchFallback(t *testing.T) {
 	}
 	if got := EvaluateBatch(NewICFilter(p, 7, nil), nil); len(got) != 0 {
 		t.Fatalf("empty native batch produced %d outputs", len(got))
+	}
+}
+
+// EvaluateBatchInto must append into the caller's slice without
+// reallocating when capacity suffices — the aliasing rule the pipelined
+// executor's per-worker scratch depends on.
+func TestEvaluateBatchIntoReusesDst(t *testing.T) {
+	p := video.Jackson()
+	frames := video.NewStream(p, 9).Take(8)
+	scratch := make([]*Output, 0, 16)
+	for _, b := range []Backend{
+		NewICFilter(p, 9, nil),                       // native batch path
+		&plainBackend{inner: NewICFilter(p, 9, nil)}, // per-frame fallback
+		NewShared(NewICFilter(p, 9, nil), 0),         // memoised batch path
+	} {
+		got := EvaluateBatchInto(b, frames, scratch[:0])
+		if len(got) != len(frames) {
+			t.Fatalf("%T: got %d outputs", b, len(got))
+		}
+		if &got[0] != &scratch[:1][0] {
+			t.Errorf("%T: EvaluateBatchInto reallocated despite sufficient capacity", b)
+		}
+	}
+}
+
+// The trained backends' native batch path must match per-frame evaluation
+// exactly — batching must not change a single verdict. NewUntrained skips
+// the slow training loop; random weights exercise the same kernels.
+func TestTrainedEvaluateBatchMatchesEvaluate(t *testing.T) {
+	p := video.Jackson()
+	frames := video.NewStream(p, 11).Take(40)
+	cfg := TrainedConfig{Img: 32, Channels: 8, Seed: 11}
+	for _, tech := range []Technique{IC, OD} {
+		batched := NewUntrained(tech, p, cfg, simclock.New())
+		single := NewUntrained(tech, p, cfg, simclock.New())
+		outs := EvaluateBatch(batched, frames)
+		for i, f := range frames {
+			if !reflect.DeepEqual(outs[i], single.Evaluate(f)) {
+				t.Fatalf("%v frame %d: batched output diverged from per-frame", tech, i)
+			}
+		}
+		if got := batched.Clock.Calls(tech.Cost().Name); got != int64(len(frames)) {
+			t.Fatalf("%v batch clock charges = %d, want %d", tech, got, len(frames))
+		}
+	}
+	// Chunk-size independence: evaluating in uneven chunks must yield the
+	// same outputs as one big batch.
+	whole := NewUntrained(OD, p, cfg, nil)
+	chunked := NewUntrained(OD, p, cfg, nil)
+	want := EvaluateBatch(whole, frames)
+	var got []*Output
+	for i := 0; i < len(frames); {
+		n := 1 + (i*7)%5
+		if i+n > len(frames) {
+			n = len(frames) - i
+		}
+		got = chunked.EvaluateBatch(frames[i:i+n], got)
+		i += n
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("chunked evaluation diverged from one whole batch")
+	}
+}
+
+// Shared.EvaluateBatch fills the memo with one inner batch call, serves
+// cached frames as hits, and returns outputs identical to Evaluate's.
+func TestSharedEvaluateBatch(t *testing.T) {
+	p := video.Jackson()
+	inner := &countingBackend{Backend: NewODFilter(p, 13, nil)}
+	shared := NewShared(inner, 0)
+	frames := video.NewStream(p, 13).Take(32)
+
+	// Warm the first half per-frame, then batch over everything.
+	for _, f := range frames[:16] {
+		shared.Evaluate(f)
+	}
+	outs := EvaluateBatch(shared, frames)
+	if got := inner.Calls(); got != len(frames) {
+		t.Fatalf("inner evaluated %d times, want %d", got, len(frames))
+	}
+	hits, misses := shared.Stats()
+	if misses != int64(len(frames)) || hits != 16 {
+		t.Fatalf("stats = %d hits / %d misses", hits, misses)
+	}
+	reference := NewODFilter(p, 13, nil)
+	for i, f := range frames {
+		if !reflect.DeepEqual(outs[i], reference.Evaluate(f)) {
+			t.Fatalf("frame %d: batch output diverges from standalone", i)
+		}
+	}
+}
+
+// Concurrent overlapping batches (and per-frame lookups racing them) each
+// evaluate a frame at most once in total; run under -race this also
+// checks the claim/fill protocol.
+func TestSharedEvaluateBatchConcurrent(t *testing.T) {
+	p := video.Jackson()
+	inner := &countingBackend{Backend: NewODFilter(p, 14, nil)}
+	shared := NewShared(inner, 0)
+	frames := video.NewStream(p, 14).Take(96)
+	var wg sync.WaitGroup
+	for q := 0; q < 6; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			if q%2 == 0 {
+				var outs []*Output
+				for i := 0; i+8 <= len(frames); i += 8 {
+					outs = shared.EvaluateBatch(frames[i:i+8], outs[:0])
+				}
+			} else {
+				for _, f := range frames {
+					shared.Evaluate(f)
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	if got := inner.Calls(); got != len(frames) {
+		t.Fatalf("inner evaluated %d times for %d frames", got, len(frames))
 	}
 }
 

@@ -159,14 +159,14 @@ func (c *Calibrated) Evaluate(f *video.Frame) *Output {
 
 // EvaluateBatch implements BatchBackend: identical per-frame outputs, but
 // the virtual cost is charged (and the clock mutex taken) once for the
-// whole batch.
-func (c *Calibrated) EvaluateBatch(frames []*video.Frame) []*Output {
+// whole batch. Outputs are appended to dst per the interface's aliasing
+// rule.
+func (c *Calibrated) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output {
 	c.Clock.Charge(c.Tech.Cost(), int64(len(frames)))
-	out := make([]*Output, len(frames))
-	for i, f := range frames {
-		out[i] = c.eval(f)
+	for _, f := range frames {
+		dst = append(dst, c.eval(f))
 	}
-	return out
+	return dst
 }
 
 // ConcurrentSafe implements ConcurrentBackend: evaluation state is a

@@ -103,29 +103,43 @@ type Backend interface {
 
 // BatchBackend is implemented by backends with a native multi-frame
 // evaluation path that amortises per-call overhead (clock locking,
-// dispatch, batched tensor layouts) across a whole batch.
+// dispatch, batched tensor layouts and GEMMs) across a whole batch.
 type BatchBackend interface {
 	Backend
-	// EvaluateBatch evaluates frames in order, returning one Output per
-	// frame. It must produce the same outputs as len(frames) Evaluate
-	// calls and charge the same total cost.
-	EvaluateBatch(frames []*video.Frame) []*Output
+	// EvaluateBatch evaluates frames in order, appending one Output per
+	// frame to dst and returning the extended slice (dst may be nil). It
+	// must produce the same outputs as len(frames) Evaluate calls and
+	// charge the same total cost.
+	//
+	// Aliasing rule: the returned slice shares dst's backing array when
+	// capacity allows, so callers on a hot path pass dst[:0] of a slice
+	// they own and reuse it between calls. The *Output values themselves
+	// may be shared with other callers (memoised backends return cached
+	// pointers) and must be treated as immutable.
+	EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output
 }
 
 // EvaluateBatch evaluates frames through b's native batch path when it
 // implements BatchBackend, and otherwise falls back to one Evaluate call
-// per frame. It is the default wrapper the execution engines use, so any
-// backend gains batching by implementing BatchBackend — no engine changes
-// needed.
+// per frame. Allocation-sensitive callers use EvaluateBatchInto.
 func EvaluateBatch(b Backend, frames []*video.Frame) []*Output {
+	return EvaluateBatchInto(b, frames, nil)
+}
+
+// EvaluateBatchInto evaluates frames like EvaluateBatch, appending the
+// outputs to dst and returning the extended slice. It is the wrapper the
+// execution engines use, so any backend gains batching by implementing
+// BatchBackend — no engine changes needed. The BatchBackend aliasing rule
+// applies: the result may share dst's backing array, and the *Output
+// values must not be mutated.
+func EvaluateBatchInto(b Backend, frames []*video.Frame, dst []*Output) []*Output {
 	if bb, ok := b.(BatchBackend); ok {
-		return bb.EvaluateBatch(frames)
+		return bb.EvaluateBatch(frames, dst)
 	}
-	out := make([]*Output, len(frames))
-	for i, f := range frames {
-		out[i] = b.Evaluate(f)
+	for _, f := range frames {
+		dst = append(dst, b.Evaluate(f))
 	}
-	return out
+	return dst
 }
 
 // ConcurrentBackend is implemented by backends whose Evaluate may be

@@ -17,6 +17,11 @@ import (
 // concurrency-safe is still usable: Shared serialises its calls and the
 // memoisation makes the combination safe to share across goroutines.
 //
+// Shared is batch-aware: EvaluateBatch claims every uncached frame of the
+// batch in one pass and fills the memo with a single inner batch
+// evaluation, so the server's micro-batched shared scan pays batched GEMM
+// rates while individual per-frame lookups stay cheap hits.
+//
 // Entries are keyed by frame pointer (the fan-out tee delivers the same
 // *Frame to every subscriber) and evicted first-in-first-out once the
 // cache exceeds its capacity. Eviction never breaks correctness — a
@@ -37,11 +42,13 @@ type Shared struct {
 	misses atomic.Int64
 }
 
-// sharedEntry latches one frame's output: the Once guarantees a single
-// inner evaluation per cached frame even when pipelines race to it.
+// sharedEntry latches one frame's output. The caller that created the
+// entry owns filling it: it evaluates the inner backend, sets out and
+// closes ready; every other caller blocks on ready and shares the output.
+// Batch claims latch many entries with one inner evaluation.
 type sharedEntry struct {
-	once sync.Once
-	out  *Output
+	ready chan struct{}
+	out   *Output
 }
 
 // NewShared wraps inner with a cache of the given capacity (frames).
@@ -79,34 +86,93 @@ func (s *Shared) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
+// claim returns the entry for f and whether the caller owns filling it
+// (true exactly once per cached lifetime of the frame).
+func (s *Shared) claim(f *video.Frame) (*sharedEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[f]; ok {
+		return e, false
+	}
+	e := &sharedEntry{ready: make(chan struct{})}
+	s.entries[f] = e
+	s.order = append(s.order, f)
+	if len(s.order) > s.capacity {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, oldest)
+	}
+	return e, true
+}
+
 // Evaluate implements Backend. The first caller for a frame evaluates the
 // inner backend (charging its clock once); concurrent callers for the
 // same frame block until that evaluation completes and then share its
 // output.
 func (s *Shared) Evaluate(f *video.Frame) *Output {
-	s.mu.Lock()
-	e, ok := s.entries[f]
-	if !ok {
-		e = &sharedEntry{}
-		s.entries[f] = e
-		s.order = append(s.order, f)
-		if len(s.order) > s.capacity {
-			oldest := s.order[0]
-			s.order = s.order[1:]
-			delete(s.entries, oldest)
+	e, owned := s.claim(f)
+	if !owned {
+		s.hits.Add(1)
+		<-e.ready
+		return e.out
+	}
+	s.misses.Add(1)
+	if s.serial {
+		s.evalMu.Lock()
+		e.out = s.inner.Evaluate(f)
+		s.evalMu.Unlock()
+	} else {
+		e.out = s.inner.Evaluate(f)
+	}
+	close(e.ready)
+	return e.out
+}
+
+// EvaluateBatch implements BatchBackend: uncached frames are claimed in
+// one pass and evaluated through the inner backend's batch path in a
+// single call (one clock transaction, batched GEMMs for the trained
+// backends); cached frames are served from the memo. Appends to dst per
+// the interface's aliasing rule. Concurrent batches racing over
+// overlapping frames each evaluate only the frames they claimed first,
+// then wait for the rest — every frame is still evaluated exactly once
+// per cached lifetime.
+func (s *Shared) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output {
+	if len(frames) == 0 {
+		return dst
+	}
+	entries := make([]*sharedEntry, len(frames))
+	var ownedFrames []*video.Frame
+	var ownedEntries []*sharedEntry
+	for i, f := range frames {
+		e, owned := s.claim(f)
+		entries[i] = e
+		if owned {
+			ownedFrames = append(ownedFrames, f)
+			ownedEntries = append(ownedEntries, e)
 		}
 	}
-	s.mu.Unlock()
-	e.once.Do(func() {
-		s.misses.Add(1)
+	s.misses.Add(int64(len(ownedFrames)))
+	s.hits.Add(int64(len(frames) - len(ownedFrames)))
+	if len(ownedFrames) > 0 {
+		// Fill owned entries before waiting on anyone else's: claim order
+		// guarantees another batch can only be waiting on entries we own,
+		// never the reverse cyclically, so this cannot deadlock.
+		var outs []*Output
 		if s.serial {
 			s.evalMu.Lock()
-			defer s.evalMu.Unlock()
+			outs = EvaluateBatchInto(s.inner, ownedFrames, nil)
+			s.evalMu.Unlock()
+		} else {
+			outs = EvaluateBatchInto(s.inner, ownedFrames, nil)
 		}
-		e.out = s.inner.Evaluate(f)
-	})
-	if ok {
-		s.hits.Add(1)
+		for i, e := range ownedEntries {
+			e.out = outs[i]
+			close(e.ready)
+		}
 	}
-	return e.out
+	for _, e := range entries {
+		<-e.ready
+		dst = append(dst, e.out)
+	}
+	return dst
 }

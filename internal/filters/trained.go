@@ -31,6 +31,14 @@ type Trained struct {
 	NoiseSeed uint64
 
 	classes []video.Class
+
+	// arena and batch are the reusable inference buffers behind the
+	// batched forward pass; they are what makes Trained single-threaded
+	// (it deliberately does not implement ConcurrentBackend — the
+	// executors serialise its calls, and batching inside one call is where
+	// its parallelism comes from).
+	arena nn.Arena
+	batch *tensor.Tensor
 }
 
 // TrainedConfig controls training of a Trained backend.
@@ -189,6 +197,9 @@ type TrainedCOF struct {
 	Clock     *simclock.Clock
 	Img       int
 	NoiseSeed uint64
+
+	arena nn.Arena
+	batch *tensor.Tensor
 }
 
 // TrainCOF trains the count-optimized classifier on rasterised frames of
@@ -223,11 +234,28 @@ func (t *TrainedCOF) Technique() Technique { return OD }
 // Grid implements Backend; COF produces no location maps.
 func (t *TrainedCOF) Grid() int { return 1 }
 
-// Evaluate implements Backend: only the total count is populated.
+// Evaluate implements Backend: only the total count is populated. Like
+// Trained, it routes through the batched pass with a batch of one.
 func (t *TrainedCOF) Evaluate(f *video.Frame) *Output {
-	t.Clock.Charge(OD.Cost(), 1)
-	img := video.Render(f, t.Img, t.Img, t.NoiseSeed)
-	return &Output{Total: t.Net.Forward(img)}
+	var out [1]*Output
+	t.EvaluateBatch([]*video.Frame{f}, out[:0])
+	return out[0]
+}
+
+// EvaluateBatch implements BatchBackend for the count-only branch.
+func (t *TrainedCOF) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output {
+	if len(frames) == 0 {
+		return dst
+	}
+	t.Clock.Charge(OD.Cost(), int64(len(frames)))
+	var batch *tensor.Tensor
+	batch, t.batch = renderBatchInto(t.batch, frames, t.Img, t.NoiseSeed)
+	t.arena.Reset()
+	totals := t.Net.ForwardBatch(&t.arena, batch)
+	for i := range frames {
+		dst = append(dst, &Output{Total: float64(totals.Data[i])})
+	}
+	return dst
 }
 
 // NewUntrained builds a Trained backend with freshly initialised weights
@@ -273,21 +301,63 @@ func (t *Trained) Technique() Technique { return t.Tech }
 // Grid implements Backend.
 func (t *Trained) Grid() int { return t.Net.Grid() }
 
-// Evaluate implements Backend.
+// Evaluate implements Backend. It routes through the batched forward pass
+// with a batch of one, so chunked and per-frame execution produce
+// bit-identical outputs (the batched kernels accumulate in the same order
+// for every batch width).
 func (t *Trained) Evaluate(f *video.Frame) *Output {
-	t.Clock.Charge(t.Tech.Cost(), 1)
-	img := video.Render(f, t.Img, t.Img, t.NoiseSeed)
-	counts, maps := t.Net.Forward(img)
-	out := &Output{}
+	var out [1]*Output
+	t.EvaluateBatch([]*video.Frame{f}, out[:0])
+	return out[0]
+}
+
+// EvaluateBatch implements BatchBackend: the frames are rasterised into
+// one NCHW batch and pushed through a single ForwardBatch — one GEMM per
+// layer for the whole batch, no per-frame allocations — with the total
+// virtual cost charged in one clock transaction. Outputs are appended to
+// dst per the interface's aliasing rule.
+func (t *Trained) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output {
+	if len(frames) == 0 {
+		return dst
+	}
+	t.Clock.Charge(t.Tech.Cost(), int64(len(frames)))
+	var batch *tensor.Tensor
+	batch, t.batch = renderBatchInto(t.batch, frames, t.Img, t.NoiseSeed)
+	t.arena.Reset()
+	counts, maps := t.Net.ForwardBatch(&t.arena, batch)
 	g := t.Net.Grid()
 	plane := g * g
-	for ci, cls := range t.classes {
-		v := float64(counts.Data[ci])
-		out.Counts[cls] = v
-		out.Total += v
-		gm := grid.NewMap(g)
-		copy(gm.Cells, maps.Data[ci*plane:(ci+1)*plane])
-		out.Maps[cls] = gm.Threshold(t.Threshold)
+	nc := t.Net.Classes()
+	for i := range frames {
+		out := &Output{}
+		for ci, cls := range t.classes {
+			v := float64(counts.Data[i*nc+ci])
+			out.Counts[cls] = v
+			out.Total += v
+			gm := grid.NewMap(g)
+			copy(gm.Cells, maps.Data[(i*nc+ci)*plane:(i*nc+ci+1)*plane])
+			out.Maps[cls] = gm.Threshold(t.Threshold)
+		}
+		dst = append(dst, out)
 	}
-	return out
+	return dst
+}
+
+// renderBatchInto rasterises frames into the reusable NCHW batch buffer
+// buf (grown when too small): frame n's CHW image is the contiguous slab
+// at n·3·img², so the rasteriser writes each frame in place with no
+// copies. It returns the N×3×img×img view over the frames just rendered
+// and the (possibly regrown) buffer for the caller to retain.
+func renderBatchInto(buf *tensor.Tensor, frames []*video.Frame, img int, noiseSeed uint64) (batch, store *tensor.Tensor) {
+	n := len(frames)
+	if buf == nil || buf.Shape[0] < n {
+		buf = tensor.New(n, 3, img, img)
+	}
+	data := buf.Data[:n*3*img*img]
+	view := tensor.Tensor{Shape: []int{3, img, img}}
+	for i, f := range frames {
+		view.Data = data[i*3*img*img : (i+1)*3*img*img]
+		video.RenderInto(&view, f, noiseSeed)
+	}
+	return &tensor.Tensor{Shape: []int{n, 3, img, img}, Data: data}, buf
 }

@@ -28,6 +28,50 @@ func BenchmarkCountLocNetForward(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardBatch measures the batched inference hot path: 32
+// frames per ForwardBatch through the arena-backed one-GEMM-per-layer
+// kernels. Compare against BenchmarkForwardPerFrame (the same 32 frames
+// through the per-frame training-path Forward): the batched pass is the
+// production inference path and must be at least 2x the frames/s at a
+// fraction of the allocations.
+func BenchmarkForwardBatch(b *testing.B) {
+	net, _ := benchNet(b)
+	rng := rand.New(rand.NewPCG(2, 2))
+	const batchN = 32
+	batch := tensor.New(batchN, 3, 32, 32)
+	batch.RandN(rng, 1)
+	ar := &Arena{}
+	ar.Reset()
+	net.ForwardBatch(ar, batch) // warm the arena
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.Reset()
+		net.ForwardBatch(ar, batch)
+	}
+	b.ReportMetric(float64(batchN)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkForwardPerFrame is the per-frame baseline over the identical
+// 32-frame workload.
+func BenchmarkForwardPerFrame(b *testing.B) {
+	net, _ := benchNet(b)
+	rng := rand.New(rand.NewPCG(2, 2))
+	const batchN = 32
+	batch := tensor.New(batchN, 3, 32, 32)
+	batch.RandN(rng, 1)
+	frames := make([]*tensor.Tensor, batchN)
+	for f := range frames {
+		frames[f] = tensor.FromSlice(batch.Data[f*3*32*32:(f+1)*3*32*32], 3, 32, 32)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range frames {
+			net.Forward(f)
+		}
+	}
+	b.ReportMetric(float64(batchN)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
 // BenchmarkCountLocNetTrainStep measures one full forward/backward/step
 // under the Eq. 2 multi-task loss.
 func BenchmarkCountLocNetTrainStep(b *testing.B) {

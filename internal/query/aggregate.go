@@ -154,11 +154,22 @@ func RunAggregate(plan *Plan, frames []*video.Frame, backend filters.Backend, de
 	muZ := make([]float64, d)
 	controlAt := make(map[int][]float64, cfg.SampleSize)
 	if cfg.MuFromFullWindow {
-		for i, f := range frames {
-			z := ControlValues(plan, backend.Evaluate(f), f)
-			controlAt[i] = z
-			for j, v := range z {
-				muZ[j] += v
+		// The full-window control scan goes through the backend's batch
+		// path (batched GEMMs for trained backends; under the server's
+		// shared scan, a memo fill all co-registered queries reuse) in
+		// bounded chunks, so peak memory stays O(chunk) however large the
+		// window is.
+		const scanChunk = 64
+		var outs []*filters.Output
+		for start := 0; start < n; start += scanChunk {
+			end := min(start+scanChunk, n)
+			outs = filters.EvaluateBatchInto(backend, frames[start:end], outs[:0])
+			for k, f := range frames[start:end] {
+				z := ControlValues(plan, outs[k], f)
+				controlAt[start+k] = z
+				for j, v := range z {
+					muZ[j] += v
+				}
 			}
 		}
 		for j := range muZ {

@@ -96,13 +96,18 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 	}()
 
 	// Stage 2: filter fan-out. Each worker evaluates whole chunks through
-	// the backend's batch path and records per-frame verdicts.
+	// the backend's batch path — one clock transaction and, for the
+	// trained backends, one GEMM per layer per chunk — into a per-worker
+	// scratch slice reused across chunks (the EvaluateBatchInto aliasing
+	// rule), so the steady-state filter stage allocates only the verdict
+	// slices that travel with the chunk.
 	filtered := make(chan *streamChunk, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var outs []*filters.Output // per-worker scratch, reused every chunk
 			for c := range jobs {
 				c.pass = make([]bool, len(c.frames))
 				if !filtering {
@@ -112,7 +117,7 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 					filtered <- c
 					continue
 				}
-				outs := filters.EvaluateBatch(e.Backend, c.frames)
+				outs = filters.EvaluateBatchInto(e.Backend, c.frames, outs[:0])
 				for i, f := range c.frames {
 					c.pass[i] = plan.Where.EvalFilter(outs[i], f.Bounds, e.Tol)
 				}

@@ -97,6 +97,35 @@ func TestRunStreamMatchesSequential(t *testing.T) {
 	}
 }
 
+// A trained (real-CNN) backend goes down the native batched path in
+// RunStream — whole chunks per ForwardBatch — and must still be
+// field-identical to the sequential per-frame reference: the batched
+// kernels are bit-identical per frame regardless of how frames are
+// chunked. Untrained weights keep the test fast; the kernels are the same.
+func TestRunStreamBatchedTrainedMatchesSequential(t *testing.T) {
+	p := video.Jackson()
+	plan := MustBind(parse(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 1`), p)
+	frames := video.NewStream(p, 31).Take(150)
+	cfg := filters.TrainedConfig{Img: 32, Channels: 8, Seed: 31}
+	mk := func() *Engine {
+		return &Engine{
+			Backend:  filters.NewUntrained(filters.OD, p, cfg, nil),
+			Detector: detect.NewOracle(nil),
+			Tol:      Tolerances{Count: 1},
+		}
+	}
+	want := mk().RunSequential(plan, frames)
+	for _, chunk := range []int{0, 1, 7, 64} {
+		eng := mk()
+		eng.ChunkSize = chunk
+		got := eng.RunStream(plan, &stream.SliceSource{Frames: frames}, len(frames))
+		requireSameResult(t, "trained chunked", got, want)
+	}
+	if want.FramesTotal != 150 {
+		t.Fatalf("FramesTotal = %d", want.FramesTotal)
+	}
+}
+
 // A detector whose randomness is call-order sensitive (SimYOLO) still
 // produces sequential-identical results: the confirmation stage always
 // runs in frame order on one goroutine.

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmq/internal/detect"
@@ -53,14 +54,22 @@ func LiveFeed(p video.Profile, seed uint64) FeedConfig {
 	}
 }
 
-// feed is one running feed: the fan-out pump plus the shared-scan filter
-// memos queries on this feed draw from.
+// feed is one running feed: the fan-out pump, the shared-scan filter
+// memos queries on this feed draw from, the micro-batching scan stage
+// that fills the default memo chunk-at-a-time, and (for order-insensitive
+// detectors) the shared confirmation memo.
 type feed struct {
 	name    string
 	profile video.Profile
 	fanout  *stream.Fanout
 	newDet  func() detect.Detector
 	deflt   *filters.Shared
+	batcher *scanBatcher
+	detMemo *detect.Memo
+
+	// defaultUsers counts live registrations on the default backend; the
+	// scan batcher only warms the memo while someone will read it.
+	defaultUsers atomic.Int64
 
 	mu      sync.Mutex
 	shared  map[filters.Backend]*filters.Shared
@@ -68,7 +77,7 @@ type feed struct {
 	running bool
 }
 
-func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap int) (*feed, error) {
+func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap, scanBatch int, scanFlush time.Duration) (*feed, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("server: feed needs a name")
 	}
@@ -90,20 +99,62 @@ func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap int) (*feed, error) {
 	if backend == nil {
 		backend = filters.NewODFilter(cfg.Profile, 1, nil)
 	}
-	newDet := cfg.NewDetector
-	if newDet == nil {
-		newDet = func() detect.Detector { return detect.NewOracle(nil) }
-	}
 	f := &feed{
 		name:    cfg.Name,
 		profile: cfg.Profile,
-		fanout:  stream.NewFanout(src, fanoutBuffer),
-		newDet:  newDet,
 		shared:  make(map[filters.Backend]*filters.Shared),
 	}
 	f.deflt = filters.NewShared(backend, cacheCap)
 	f.shared[backend] = f.deflt
+
+	// Micro-batch the shared scan: frames flow source -> batcher ->
+	// fan-out, and each flushed batch pre-fills the default memo through
+	// the backend's batch path (one clock transaction, batched GEMMs for
+	// trained backends), so every query's ChunkSize=1 low-latency pipeline
+	// hits a warm cache.
+	if scanBatch > 1 {
+		f.batcher = &scanBatcher{
+			src:    src,
+			warm:   f.deflt,
+			active: func() bool { return f.defaultUsers.Load() > 0 },
+			size:   scanBatch,
+			flush:  scanFlush,
+			raw:    make(chan *video.Frame, scanBatch),
+			stop:   make(chan struct{}),
+		}
+		src = f.batcher
+	}
+	f.fanout = stream.NewFanout(src, fanoutBuffer)
+
+	newDet := cfg.NewDetector
+	if newDet == nil {
+		newDet = func() detect.Detector { return detect.NewOracle(nil) }
+	}
+	// Share one confirmation memo across queries when the feed's detector
+	// declares order-insensitive output (the oracle does): queries sharing
+	// the oracle pay one Detect per frame, mirroring the filter memo.
+	if memo := detect.NewMemo(newDet(), cacheCap); memo != nil {
+		f.detMemo = memo
+		f.newDet = func() detect.Detector { return memo }
+	} else {
+		f.newDet = newDet
+	}
 	return f, nil
+}
+
+// release undoes a registration's claim on the default backend.
+func (f *feed) release(usedDefault bool) {
+	if usedDefault {
+		f.defaultUsers.Add(-1)
+	}
+}
+
+// close stops the scan batcher and the fan-out pump.
+func (f *feed) close() {
+	if f.batcher != nil {
+		f.batcher.shutdown()
+	}
+	f.fanout.Stop()
 }
 
 // sharedFor returns the feed's memoised wrapper for a backend, creating
@@ -135,6 +186,103 @@ func (f *feed) start() {
 	f.mu.Unlock()
 	go f.fanout.Run()
 }
+
+// scanBatcher is the micro-batching stage between a feed's source and its
+// fan-out: frames are grouped into batches of up to size frames, flushed
+// early when the flush deadline expires, and each flushed batch pre-fills
+// the default shared filter memo in one batch evaluation. Added latency
+// per frame is bounded by flush (a paced camera frame waits at most flush
+// before dispatch, preserving the server's match-the-moment-it-happens
+// contract); a backlogged source fills whole batches with no waiting.
+//
+// The batcher is pull-driven: its source puller starts on the fan-out's
+// first read, so a bounded recording still does not drain before the
+// first query registers. Once running it looks ahead at most size frames.
+type scanBatcher struct {
+	src    stream.Source
+	warm   *filters.Shared
+	active func() bool // whether any registration reads the default memo
+	size   int
+	flush  time.Duration
+
+	start sync.Once
+	raw   chan *video.Frame
+	stop  chan struct{}
+	stopO sync.Once
+
+	cur  []*video.Frame
+	idx  int
+	outs []*filters.Output // scratch for memo warming, reused per batch
+
+	batches atomic.Int64
+	framesN atomic.Int64
+}
+
+// Next implements stream.Source for the fan-out pump. It is called from
+// the single pump goroutine only.
+func (s *scanBatcher) Next() (*video.Frame, bool) {
+	s.start.Do(func() { go s.pull() })
+	if s.idx >= len(s.cur) {
+		if !s.fill() {
+			return nil, false
+		}
+	}
+	f := s.cur[s.idx]
+	s.idx++
+	return f, true
+}
+
+// fill collects the next micro-batch: it blocks for the first frame, then
+// gathers more until the batch is full or the flush deadline passes, and
+// warms the shared memo with one batch evaluation.
+func (s *scanBatcher) fill() bool {
+	f, ok := <-s.raw
+	if !ok {
+		return false
+	}
+	s.cur = append(s.cur[:0], f)
+	timer := time.NewTimer(s.flush)
+collect:
+	for len(s.cur) < s.size {
+		select {
+		case f, ok := <-s.raw:
+			if !ok {
+				break collect
+			}
+			s.cur = append(s.cur, f)
+		case <-timer.C:
+			break collect
+		}
+	}
+	timer.Stop()
+	s.idx = 0
+	s.batches.Add(1)
+	s.framesN.Add(int64(len(s.cur)))
+	if s.warm != nil && s.active() {
+		s.outs = s.warm.EvaluateBatch(s.cur, s.outs[:0])
+	}
+	return true
+}
+
+// pull streams the source into the raw channel until the source ends or
+// the batcher is shut down.
+func (s *scanBatcher) pull() {
+	defer close(s.raw)
+	for {
+		f, ok := s.src.Next()
+		if !ok {
+			return
+		}
+		select {
+		case s.raw <- f:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// shutdown releases the puller; idempotent.
+func (s *scanBatcher) shutdown() { s.stopO.Do(func() { close(s.stop) }) }
 
 // limitSource caps a source at n frames.
 type limitSource struct {

@@ -44,6 +44,15 @@ type Config struct {
 	// SharedCacheCap caps each shared filter memo, in frames
 	// (default 4096).
 	SharedCacheCap int
+	// ScanBatch is the shared scan's micro-batch size per feed (default
+	// 16): frames are grouped before the fan-out and each group pre-fills
+	// the default filter memo through the backend's batch path. 1 disables
+	// micro-batching; values <= 0 select the default.
+	ScanBatch int
+	// ScanFlush bounds how long a partial micro-batch may wait for more
+	// frames before flushing downstream (default 2ms) — the latency a
+	// paced feed's frame can add waiting for batch-mates.
+	ScanFlush time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +67,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SharedCacheCap <= 0 {
 		c.SharedCacheCap = 4096
+	}
+	if c.ScanBatch <= 0 {
+		c.ScanBatch = 16
+	}
+	if c.ScanFlush <= 0 {
+		c.ScanFlush = 2 * time.Millisecond
 	}
 	return c
 }
@@ -95,7 +110,7 @@ func New(cfg Config) *Server {
 // AddFeed registers a named feed. Feeds added after Start begin pumping
 // immediately; feeds added before Start wait for it.
 func (s *Server) AddFeed(cfg FeedConfig) error {
-	f, err := newFeed(cfg, s.cfg.FanoutBuffer, s.cfg.SharedCacheCap)
+	f, err := newFeed(cfg, s.cfg.FanoutBuffer, s.cfg.SharedCacheCap, s.cfg.ScanBatch, s.cfg.ScanFlush)
 	if err != nil {
 		return err
 	}
@@ -180,6 +195,10 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		det = f.newDet()
 	}
 	backend := f.sharedFor(opt.Backend, s.cfg.SharedCacheCap)
+	usesDefault := opt.Backend == nil
+	if usesDefault {
+		f.defaultUsers.Add(1)
+	}
 	buffer := opt.ResultBuffer
 	if buffer <= 0 {
 		buffer = s.cfg.ResultBuffer
@@ -204,6 +223,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	if s.closed {
 		s.mu.Unlock()
 		r.sub.Cancel()
+		f.release(usesDefault)
 		return nil, fmt.Errorf("server: closed")
 	}
 	s.regs[id] = r
@@ -226,6 +246,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		}
 		go func() {
 			defer s.wg.Done()
+			defer f.release(usesDefault)
 			r.runWindows(backend, det, cfg, opt.MaxFrames)
 			s.retire(id)
 		}()
@@ -236,6 +257,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		eng := &query.Engine{Backend: backend, Detector: det, Tol: tol, ChunkSize: 1}
 		go func() {
 			defer s.wg.Done()
+			defer f.release(usesDefault)
 			r.runMonitor(eng, opt.MaxFrames)
 			s.retire(id)
 		}()
@@ -318,7 +340,7 @@ func (s *Server) Close() {
 		r.sub.Cancel()
 	}
 	for _, f := range feeds {
-		f.fanout.Stop()
+		f.close()
 		f.start() // a never-started pump still needs its Run to observe Stop and close subscriptions
 	}
 	s.wg.Wait()
@@ -341,8 +363,26 @@ type FeedMetrics struct {
 	FramesPerSec float64 `json:"frames_per_sec"`
 	// Queries is the number of live subscriptions.
 	Queries int `json:"queries"`
+	// ScanBatches is how many micro-batches the shared scan has flushed;
+	// ScanAvgBatch is their mean size in frames.
+	ScanBatches  int64   `json:"scan_batches,omitempty"`
+	ScanAvgBatch float64 `json:"scan_avg_batch,omitempty"`
 	// SharedFilters reports each memoised backend's shared-scan economy.
 	SharedFilters []SharedFilterMetrics `json:"shared_filters"`
+	// SharedDetector reports the feed's memoised confirmation detector
+	// (present when the detector is order-insensitive and shareable).
+	SharedDetector *SharedDetectorMetrics `json:"shared_detector,omitempty"`
+}
+
+// SharedDetectorMetrics reports the shared confirmation stage: Evals is
+// the number of true detector evaluations, Hits the confirmations other
+// queries got from the memo, and EvalsPerFrame the detector evaluations
+// per dispatched frame (at most 1 no matter how many queries share the
+// oracle).
+type SharedDetectorMetrics struct {
+	Evals         int64   `json:"evaluations"`
+	Hits          int64   `json:"hits"`
+	EvalsPerFrame float64 `json:"evals_per_frame"`
 }
 
 // SharedFilterMetrics reports one shared backend's cache counters: Misses
@@ -398,6 +438,20 @@ func (s *Server) Metrics() Metrics {
 			Name:    f.name,
 			Frames:  f.fanout.Frames(),
 			Queries: f.fanout.Subscribers(),
+		}
+		if f.batcher != nil {
+			fm.ScanBatches = f.batcher.batches.Load()
+			if fm.ScanBatches > 0 {
+				fm.ScanAvgBatch = float64(f.batcher.framesN.Load()) / float64(fm.ScanBatches)
+			}
+		}
+		if f.detMemo != nil {
+			hits, misses := f.detMemo.Stats()
+			dm := &SharedDetectorMetrics{Evals: misses, Hits: hits}
+			if fm.Frames > 0 {
+				dm.EvalsPerFrame = float64(misses) / float64(fm.Frames)
+			}
+			fm.SharedDetector = dm
 		}
 		f.mu.Lock()
 		if f.running {

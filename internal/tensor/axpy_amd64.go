@@ -1,0 +1,22 @@
+//go:build amd64
+
+package tensor
+
+// axpy4 computes d_r[j] += v_r * b[j] for r = 0..3 over j = 0..n-1, four
+// lanes at a time with SSE MULPS/ADDPS (baseline on amd64, no AVX/FMA
+// needed). The operations are elementwise multiply-then-add — the exact
+// IEEE sequence of the scalar loop — so results are bit-identical to the
+// generic path; only the instruction width differs. Implemented in
+// axpy_amd64.s.
+//
+//go:noescape
+func axpy4(d0, d1, d2, d3, b *float32, n int, v0, v1, v2, v3 float32)
+
+// axpyQuad is the architecture dispatch used by the GEMM micro-kernel:
+// d_r[j] += v_r * b[j] for the four accumulator rows.
+func axpyQuad(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
+	if len(b) == 0 {
+		return
+	}
+	axpy4(&d0[0], &d1[0], &d2[0], &d3[0], &b[0], len(b), v0, v1, v2, v3)
+}

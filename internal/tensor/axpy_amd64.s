@@ -1,0 +1,106 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func axpy4(d0, d1, d2, d3, b *float32, n int, v0, v1, v2, v3 float32)
+//
+// d_r[j] += v_r * b[j] for r = 0..3, j = 0..n-1. SSE only (MOVUPS/MULPS/
+// ADDPS are amd64 baseline). Elementwise multiply then add — no FMA, no
+// horizontal ops — so every output element sees the exact IEEE operation
+// sequence of the scalar loop.
+TEXT ·axpy4(SB), NOSPLIT, $0-64
+	MOVQ d0+0(FP), R8
+	MOVQ d1+8(FP), R9
+	MOVQ d2+16(FP), R10
+	MOVQ d3+24(FP), R11
+	MOVQ b+32(FP), BX
+	MOVQ n+40(FP), CX
+	MOVSS v0+48(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVSS v1+52(FP), X1
+	SHUFPS $0x00, X1, X1
+	MOVSS v2+56(FP), X2
+	SHUFPS $0x00, X2, X2
+	MOVSS v3+60(FP), X3
+	SHUFPS $0x00, X3, X3
+
+	CMPQ CX, $4
+	JL   tail
+
+loop:
+	MOVUPS (BX), X4
+
+	MOVAPS X4, X5
+	MULPS  X0, X5
+	MOVUPS (R8), X6
+	ADDPS  X5, X6
+	MOVUPS X6, (R8)
+
+	MOVAPS X4, X5
+	MULPS  X1, X5
+	MOVUPS (R9), X6
+	ADDPS  X5, X6
+	MOVUPS X6, (R9)
+
+	MOVAPS X4, X5
+	MULPS  X2, X5
+	MOVUPS (R10), X6
+	ADDPS  X5, X6
+	MOVUPS X6, (R10)
+
+	MOVAPS X4, X5
+	MULPS  X3, X5
+	MOVUPS (R11), X6
+	ADDPS  X5, X6
+	MOVUPS X6, (R11)
+
+	ADDQ $16, BX
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, R10
+	ADDQ $16, R11
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JGE  loop
+
+tail:
+	CMPQ CX, $0
+	JLE  done
+
+tailloop:
+	MOVSS (BX), X4
+
+	MOVAPS X4, X5
+	MULSS  X0, X5
+	MOVSS  (R8), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R8)
+
+	MOVAPS X4, X5
+	MULSS  X1, X5
+	MOVSS  (R9), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R9)
+
+	MOVAPS X4, X5
+	MULSS  X2, X5
+	MOVSS  (R10), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R10)
+
+	MOVAPS X4, X5
+	MULSS  X3, X5
+	MOVSS  (R11), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R11)
+
+	ADDQ $4, BX
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JG   tailloop
+
+done:
+	RET

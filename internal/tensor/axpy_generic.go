@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+// axpyQuad is the portable micro-kernel: d_r[j] += v_r * b[j] for the four
+// accumulator rows. The amd64 build replaces it with an SSE version that
+// performs the identical elementwise operations four lanes at a time.
+func axpyQuad(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
+	d0 = d0[:len(b)]
+	d1 = d1[:len(b)]
+	d2 = d2[:len(b)]
+	d3 = d3[:len(b)]
+	for j, bv := range b {
+		d0[j] += v0 * bv
+		d1[j] += v1 * bv
+		d2[j] += v2 * bv
+		d3[j] += v3 * bv
+	}
+}

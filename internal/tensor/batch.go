@@ -1,0 +1,236 @@
+package tensor
+
+import "fmt"
+
+// Batched inference layout
+//
+// The batched forward pass keeps activations in feature-major order:
+// a batch of N CHW frames is stored as C×N×H×W, so channel c of frame n is
+// the contiguous plane at (c·N+n)·H·W. This is the one layout in which
+// every layer of the branch networks is a single pass with no transposes
+// between layers: Im2ColBatchInto emits columns grouped per frame, the
+// convolution GEMM's output (outC × N·OH·OW) is already the next layer's
+// feature-major input, pooling and GAP reduce contiguous planes, and the
+// FC head is one more GEMM over the C×N pooled matrix. Batch-major NCHW
+// (the public API layout, batch dimension leading) is converted at the
+// boundary with SwapBatchChannel.
+
+// SwapBatchChannel transposes the two leading axes of in (at least rank 2)
+// into dst: N×C×rest becomes C×N×rest and vice versa. The trailing axes
+// are treated as one contiguous plane. dst must have the same length as
+// in; a nil dst allocates. It returns dst.
+func SwapBatchChannel(dst, in *Tensor) *Tensor {
+	if in.Rank() < 2 {
+		panic(fmt.Sprintf("tensor: SwapBatchChannel needs rank >= 2, got %v", in.Shape))
+	}
+	d0, d1 := in.Shape[0], in.Shape[1]
+	plane := in.Len() / (d0 * d1)
+	outShape := append([]int{d1, d0}, in.Shape[2:]...)
+	if dst == nil {
+		dst = New(outShape...)
+	} else {
+		if dst.Len() != in.Len() {
+			panic(fmt.Sprintf("tensor: SwapBatchChannel dst length %d, want %d", dst.Len(), in.Len()))
+		}
+		dst.Shape = outShape
+	}
+	for i := 0; i < d0; i++ {
+		for j := 0; j < d1; j++ {
+			copy(dst.Data[(j*d0+i)*plane:(j*d0+i+1)*plane], in.Data[(i*d1+j)*plane:(i*d1+j+1)*plane])
+		}
+	}
+	return dst
+}
+
+// Im2ColInto unrolls input (C×H×W) into dst of shape (C·KH·KW)×(OH·OW)
+// like Im2Col, but writes into the caller's scratch tensor instead of
+// allocating. Out-of-bounds taps are written as explicit zeros, so a dirty
+// reused buffer is safe. A nil dst allocates. It returns dst.
+func Im2ColInto(dst, in *Tensor, p ConvParams) *Tensor {
+	p.validate()
+	if in.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2ColInto needs CHW input, got %v", in.Shape))
+	}
+	c, h, w := in.Shape[0], in.Shape[1], in.Shape[2]
+	return im2colPlanes(dst, in.Data, c, 1, h, w, p)
+}
+
+// Im2ColBatchInto unrolls a feature-major batch (C×N×H×W) into dst of
+// shape (C·KH·KW)×(N·OH·OW): column n·OH·OW+s is frame n's patch s, so a
+// single GEMM with the (outC)×(C·KH·KW) weight matrix convolves the whole
+// batch and its output is the next layer's feature-major input. Taps are
+// written unconditionally (zeros for padding), so dst may be a dirty
+// scratch buffer. A nil dst allocates. It returns dst.
+func Im2ColBatchInto(dst, in *Tensor, p ConvParams) *Tensor {
+	p.validate()
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2ColBatchInto needs C×N×H×W input, got %v", in.Shape))
+	}
+	c, n, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	return im2colPlanes(dst, in.Data, c, n, h, w, p)
+}
+
+// im2colPlanes is the shared unroll over c channels of n frames: input
+// plane (c,f) lives at (c·n+f)·h·w, output column f·oh·ow+s.
+func im2colPlanes(dst *Tensor, data []float32, c, n, h, w int, p ConvParams) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv output %dx%d non-positive for %dx%d input %+v", oh, ow, h, w, p))
+	}
+	rows, cols := c*p.KH*p.KW, n*oh*ow
+	if dst == nil {
+		dst = New(rows, cols)
+	} else {
+		if dst.Len() != rows*cols {
+			panic(fmt.Sprintf("tensor: im2col dst length %d, want %d", dst.Len(), rows*cols))
+		}
+		dst.Shape = []int{rows, cols}
+	}
+	row := 0
+	for ci := 0; ci < c; ci++ {
+		for ky := 0; ky < p.KH; ky++ {
+			for kx := 0; kx < p.KW; kx++ {
+				// Precompute the ox range whose input column is in bounds:
+				// 0 <= ox*stride + kx - padding < w. Outside it the tap is
+				// padding; inside, stride 1 is a straight copy.
+				off := kx - p.Padding
+				ox0 := 0
+				if off < 0 {
+					ox0 = (-off + p.Stride - 1) / p.Stride
+				}
+				ox1 := (w - 1 - off) / p.Stride
+				if ox1 >= ow {
+					ox1 = ow - 1
+				}
+				for f := 0; f < n; f++ {
+					chn := data[(ci*n+f)*h*w : (ci*n+f+1)*h*w]
+					orow := dst.Data[row*cols+f*oh*ow : row*cols+(f+1)*oh*ow]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*p.Stride + ky - p.Padding
+						seg := orow[oy*ow : (oy+1)*ow]
+						if iy < 0 || iy >= h || ox1 < ox0 {
+							for x := range seg {
+								seg[x] = 0
+							}
+							continue
+						}
+						base := iy * w
+						for x := 0; x < ox0; x++ {
+							seg[x] = 0
+						}
+						if p.Stride == 1 {
+							copy(seg[ox0:ox1+1], chn[base+ox0+off:base+ox1+off+1])
+						} else {
+							for ox := ox0; ox <= ox1; ox++ {
+								seg[ox] = chn[base+ox*p.Stride+off]
+							}
+						}
+						for x := ox1 + 1; x < ow; x++ {
+							seg[x] = 0
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return dst
+}
+
+// MaxPool2DBatchInto applies non-overlapping k×k max pooling to a
+// feature-major batch (C×N×H×W), writing C×N×(H/k)×(W/k) into dst. No
+// argmax indices are produced — this is the inference path. A nil dst
+// allocates. It returns dst.
+func MaxPool2DBatchInto(dst, in *Tensor, k int) *Tensor {
+	if k <= 0 {
+		panic("tensor: MaxPool2DBatchInto k must be positive")
+	}
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: MaxPool2DBatchInto needs C×N×H×W input, got %v", in.Shape))
+	}
+	c, n, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh, ow := h/k, w/k
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2DBatchInto k=%d too large for %v", k, in.Shape))
+	}
+	if dst == nil {
+		dst = New(c, n, oh, ow)
+	} else {
+		if dst.Len() != c*n*oh*ow {
+			panic(fmt.Sprintf("tensor: MaxPool2DBatchInto dst length %d, want %d", dst.Len(), c*n*oh*ow))
+		}
+		dst.Shape = []int{c, n, oh, ow}
+	}
+	for pl := 0; pl < c*n; pl++ {
+		chn := in.Data[pl*h*w : (pl+1)*h*w]
+		out := dst.Data[pl*oh*ow : (pl+1)*oh*ow]
+		if k == 2 {
+			// The backbones pool exclusively with k=2; compare two rows
+			// pairwise without the per-window index arithmetic.
+			for oy := 0; oy < oh; oy++ {
+				r0 := chn[(2*oy)*w:][: 2*ow : 2*ow]
+				r1 := chn[(2*oy+1)*w:][: 2*ow : 2*ow]
+				orow := out[oy*ow:][:ow:ow]
+				for ox := range orow {
+					best := r0[2*ox]
+					if v := r0[2*ox+1]; v > best {
+						best = v
+					}
+					if v := r1[2*ox]; v > best {
+						best = v
+					}
+					if v := r1[2*ox+1]; v > best {
+						best = v
+					}
+					orow[ox] = best
+				}
+			}
+			continue
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(-1e30)
+				for ky := 0; ky < k; ky++ {
+					rowBase := (oy*k + ky) * w
+					for kx := 0; kx < k; kx++ {
+						if v := chn[rowBase+ox*k+kx]; v > best {
+							best = v
+						}
+					}
+				}
+				out[oy*ow+ox] = best
+			}
+		}
+	}
+	return dst
+}
+
+// GlobalAvgPoolBatchInto reduces a feature-major batch (C×N×H×W) to the
+// C×N matrix of per-plane means, summing each plane in the same order as
+// GlobalAvgPool so per-frame results match the single-frame path exactly.
+// A nil dst allocates. It returns dst.
+func GlobalAvgPoolBatchInto(dst, in *Tensor) *Tensor {
+	if in.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: GlobalAvgPoolBatchInto needs C×N×H×W input, got %v", in.Shape))
+	}
+	c, n, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	if dst == nil {
+		dst = New(c, n)
+	} else {
+		if dst.Len() != c*n {
+			panic(fmt.Sprintf("tensor: GlobalAvgPoolBatchInto dst length %d, want %d", dst.Len(), c*n))
+		}
+		dst.Shape = []int{c, n}
+	}
+	area := float32(h * w)
+	for pl := 0; pl < c*n; pl++ {
+		var s float32
+		for _, v := range in.Data[pl*h*w : (pl+1)*h*w] {
+			s += v
+		}
+		// Divide (not multiply by a reciprocal) so per-frame values are
+		// bit-identical to GlobalAvgPool's.
+		dst.Data[pl] = s / area
+	}
+	return dst
+}

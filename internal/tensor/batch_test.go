@@ -1,0 +1,186 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// The blocked GEMM must agree with the naive reference loop. Tolerance is
+// zero: both kernels accumulate each output element in ascending-k order,
+// and skipping zero terms is exact in IEEE arithmetic, so the results are
+// bit-identical, which is what keeps the batched inference path
+// result-identical to the sequential reference at the engine level.
+func TestMatMulIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.IntN(70)
+		k := 1 + rng.IntN(300)
+		n := 1 + rng.IntN(400)
+		a, b := New(m, k), New(k, n)
+		a.RandN(rng, 1)
+		b.RandN(rng, 1)
+		// Inject sparsity so the zero-skip paths are exercised.
+		for i := range a.Data {
+			if rng.Float64() < 0.3 {
+				a.Data[i] = 0
+			}
+		}
+		want := MatMul(a, b)
+		got := MatMulInto(nil, a, b)
+		requireBitEqual(t, "MatMulInto", got, want)
+		// Reused dirty dst.
+		dirty := New(m, n)
+		dirty.Fill(999)
+		requireBitEqual(t, "MatMulInto reuse", MatMulInto(dirty, a, b), want)
+		for workers := 1; workers <= 5; workers++ {
+			requireBitEqual(t, "MatMulParallel", MatMulParallel(nil, a, b, workers), want)
+		}
+	}
+}
+
+func requireBitEqual(t *testing.T, label string, got, want *Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape, want.Shape)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %g, want %g", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// Property test for the whole batched convolution lowering: for random
+// batch sizes, channel counts, spatial sizes, kernels, strides and
+// paddings, Im2ColBatchInto + the parallel blocked GEMM must match the
+// direct Conv2DNaive reference on every frame of the batch. Run under
+// -race this also proves the column-partitioned workers never overlap.
+func TestBatchedConvMatchesNaivePerFrame(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 0))
+	for trial := 0; trial < 30; trial++ {
+		batch := 1 + rng.IntN(7)
+		c := 1 + rng.IntN(4)
+		outC := 1 + rng.IntN(6)
+		kk := 1 + rng.IntN(3)
+		stride := 1 + rng.IntN(2)
+		pad := rng.IntN(kk) // padding < kernel keeps the output non-empty
+		h := kk + rng.IntN(14)
+		w := kk + rng.IntN(14)
+		p := ConvParams{KH: kk, KW: kk, Stride: stride, Padding: pad}
+		oh, ow := p.OutSize(h, w)
+		if oh <= 0 || ow <= 0 {
+			continue
+		}
+
+		frames := make([]*Tensor, batch)
+		fm := New(c, batch, h, w) // feature-major batch
+		for f := 0; f < batch; f++ {
+			frames[f] = New(c, h, w)
+			frames[f].RandN(rng, 1)
+			for ci := 0; ci < c; ci++ {
+				copy(fm.Data[(ci*batch+f)*h*w:(ci*batch+f+1)*h*w],
+					frames[f].Data[ci*h*w:(ci+1)*h*w])
+			}
+		}
+		weights := New(outC, c, kk, kk)
+		weights.RandN(rng, 0.5)
+		bias := New(outC)
+		bias.RandN(rng, 0.5)
+
+		// Batched path: im2col into a dirty scratch, one parallel GEMM.
+		cols := New(c*kk*kk, batch*oh*ow)
+		cols.Fill(7)
+		Im2ColBatchInto(cols, fm, p)
+		out := MatMulParallel(nil, weights.Reshape(outC, c*kk*kk), cols, 4)
+		for o := 0; o < outC; o++ {
+			row := out.Data[o*batch*oh*ow : (o+1)*batch*oh*ow]
+			for i := range row {
+				row[i] += bias.Data[o]
+			}
+		}
+
+		for f := 0; f < batch; f++ {
+			want := Conv2DNaive(frames[f], weights, bias, p)
+			for o := 0; o < outC; o++ {
+				for s := 0; s < oh*ow; s++ {
+					got := out.Data[(o*batch+f)*oh*ow+s]
+					if math.Abs(float64(got-want.Data[o*oh*ow+s])) > 1e-4 {
+						t.Fatalf("trial %d (B=%d c=%d outC=%d k=%d s=%d p=%d %dx%d): frame %d out[%d,%d] = %g, want %g",
+							trial, batch, c, outC, kk, stride, pad, h, w, f, o, s, got, want.Data[o*oh*ow+s])
+					}
+				}
+			}
+		}
+
+		// The scratch-buffer single-frame unroll must equal the allocating
+		// reference exactly.
+		dirty := New(c*kk*kk, oh*ow)
+		dirty.Fill(3)
+		requireBitEqual(t, "Im2ColInto", Im2ColInto(dirty, frames[0], p), Im2Col(frames[0], p))
+	}
+}
+
+// Batched pooling and GAP must match their single-frame references
+// bit-for-bit on every frame.
+func TestBatchedPoolingMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 0))
+	for trial := 0; trial < 20; trial++ {
+		batch := 1 + rng.IntN(6)
+		c := 1 + rng.IntN(5)
+		k := 1 + rng.IntN(3)
+		h := k * (1 + rng.IntN(8))
+		w := k * (1 + rng.IntN(8))
+		fm := New(c, batch, h, w)
+		fm.RandN(rng, 1)
+		frame := func(f int) *Tensor {
+			out := New(c, h, w)
+			for ci := 0; ci < c; ci++ {
+				copy(out.Data[ci*h*w:(ci+1)*h*w], fm.Data[(ci*batch+f)*h*w:(ci*batch+f+1)*h*w])
+			}
+			return out
+		}
+
+		pooled := MaxPool2DBatchInto(nil, fm, k)
+		gap := GlobalAvgPoolBatchInto(nil, fm)
+		oh, ow := h/k, w/k
+		for f := 0; f < batch; f++ {
+			single, _ := MaxPool2D(frame(f), k)
+			for ci := 0; ci < c; ci++ {
+				for s := 0; s < oh*ow; s++ {
+					if pooled.Data[(ci*batch+f)*oh*ow+s] != single.Data[ci*oh*ow+s] {
+						t.Fatalf("maxpool frame %d ch %d pos %d diverged", f, ci, s)
+					}
+				}
+			}
+			g := GlobalAvgPool(frame(f))
+			for ci := 0; ci < c; ci++ {
+				if gap.Data[ci*batch+f] != g.Data[ci] {
+					t.Fatalf("gap frame %d ch %d: %g vs %g", f, ci, gap.Data[ci*batch+f], g.Data[ci])
+				}
+			}
+		}
+	}
+}
+
+// SwapBatchChannel is an involution that actually transposes.
+func TestSwapBatchChannel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 0))
+	in := New(3, 5, 2, 4)
+	in.RandN(rng, 1)
+	out := SwapBatchChannel(nil, in)
+	if out.Shape[0] != 5 || out.Shape[1] != 3 {
+		t.Fatalf("swapped shape %v", out.Shape)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			for s := 0; s < 8; s++ {
+				if out.Data[(j*3+i)*8+s] != in.Data[(i*5+j)*8+s] {
+					t.Fatalf("swap mismatch at (%d,%d,%d)", i, j, s)
+				}
+			}
+		}
+	}
+	back := SwapBatchChannel(New(3, 5, 2, 4), out)
+	requireBitEqual(t, "swap involution", back, in)
+}

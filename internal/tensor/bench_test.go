@@ -22,6 +22,36 @@ func BenchmarkMatMul64(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulBlocked measures the cache-blocked GEMM on the batched
+// conv-layer shape (16 filters over a 32-frame batch of 48x48 planes).
+func BenchmarkMatMulBlocked(b *testing.B) {
+	x, y := benchTensors(16, 144, 32*48*48)
+	dst := New(16, 32*48*48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkMatMulNaiveLarge is the naive reference on the same shape.
+func BenchmarkMatMulNaiveLarge(b *testing.B) {
+	x, y := benchTensors(16, 144, 32*48*48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+// BenchmarkMatMulParallel adds the column fan-out; run with -cpu 1,2,4.
+func BenchmarkMatMulParallel(b *testing.B) {
+	x, y := benchTensors(16, 144, 32*48*48)
+	dst := New(16, 32*48*48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulParallel(dst, x, y, 0)
+	}
+}
+
 func BenchmarkMatMulT2(b *testing.B) {
 	x, _ := benchTensors(64, 64, 64)
 	y, _ := benchTensors(64, 64, 64)

@@ -13,7 +13,18 @@ import (
 // CNN can discriminate classes, plus mild sensor noise. The rasteriser is
 // deterministic in (frame index, noiseSeed).
 func Render(f *Frame, h, w int, noiseSeed uint64) *tensor.Tensor {
-	img := tensor.New(3, h, w)
+	return RenderInto(tensor.New(3, h, w), f, noiseSeed)
+}
+
+// RenderInto rasterises like Render but into the caller's 3×h×w tensor,
+// the allocation-free path the batched filter backends use. Every pixel is
+// overwritten (the background fill covers the full frame), so img may be a
+// dirty reused buffer. It returns img.
+func RenderInto(img *tensor.Tensor, f *Frame, noiseSeed uint64) *tensor.Tensor {
+	if img.Rank() != 3 || img.Shape[0] != 3 {
+		panic("video: RenderInto needs a 3xHxW tensor")
+	}
+	h, w := img.Shape[1], img.Shape[2]
 	// Background: muted grey with a slight vertical gradient, like asphalt.
 	for y := 0; y < h; y++ {
 		shade := 0.35 + 0.1*float32(y)/float32(h)

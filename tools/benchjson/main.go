@@ -7,6 +7,13 @@
 // Usage:
 //
 //	go test -bench . -benchmem -run '^$' ./... | benchjson -sha $GITHUB_SHA > BENCH_$GITHUB_SHA.json
+//
+// Compare mode diffs two artifacts benchmark-by-benchmark, printing
+// per-metric deltas and GitHub warning annotations for ns/op regressions
+// beyond the threshold — how CI tracks the performance trajectory run
+// over run:
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,7 +50,20 @@ type Benchmark struct {
 func main() {
 	sha := flag.String("sha", "", "commit sha recorded in the artifact")
 	goVersion := flag.String("go", "", "go version recorded in the artifact")
+	compare := flag.Bool("compare", false, "compare two artifacts: benchjson -compare old.json new.json")
+	warnThreshold := flag.Float64("warn-threshold", 0.20, "fractional ns/op regression that triggers a warning in -compare mode")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two artifact paths")
+			os.Exit(2)
+		}
+		if err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *warnThreshold); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	report, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -132,4 +153,115 @@ func splitProcs(name string) (string, int, bool) {
 		return "", 0, false
 	}
 	return name[:i], procs, true
+}
+
+// loadReport reads one BENCH_<sha>.json artifact.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// benchKey identifies a benchmark across runs. Procs is included so -cpu
+// sweeps compare like for like.
+func benchKey(b Benchmark) string {
+	return b.Pkg + " " + b.Name + "-" + strconv.Itoa(b.Procs)
+}
+
+// runCompare diffs old and new artifacts benchmark-by-benchmark: one line
+// per shared benchmark with the ns/op (and allocs/op, when present)
+// delta, a summary of added/removed benchmarks, and a GitHub ::warning::
+// annotation for every ns/op regression beyond threshold. Regressions
+// warn rather than fail — micro-benchmarks on shared CI runners are noisy
+// — but the annotations surface on the commit so a real slide is visible
+// the moment it lands.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	olds := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		olds[benchKey(b)] = b
+	}
+	type row struct {
+		key    string
+		nb     Benchmark
+		ob     Benchmark
+		hasOld bool
+	}
+	rows := make([]row, 0, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		ob, ok := olds[benchKey(b)]
+		rows = append(rows, row{key: benchKey(b), nb: b, ob: ob, hasOld: ok})
+		if ok {
+			delete(olds, benchKey(b))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+
+	fmt.Fprintf(w, "comparing %s (%s) -> %s (%s)\n", oldPath, shortSHA(oldRep.SHA), newPath, shortSHA(newRep.SHA))
+	warned := 0
+	for _, r := range rows {
+		if !r.hasOld {
+			fmt.Fprintf(w, "  %s: new benchmark (%.4g ns/op)\n", r.key, r.nb.Metrics["ns/op"])
+			continue
+		}
+		line := fmt.Sprintf("  %s:", r.key)
+		for _, unit := range []string{"ns/op", "allocs/op", "B/op"} {
+			nv, nok := r.nb.Metrics[unit]
+			ov, ook := r.ob.Metrics[unit]
+			if !nok || !ook {
+				continue
+			}
+			line += fmt.Sprintf(" %s %.4g -> %.4g (%+.1f%%)", unit, ov, nv, pctDelta(ov, nv))
+		}
+		fmt.Fprintln(w, line)
+		if ov, ok := r.ob.Metrics["ns/op"]; ok {
+			if nv, ok2 := r.nb.Metrics["ns/op"]; ok2 && ov > 0 && nv > ov*(1+threshold) {
+				warned++
+				fmt.Fprintf(w, "::warning::%s ns/op regressed %+.1f%% (%.4g -> %.4g)\n",
+					r.key, pctDelta(ov, nv), ov, nv)
+			}
+		}
+	}
+	removed := make([]string, 0, len(olds))
+	for k := range olds {
+		removed = append(removed, k)
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		fmt.Fprintf(w, "  %s: removed\n", k)
+	}
+	fmt.Fprintf(w, "%d benchmarks compared, %d regression warning(s) at >%.0f%% ns/op\n",
+		len(rows), warned, threshold*100)
+	return nil
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 8 {
+		return sha[:8]
+	}
+	if sha == "" {
+		return "?"
+	}
+	return sha
 }

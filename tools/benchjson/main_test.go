@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -63,5 +67,65 @@ BenchmarkNoMetrics-4	12
 	}
 	if len(report.Benchmarks) != 0 {
 		t.Fatalf("parsed noise as benchmarks: %+v", report.Benchmarks)
+	}
+}
+
+func writeArtifact(t *testing.T, dir, name string, r *Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", &Report{
+		SHA: "aaaaaaaaaaaa",
+		Benchmarks: []Benchmark{
+			{Pkg: "vmq", Name: "BenchmarkStable", Procs: 8, Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 10}},
+			{Pkg: "vmq", Name: "BenchmarkRegressed", Procs: 8, Metrics: map[string]float64{"ns/op": 1000}},
+			{Pkg: "vmq", Name: "BenchmarkGone", Procs: 8, Metrics: map[string]float64{"ns/op": 5}},
+		},
+	})
+	newPath := writeArtifact(t, dir, "new.json", &Report{
+		SHA: "bbbbbbbbbbbb",
+		Benchmarks: []Benchmark{
+			{Pkg: "vmq", Name: "BenchmarkStable", Procs: 8, Metrics: map[string]float64{"ns/op": 1050, "allocs/op": 2}},
+			{Pkg: "vmq", Name: "BenchmarkRegressed", Procs: 8, Metrics: map[string]float64{"ns/op": 1500}},
+			{Pkg: "vmq", Name: "BenchmarkAdded", Procs: 8, Metrics: map[string]float64{"ns/op": 7}},
+		},
+	})
+	var buf bytes.Buffer
+	if err := runCompare(&buf, oldPath, newPath, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkStable-8: ns/op 1000 -> 1050 (+5.0%) allocs/op 10 -> 2 (-80.0%)",
+		"::warning::vmq BenchmarkRegressed-8 ns/op regressed +50.0% (1000 -> 1500)",
+		"BenchmarkAdded-8: new benchmark",
+		"BenchmarkGone-8: removed",
+		"3 benchmarks compared, 1 regression warning(s) at >20% ns/op",
+		"(aaaaaaaa) -> ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	// A 5% drift must not warn at the 20% threshold.
+	if strings.Contains(out, "::warning::vmq BenchmarkStable") {
+		t.Fatalf("stable benchmark warned:\n%s", out)
+	}
+}
+
+func TestCompareMissingFile(t *testing.T) {
+	if err := runCompare(&bytes.Buffer{}, "/does/not/exist.json", "/nor/this.json", 0.2); err == nil {
+		t.Fatal("want error for missing artifact")
 	}
 }
