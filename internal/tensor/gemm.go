@@ -1,0 +1,236 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The blocked GEMM below is the inference hot path: Conv2D lowers to one
+// matrix multiply per layer, and with batching those multiplies are large
+// enough that the naive ikj loop of MatMul thrashes cache. The kernel
+// blocks the output columns so the active segments of dst stay L1-resident
+// while four rows accumulate per pass, and the per-row bias and activation
+// epilogue runs on each column block while it is still cache-hot — the
+// whole conv layer makes a single streaming pass over its output instead
+// of three.
+//
+// Accumulation order is load-bearing: every output element is a sum of
+// terms in ascending-k order with the bias added after the sum, exactly
+// like the naive per-frame path, and that order does not depend on how
+// rows or columns are partitioned. Batched and single-frame forwards
+// therefore produce bit-identical per-frame results, and so does the
+// goroutine-parallel variant (workers split columns, never k).
+const (
+	// gemmNC is the column block: 4 dst segments of gemmNC floats plus one
+	// b-row segment must stay L1-resident across the k loop.
+	gemmNC = 1024
+	// gemmParallelFlops is the m*k*n threshold below which MatMulParallel
+	// stays single-threaded: goroutine fork/join costs more than the
+	// multiply.
+	gemmParallelFlops = 1 << 16
+	// gemmMinCols is the minimum column span handed to one worker.
+	gemmMinCols = 64
+)
+
+// Act selects the fused activation of MatMulBiasAct's epilogue.
+type Act uint8
+
+// Epilogue activations.
+const (
+	ActNone Act = iota
+	ActReLU
+	ActLeakyReLU
+)
+
+// MatMulInto computes dst = a×b for 2-D tensors a (m×k) and b (k×n) with
+// the cache-blocked kernel, writing into dst (m×n) without allocating
+// (dst contents need not be zeroed). A nil dst allocates a fresh output.
+// It returns dst. Results are bit-identical to MatMul's.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	return MatMulBiasAct(dst, a, b, nil, ActNone, 0, 1)
+}
+
+// MatMulParallel computes dst = a×b like MatMulInto, fanning the output
+// columns across up to workers goroutines (workers <= 0 selects
+// GOMAXPROCS). Workers own disjoint column ranges and every element's
+// accumulation order matches the single-threaded kernel, so the result is
+// bit-identical to MatMulInto for any worker count.
+func MatMulParallel(dst, a, b *Tensor, workers int) *Tensor {
+	return MatMulBiasAct(dst, a, b, nil, ActNone, 0, workers)
+}
+
+// MatMulBiasAct computes dst = act(a×b + bias) — the fused convolution /
+// fully-connected forward: bias (length m, added per output row after the
+// k-sum, exactly like the per-frame path; nil skips it) and the activation
+// are applied to each column block while it is cache-hot. Results are
+// bit-identical to MatMul followed by separate bias and activation passes.
+func MatMulBiasAct(dst, a, b *Tensor, bias []float32, act Act, slope float32, workers int) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	if bias != nil && len(bias) != m {
+		panic(fmt.Sprintf("tensor: MatMulBiasAct bias length %d, want %d", len(bias), m))
+	}
+	dst = ensureDst(dst, m, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if maxW := n / gemmMinCols; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 || m*k*n < gemmParallelFlops {
+		gemmBlocked(dst.Data, a.Data, b.Data, m, k, n, 0, n, bias, act, slope)
+		return dst
+	}
+	var wg sync.WaitGroup
+	span := (n + workers - 1) / workers
+	for j0 := 0; j0 < n; j0 += span {
+		j1 := j0 + span
+		if j1 > n {
+			j1 = n
+		}
+		wg.Add(1)
+		go func(j0, j1 int) {
+			defer wg.Done()
+			gemmBlocked(dst.Data, a.Data, b.Data, m, k, n, j0, j1, bias, act, slope)
+		}(j0, j1)
+	}
+	wg.Wait()
+	return dst
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto needs rank-2 operands, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k = a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dims %d vs %d", k, b.Shape[0]))
+	}
+	return m, k, b.Shape[1]
+}
+
+func ensureDst(dst *Tensor, m, n int) *Tensor {
+	if dst == nil {
+		return New(m, n)
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	return dst
+}
+
+// gemmBlocked computes dst[:, j0:j1] = act(a×b + bias) over the column
+// range, overwriting dst there.
+func gemmBlocked(dst, a, b []float32, m, k, n, j0, j1 int, bias []float32, act Act, slope float32) {
+	for jb := j0; jb < j1; jb += gemmNC {
+		jEnd := jb + gemmNC
+		if jEnd > j1 {
+			jEnd = j1
+		}
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			gemmQuadRows(dst, a, b, i, k, n, jb, jEnd)
+			if bias != nil || act != ActNone {
+				for r := i; r < i+4; r++ {
+					epilogueRow(dst[r*n+jb:r*n+jEnd], biasAt(bias, r), act, slope)
+				}
+			}
+		}
+		for ; i < m; i++ {
+			gemmOneRow(dst, a, b, i, k, n, jb, jEnd)
+			if bias != nil || act != ActNone {
+				epilogueRow(dst[i*n+jb:i*n+jEnd], biasAt(bias, i), act, slope)
+			}
+		}
+	}
+}
+
+func biasAt(bias []float32, i int) float32 {
+	if bias == nil {
+		return 0
+	}
+	return bias[i]
+}
+
+// epilogueRow applies the bias and activation to one L1-hot dst segment.
+func epilogueRow(seg []float32, b float32, act Act, slope float32) {
+	switch act {
+	case ActReLU:
+		for i := range seg {
+			if v := seg[i] + b; v > 0 {
+				seg[i] = v
+			} else {
+				seg[i] = 0
+			}
+		}
+	case ActLeakyReLU:
+		for i := range seg {
+			if v := seg[i] + b; v > 0 {
+				seg[i] = v
+			} else {
+				seg[i] = v * slope
+			}
+		}
+	default:
+		for i := range seg {
+			seg[i] += b
+		}
+	}
+}
+
+// gemmQuadRows accumulates four output rows over one column block. The b
+// row segment is read once per quad instead of once per row, and the four
+// independent accumulator streams give the scalar inner loop
+// instruction-level parallelism. All row slices are cut to the same width
+// so the compiler can prove the indexing in range and drop bounds checks.
+func gemmQuadRows(dst, a, b []float32, i, k, n, jb, jEnd int) {
+	width := jEnd - jb
+	a0 := a[i*k : (i+1)*k]
+	a1 := a[(i+1)*k : (i+2)*k]
+	a2 := a[(i+2)*k : (i+3)*k]
+	a3 := a[(i+3)*k : (i+4)*k]
+	d0 := dst[i*n+jb:][:width]
+	d1 := dst[(i+1)*n+jb:][:width]
+	d2 := dst[(i+2)*n+jb:][:width]
+	d3 := dst[(i+3)*n+jb:][:width]
+	for j := range d0 {
+		d0[j] = 0
+	}
+	for j := range d1 {
+		d1[j] = 0
+	}
+	for j := range d2 {
+		d2[j] = 0
+	}
+	for j := range d3 {
+		d3[j] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		v0, v1, v2, v3 := a0[kk], a1[kk], a2[kk], a3[kk]
+		if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+			continue // zero taps contribute nothing; skipping is exact
+		}
+		brow := b[kk*n+jb:][:width]
+		axpyQuad(d0, d1, d2, d3, brow, v0, v1, v2, v3)
+	}
+}
+
+// gemmOneRow accumulates one output row over a column block (m%4 tail).
+func gemmOneRow(dst, a, b []float32, i, k, n, jb, jEnd int) {
+	width := jEnd - jb
+	arow := a[i*k : (i+1)*k]
+	drow := dst[i*n+jb:][:width]
+	for j := range drow {
+		drow[j] = 0
+	}
+	for kk := 0; kk < k; kk++ {
+		av := arow[kk]
+		if av == 0 {
+			continue
+		}
+		brow := b[kk*n+jb:][:width]
+		for j, bv := range brow {
+			drow[j] += av * bv
+		}
+	}
+}
