@@ -6,7 +6,9 @@
 package vmq_test
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"vmq/internal/detect"
@@ -16,6 +18,7 @@ import (
 	"vmq/internal/query"
 	"vmq/internal/server"
 	"vmq/internal/stream"
+	"vmq/internal/tensor"
 	"vmq/internal/video"
 	"vmq/internal/vql"
 )
@@ -431,6 +434,127 @@ func BenchmarkServerFanoutIndependent(b *testing.B) {
 	}
 	b.ReportMetric(float64(totalEvals)/float64(b.N*len(frames)), "backend-evals/frame")
 	b.ReportMetric(float64(len(frames)*benchServerQueries)*float64(b.N)/b.Elapsed().Seconds(), "query-frames/s")
+}
+
+// --- Server benchmarks: cross-feed inference coalescing ---
+
+// benchGEMMCounter counts true batch evaluations (one GEMM sequence per
+// call for a trained backend) while forwarding the coalescing identity,
+// so wrapped backends still merge across feeds.
+type benchGEMMCounter struct {
+	filters.Coalescable
+	calls *atomic.Int64 // shared across the fleet
+}
+
+func (c *benchGEMMCounter) EvaluateBatch(frames []*video.Frame, dst []*filters.Output) []*filters.Output {
+	c.calls.Add(1)
+	return c.Coalescable.EvaluateBatch(frames, dst)
+}
+
+func (c *benchGEMMCounter) Evaluate(f *video.Frame) *filters.Output {
+	var out [1]*filters.Output
+	return c.EvaluateBatch([]*video.Frame{f}, out[:0])[0]
+}
+
+// benchCoalesceFleet is the many-sparse-feeds workload of the cross-feed
+// broker benchmarks: benchCoalesceFeeds bounded feeds, each serving the
+// same trained OD architecture (separate instances, identical weights —
+// the fingerprint coalescing matches on) with one standing query, and
+// ScanBatch 2 so every feed flushes 2-frame micro-batches — the sparse
+// regime where per-feed batching degenerates to tiny GEMMs. Clips are
+// longer than the fan-out buffer so feeds genuinely overlap (broker
+// membership is taken at first submission; a clip that fits one buffer
+// can drain solo before the next feed starts).
+const (
+	benchCoalesceFeeds  = 16
+	benchCoalesceFrames = 192
+)
+
+func benchCoalesceFleet(b *testing.B, cfg server.Config) (framesPerSec, gemmCalls float64) {
+	b.Helper()
+	base := video.Jackson()
+	clips := make([][]*video.Frame, benchCoalesceFeeds)
+	for i := range clips {
+		clips[i] = video.NewStream(base, uint64(300+i)).Take(benchCoalesceFrames)
+	}
+	tcfg := filters.TrainedConfig{Img: 32, Channels: 16, Seed: 13}
+	var calls atomic.Int64
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		srv := server.New(cfg)
+		for i := range clips {
+			p := base
+			p.Name = base.Name + strconv.Itoa(i)
+			if err := srv.AddFeed(server.FeedConfig{
+				Name: p.Name, Profile: p,
+				Source:  &stream.SliceSource{Frames: clips[i]},
+				Backend: &benchGEMMCounter{Coalescable: filters.NewUntrained(filters.OD, base, tcfg, nil), calls: &calls},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		regs := make([]*server.Registration, benchCoalesceFeeds)
+		for i := range regs {
+			q, err := vql.Parse(`SELECT FRAMES FROM jackson` + strconv.Itoa(i) + ` WHERE COUNT(car) = 1`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if regs[i], err = srv.Register(q, server.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv.Start()
+		var wg sync.WaitGroup
+		for _, reg := range regs {
+			wg.Add(1)
+			go func(reg *server.Registration) {
+				defer wg.Done()
+				for range reg.Results() {
+				}
+			}(reg)
+		}
+		wg.Wait()
+		srv.Close()
+	}
+	total := float64(benchCoalesceFeeds * benchCoalesceFrames * b.N)
+	return total / b.Elapsed().Seconds(), float64(calls.Load()) / total
+}
+
+// BenchmarkServerCoalescedScan is the full PR-4 path: the cross-feed
+// broker merges the fleet's 2-frame flushes into one large GEMM per
+// size-or-deadline window, on the auto-dispatched (AVX2 where available)
+// kernels. Compare gemm-calls/frame against the per-feed baselines: 16
+// sparse feeds drop from a batch-of-2 GEMM dispatch each to a shared
+// ~1/32-per-frame dispatch, and frames/s rises accordingly.
+func BenchmarkServerCoalescedScan(b *testing.B) {
+	fps, calls := benchCoalesceFleet(b, server.Config{ScanBatch: 2})
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(calls, "gemm-calls/frame")
+}
+
+// BenchmarkServerPerFeedScan disables only the broker (CoalesceBatch 1):
+// every feed dispatches its own micro-batches, as in PR 3, but still on
+// the auto-dispatched kernels. The delta against BenchmarkServerCoalescedScan
+// isolates what cross-feed coalescing itself buys.
+func BenchmarkServerPerFeedScan(b *testing.B) {
+	fps, calls := benchCoalesceFleet(b, server.Config{ScanBatch: 2, CoalesceBatch: 1})
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(calls, "gemm-calls/frame")
+}
+
+// BenchmarkServerPerFeedScanSSE pins the pre-PR system end to end:
+// per-feed micro-batches on the SSE-baseline kernel (the amd64 default
+// before runtime AVX2 dispatch landed). This is the configuration the
+// coalesced scan's headline speedup is measured against.
+func BenchmarkServerPerFeedScanSSE(b *testing.B) {
+	prev := tensor.Kernel()
+	if err := tensor.SetKernel("sse"); err != nil {
+		b.Skipf("SSE kernel unavailable: %v", err)
+	}
+	defer tensor.SetKernel(prev)
+	fps, calls := benchCoalesceFleet(b, server.Config{ScanBatch: 2, CoalesceBatch: 1})
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(calls, "gemm-calls/frame")
 }
 
 // --- Micro-benchmarks: per-operation costs of the building blocks ---

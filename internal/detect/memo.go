@@ -88,6 +88,15 @@ func (m *Memo) Stats() (hits, misses int64) {
 	return m.hits.Load(), m.misses.Load()
 }
 
+// Entries reports how many frames are currently memoised — bounded by the
+// construction capacity, so a long-running feed's memo reaches steady
+// state instead of retaining every frame it ever confirmed.
+func (m *Memo) Entries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
 // Detect implements Detector. The first caller for a frame runs the inner
 // detector (charging its clock once); concurrent callers for the same
 // frame block until it finishes and share the detections. Callers must

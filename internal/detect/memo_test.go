@@ -85,3 +85,25 @@ func TestMemoEviction(t *testing.T) {
 		t.Fatalf("inner ran %d times, want %d (full re-evaluation after thrash)", got, 2*len(frames))
 	}
 }
+
+// A detection memo serving an endless feed must hold a bounded number of
+// entries: frames past the eviction watermark are released and only cost
+// a re-evaluation if a straggler query revisits them.
+func TestMemoBoundedUnderLongFeed(t *testing.T) {
+	p := video.Detrac()
+	const capacity, total = 128, 4096
+	memo := NewMemo(NewOracle(nil), capacity)
+	src := video.NewStream(p, 31)
+	for i := 0; i < total; i++ {
+		memo.Detect(src.Next())
+		if got := memo.Entries(); got > capacity {
+			t.Fatalf("after %d frames the memo holds %d entries, cap %d", i+1, got, capacity)
+		}
+	}
+	if got := memo.Entries(); got != capacity {
+		t.Fatalf("steady state holds %d entries, want the full capacity %d", got, capacity)
+	}
+	if hits, misses := memo.Stats(); hits != 0 || misses != total {
+		t.Fatalf("distinct frames: hits=%d misses=%d, want 0/%d", hits, misses, total)
+	}
+}

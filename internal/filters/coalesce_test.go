@@ -1,0 +1,81 @@
+package filters
+
+import (
+	"strings"
+	"testing"
+
+	"vmq/internal/simclock"
+	"vmq/internal/video"
+)
+
+// Two instances trained identically (same architecture, seed, geometry,
+// clock) must fingerprint together — that is what lets a server evaluate
+// one feed's frames through another feed's backend. Any divergence in
+// weights, rasterisation or cost accounting must split the key.
+func TestCoalesceKeyIdentity(t *testing.T) {
+	p := video.Jackson()
+	cfg := TrainedConfig{Img: 16, Channels: 8, Seed: 7}
+	a := NewUntrained(OD, p, cfg, nil)
+	b := NewUntrained(OD, p, cfg, nil)
+	if a.CoalesceKey() == "" || a.CoalesceKey() != b.CoalesceKey() {
+		t.Fatalf("identical architectures must share a key: %q vs %q", a.CoalesceKey(), b.CoalesceKey())
+	}
+	if !strings.HasPrefix(a.CoalesceKey(), "OD-cnn-") {
+		t.Fatalf("key %q should name the family", a.CoalesceKey())
+	}
+
+	diff := map[string]Backend{
+		"seed":  NewUntrained(OD, p, TrainedConfig{Img: 16, Channels: 8, Seed: 8}, nil),
+		"img":   NewUntrained(OD, p, TrainedConfig{Img: 32, Channels: 8, Seed: 7}, nil),
+		"tech":  NewUntrained(IC, p, cfg, nil),
+		"clock": NewUntrained(OD, p, cfg, simclock.New()),
+	}
+	for what, other := range diff {
+		if CoalesceKeyOf(other) == a.CoalesceKey() {
+			t.Fatalf("backend differing in %s must not share the key", what)
+		}
+	}
+
+	// The count-only branch fingerprints separately from the full branch
+	// network even at matching geometry and seed.
+	cof := TrainCOF(p, TrainedConfig{Img: 16, Channels: 8, Seed: 7, Frames: 4, Epochs: 1}, nil)
+	if cof.CoalesceKey() == "" || cof.CoalesceKey() == a.CoalesceKey() {
+		t.Fatalf("COF key %q must exist and differ from the branch net's", cof.CoalesceKey())
+	}
+
+	// Backends without a declared identity must never coalesce.
+	if CoalesceKeyOf(NewODFilter(p, 7, nil)) != "" {
+		t.Fatal("calibrated backends declare no coalescing identity")
+	}
+}
+
+// A shared memo serving an endless feed must hold a bounded number of
+// entries: frames past the eviction watermark are released, so the memo's
+// steady-state footprint is the capacity, not the feed length.
+func TestSharedBoundedUnderLongFeed(t *testing.T) {
+	p := video.Jackson()
+	const capacity, total = 64, 4096
+	s := NewShared(NewODFilter(p, 5, nil), capacity)
+	src := video.NewStream(p, 5)
+	var batch []*video.Frame
+	var outs []*Output
+	for i := 0; i < total; i++ {
+		f := src.Next()
+		if i%3 == 0 { // exercise both the per-frame and the batch fill paths
+			s.Evaluate(f)
+		} else {
+			batch = append(batch[:0], f)
+			outs = s.EvaluateBatch(batch, outs[:0])
+		}
+		if got := s.Entries(); got > capacity {
+			t.Fatalf("after %d frames the memo holds %d entries, cap %d", i+1, got, capacity)
+		}
+	}
+	if got := s.Entries(); got != capacity {
+		t.Fatalf("steady state holds %d entries, want the full capacity %d", got, capacity)
+	}
+	_, misses := s.Stats()
+	if misses != total {
+		t.Fatalf("distinct frames must all evaluate: %d misses for %d frames", misses, total)
+	}
+}

@@ -86,6 +86,16 @@ func (s *Shared) Stats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
+// Entries reports how many frames are currently memoised. It never
+// exceeds the construction capacity: a long-running feed's memo reaches
+// steady state and entries for frames past the eviction watermark are
+// released rather than accumulated.
+func (s *Shared) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
 // claim returns the entry for f and whether the caller owns filling it
 // (true exactly once per cached lifetime of the frame).
 func (s *Shared) claim(f *video.Frame) (*sharedEntry, bool) {

@@ -3,6 +3,7 @@ package filters
 import (
 	"io"
 	"math/rand/v2"
+	"sync"
 
 	"vmq/internal/geom"
 	"vmq/internal/grid"
@@ -39,6 +40,10 @@ type Trained struct {
 	// its parallelism comes from).
 	arena nn.Arena
 	batch *tensor.Tensor
+
+	// keyOnce/key cache the CoalesceKey fingerprint (see coalesce.go).
+	keyOnce sync.Once
+	key     string
 }
 
 // TrainedConfig controls training of a Trained backend.
@@ -200,6 +205,9 @@ type TrainedCOF struct {
 
 	arena nn.Arena
 	batch *tensor.Tensor
+
+	keyOnce sync.Once
+	key     string
 }
 
 // TrainCOF trains the count-optimized classifier on rasterised frames of
@@ -351,7 +359,9 @@ func (t *Trained) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output 
 func renderBatchInto(buf *tensor.Tensor, frames []*video.Frame, img int, noiseSeed uint64) (batch, store *tensor.Tensor) {
 	n := len(frames)
 	if buf == nil || buf.Shape[0] < n {
-		buf = tensor.New(n, 3, img, img)
+		// Headroom for fluctuating coalesced batch widths, mirroring
+		// nn.Arena's regrowth policy.
+		buf = tensor.New(n+n/4+1, 3, img, img)
 	}
 	data := buf.Data[:n*3*img*img]
 	view := tensor.Tensor{Shape: []int{3, img, img}}

@@ -44,13 +44,23 @@ func (a *Arena) Reset() { a.next = 0 }
 // grab returns the next scratch buffer, growing it to n elements. The
 // contents are arbitrary; kernels writing into arena tensors must not
 // assume zeroed memory.
+//
+// Regrowth carries headroom: the server's cross-feed coalescing hands the
+// same network batches whose width fluctuates flush to flush (a lone
+// deadline-flushed frame up to every feed tripping the size trigger at
+// once), and doubling-with-slack lets a ratcheting batch width settle
+// after one reallocation instead of reallocating at each new maximum.
 func (a *Arena) grab(n int) []float32 {
 	if a.next == len(a.slots) {
 		a.slots = append(a.slots, make([]float32, n))
 	}
 	s := a.slots[a.next]
 	if cap(s) < n {
-		s = make([]float32, n)
+		c := 2 * cap(s)
+		if c < n+n/4 {
+			c = n + n/4
+		}
+		s = make([]float32, c)
 		a.slots[a.next] = s
 	}
 	a.next++

@@ -1,0 +1,481 @@
+// Package sched implements the server-wide inference coalescing broker:
+// the cross-feed generalisation of the per-feed micro-batching scan.
+//
+// The paper's economics argument is that monitoring many concurrent
+// queries over many camera feeds is only viable when frame evaluation
+// cost is amortised across everything that shares work. Within one feed
+// the scan batcher already groups frames ahead of the fan-out; but a
+// server hosting twenty sparse feeds that all serve the same trained
+// model still issues twenty tiny GEMM batches per flush window — one per
+// feed. The broker collects those pending batches from every feed whose
+// backend shares a network architecture/weights identity
+// (filters.Coalescable) and evaluates them as one large ForwardBatch
+// under a size-or-deadline policy, scattering the per-frame outputs back
+// to each submitter — and through it into each feed's shared memo.
+//
+// Coalescing never changes a result: the batched kernels produce
+// bit-identical per-frame outputs for every batch width, and equal
+// coalescing keys certify that any member backend evaluates any member's
+// frames identically. The deadline bounds the latency a frame can add
+// waiting for cross-feed batch-mates, mirroring the per-feed flush
+// deadline, so the server's match-the-moment-it-happens contract holds.
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"vmq/internal/filters"
+	"vmq/internal/video"
+)
+
+// Config tunes a Broker. The zero value selects the defaults.
+type Config struct {
+	// Batch is the size trigger: a group flushes as soon as its pending
+	// frames reach this count (default 32 — two of the server's default
+	// per-feed micro-batches). Values < 2 select the default.
+	Batch int
+	// Flush is the deadline trigger: how long the first pending frame of
+	// a group may wait for cross-feed batch-mates (default 2ms, matching
+	// the per-feed scan flush bound).
+	Flush time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch < 2 {
+		c.Batch = 32
+	}
+	if c.Flush <= 0 {
+		c.Flush = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Broker coalesces batch evaluations across backends sharing an
+// architecture identity. It never blocks a submission indefinitely:
+// every pending request is evaluated by the size trigger, the deadline
+// timer, or the submitter itself, so shutdown needs no coordination.
+type Broker struct {
+	cfg Config
+
+	mu     sync.Mutex
+	groups map[string]*group
+	// retired accumulates the final counters of groups whose last proxy
+	// departed (rotated-out architectures): the group itself is removed —
+	// so its evaluator's weight tensors and scratch buffers are released —
+	// but its history stays visible in Metrics, merged per key and capped
+	// FIFO so churn cannot grow the snapshot without bound.
+	retired      map[string]*GroupMetrics
+	retiredOrder []string
+}
+
+// retainRetired caps how many departed architecture keys keep their
+// accumulated counters in the metrics snapshot.
+const retainRetired = 64
+
+// New creates a Broker.
+func New(cfg Config) *Broker {
+	return &Broker{
+		cfg:     cfg.withDefaults(),
+		groups:  make(map[string]*group),
+		retired: make(map[string]*GroupMetrics),
+	}
+}
+
+// Wrap returns a backend whose batch evaluations are coalesced with every
+// other Wrap-returned backend sharing b's coalescing key. Backends that
+// declare no key (filters.CoalesceKeyOf == "") are returned unchanged —
+// they evaluate exactly as before. The proxy is always safe for
+// concurrent use: the broker serialises the underlying evaluations.
+func (br *Broker) Wrap(b filters.Backend) filters.Backend {
+	if br == nil {
+		return b
+	}
+	key := filters.CoalesceKeyOf(b)
+	if key == "" {
+		return b
+	}
+	cb := b.(filters.Coalescable)
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	g, ok := br.groups[key]
+	if !ok {
+		// The first member becomes the group's evaluator: equal keys make
+		// member backends interchangeable, so one instance (one weight
+		// set, one arena) serves the whole group cache-hot.
+		g = &group{key: key, br: br, eval: cb, batch: br.cfg.Batch, flush: br.cfg.Flush}
+		br.groups[key] = g
+	}
+	g.mu.Lock()
+	g.joined++
+	g.attached++
+	g.mu.Unlock()
+	// Membership (what flushes wait on) is taken lazily at the proxy's
+	// first submission, so a wrapped-but-idle feed — configured yet
+	// queryless, for instance — never makes anyone wait for it.
+	return &proxy{group: g, inner: b}
+}
+
+// GroupMetrics is one architecture group's share of the broker snapshot.
+type GroupMetrics struct {
+	// Key is the group's architecture/weights identity.
+	Key string `json:"key"`
+	// Members is the number of backends ever wrapped into the group; Live
+	// is how many are actively submitting — membership is taken at a
+	// backend's first submission and released when its feed's source ends
+	// or the feed closes.
+	Members int `json:"members"`
+	Live    int `json:"live"`
+	// Batches is the number of coalesced evaluations; Frames the frames
+	// they covered (AvgBatch = Frames/Batches); MaxBatch the largest
+	// single evaluation.
+	Batches  int64   `json:"batches"`
+	Frames   int64   `json:"frames"`
+	AvgBatch float64 `json:"avg_batch"`
+	MaxBatch int     `json:"max_batch"`
+	// Merged is the number of batches that combined frames from more than
+	// one submission — the cross-feed coalescing the broker exists for.
+	Merged int64 `json:"merged"`
+}
+
+// Metrics snapshots every group — active ones plus the accumulated
+// counters of retired ones, merged per key — sorted by key.
+func (br *Broker) Metrics() []GroupMetrics {
+	if br == nil {
+		return nil
+	}
+	br.mu.Lock()
+	byKey := make(map[string]GroupMetrics, len(br.groups)+len(br.retired))
+	for key, gm := range br.retired {
+		byKey[key] = *gm
+	}
+	groups := make([]*group, 0, len(br.groups))
+	for _, g := range br.groups {
+		groups = append(groups, g)
+	}
+	br.mu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		gm := g.snapshotLocked()
+		g.mu.Unlock()
+		byKey[g.key] = mergeGroupMetrics(byKey[g.key], gm)
+	}
+	out := make([]GroupMetrics, 0, len(byKey))
+	for _, gm := range byKey {
+		if gm.Batches > 0 {
+			gm.AvgBatch = float64(gm.Frames) / float64(gm.Batches)
+		}
+		out = append(out, gm)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// mergeGroupMetrics folds b's counters into a (same key; the zero value
+// is the identity).
+func mergeGroupMetrics(a, b GroupMetrics) GroupMetrics {
+	a.Key = b.Key
+	a.Members += b.Members
+	a.Live += b.Live
+	a.Batches += b.Batches
+	a.Frames += b.Frames
+	a.Merged += b.Merged
+	if b.MaxBatch > a.MaxBatch {
+		a.MaxBatch = b.MaxBatch
+	}
+	return a
+}
+
+// retireLocked folds a departing group's counters into the retired
+// accumulator (caller holds br.mu and g.mu).
+func (br *Broker) retireLocked(g *group) {
+	gm := g.snapshotLocked()
+	if have, ok := br.retired[g.key]; ok {
+		*have = mergeGroupMetrics(*have, gm)
+		return
+	}
+	br.retired[g.key] = &gm
+	br.retiredOrder = append(br.retiredOrder, g.key)
+	for len(br.retiredOrder) > retainRetired {
+		delete(br.retired, br.retiredOrder[0])
+		br.retiredOrder = br.retiredOrder[1:]
+	}
+}
+
+// Member is implemented by the backends Wrap returns. Leave releases the
+// backend's group membership when its feed stops submitting (source
+// exhausted, feed closed), so the remaining members' flushes stop waiting
+// out the deadline for submissions that will never come. Leave is
+// idempotent, and a member that submits again after leaving is still
+// served (its frames simply no longer hold up anyone else).
+type Member interface {
+	Leave()
+}
+
+// request is one submission awaiting a coalesced evaluation.
+type request struct {
+	from   *proxy // submitter, for counting distinct members per window
+	frames []*video.Frame
+	outs   []*filters.Output // filled by the flusher before done closes
+	done   chan struct{}
+}
+
+// group is the pending state for one architecture identity.
+type group struct {
+	key   string
+	br    *Broker
+	eval  filters.BatchBackend
+	batch int
+	flush time.Duration
+
+	mu       sync.Mutex
+	members  int // actively submitting: gates the everyone-pending flush and the lone-member fast path
+	attached int // proxies wrapped and not yet departed: gates group removal
+	joined   int // memberships ever granted (metrics)
+	pending  []*request
+	nframes  int
+	distinct int    // distinct submitters in the current pending window
+	armed    bool   // a deadline timer is running for the current pending set
+	gen      uint64 // bumped per armed window so a stale timer cannot flush the next one early
+	batches  int64
+	frames   int64
+	maxBatch int
+	merged   int64
+
+	// evalMu serialises the underlying evaluations: member backends reuse
+	// forward-pass arenas and are not concurrency-safe.
+	evalMu  sync.Mutex
+	scratch []*filters.Output
+	all     []*video.Frame
+}
+
+// submit queues frames for the next coalesced evaluation and blocks until
+// their outputs are ready. The caller that trips the size trigger runs
+// the evaluation itself; otherwise the deadline timer's goroutine does.
+func (g *group) submit(from *proxy, frames []*video.Frame) []*filters.Output {
+	r := &request{from: from, frames: frames, done: make(chan struct{})}
+	g.mu.Lock()
+	if g.members < 2 && g.pending == nil {
+		// A single-member group has no one to coalesce with: waiting out
+		// the deadline would only throttle the lone feed. Evaluate
+		// synchronously (still serialised on the group evaluator).
+		g.mu.Unlock()
+		g.run([]*request{r})
+		return r.outs
+	}
+	// Count distinct submitters: one member may park several submissions
+	// in a window (concurrent query pipelines over one backend), and they
+	// must not satisfy the everyone-pending trigger on their own.
+	seen := false
+	for _, q := range g.pending {
+		if q.from == from {
+			seen = true
+			break
+		}
+	}
+	g.pending = append(g.pending, r)
+	if !seen {
+		g.distinct++
+	}
+	g.nframes += len(frames)
+	switch {
+	case g.nframes >= g.batch || g.distinct >= g.members:
+		// Size trigger — or every live member already has a submission
+		// parked here, so waiting out the deadline could only add latency.
+		take := g.take()
+		g.mu.Unlock()
+		g.run(take)
+	case !g.armed:
+		g.armed = true
+		g.gen++
+		gen := g.gen
+		g.mu.Unlock()
+		time.AfterFunc(g.flush, func() {
+			g.mu.Lock()
+			if g.gen != gen {
+				// This timer's window was already flushed (size trigger,
+				// everyone-pending, or leave); a fresh window may be
+				// pending with its own timer — leave it alone.
+				g.mu.Unlock()
+				return
+			}
+			take := g.take()
+			g.mu.Unlock()
+			g.run(take)
+		})
+	default:
+		g.mu.Unlock()
+	}
+	<-r.done
+	return r.outs
+}
+
+// take claims the pending set (caller holds g.mu). Disarming happens here
+// rather than by stopping the timer: bumping gen makes any still-running
+// timer for this window a no-op without racing timer.Stop.
+func (g *group) take() []*request {
+	reqs := g.pending
+	g.pending = nil
+	g.nframes = 0
+	g.distinct = 0
+	if g.armed {
+		g.armed = false
+		g.gen++
+	}
+	return reqs
+}
+
+// run evaluates one claimed pending set through the group evaluator and
+// scatters the outputs back to the submitters in claim order.
+func (g *group) run(reqs []*request) {
+	if len(reqs) == 0 {
+		return
+	}
+	g.evalMu.Lock()
+	all := g.all[:0]
+	for _, r := range reqs {
+		all = append(all, r.frames...)
+	}
+	outs := filters.EvaluateBatchInto(g.eval, all, g.scratch[:0])
+	off := 0
+	for _, r := range reqs {
+		r.outs = append(r.outs, outs[off:off+len(r.frames)]...)
+		off += len(r.frames)
+		close(r.done)
+	}
+	// Clear the recycled backing arrays: their slots would otherwise pin
+	// the batch's frames and outputs until the group's next flush, which
+	// on a quiet group may never come.
+	clear(all)
+	clear(outs)
+	g.all, g.scratch = all[:0], outs[:0]
+	g.evalMu.Unlock()
+
+	g.mu.Lock()
+	g.batches++
+	g.frames += int64(len(all))
+	if len(all) > g.maxBatch {
+		g.maxBatch = len(all)
+	}
+	if len(reqs) > 1 {
+		g.merged++
+	}
+	g.mu.Unlock()
+}
+
+// snapshotLocked captures the group's counters (caller holds g.mu).
+func (g *group) snapshotLocked() GroupMetrics {
+	return GroupMetrics{
+		Key:      g.key,
+		Members:  g.joined,
+		Live:     g.members,
+		Batches:  g.batches,
+		Frames:   g.frames,
+		MaxBatch: g.maxBatch,
+		Merged:   g.merged,
+	}
+}
+
+// join registers one actively submitting member (a proxy's first
+// submission).
+func (g *group) join() {
+	g.mu.Lock()
+	g.members++
+	g.mu.Unlock()
+}
+
+// release detaches one proxy — decrementing the submitting membership it
+// held, if any — flushing any pending set that now has a submission from
+// every remaining live member, and removing the group from the broker
+// once its last proxy departs, so rotated-out architectures do not pin
+// their evaluator's weight tensors and scratch buffers forever.
+func (g *group) release(wasMember bool) {
+	g.br.mu.Lock()
+	g.mu.Lock()
+	g.attached--
+	if wasMember && g.members > 0 {
+		g.members--
+	}
+	var take []*request
+	if len(g.pending) > 0 && len(g.pending) >= g.members {
+		take = g.take()
+	}
+	if g.attached <= 0 && len(g.pending) == 0 {
+		if cur, ok := g.br.groups[g.key]; ok && cur == g {
+			delete(g.br.groups, g.key)
+			g.br.retireLocked(g)
+		}
+	}
+	g.mu.Unlock()
+	g.br.mu.Unlock()
+	g.run(take)
+}
+
+// proxy routes one wrapped backend's evaluations through its group.
+type proxy struct {
+	group *group
+	inner filters.Backend
+
+	mu    sync.Mutex
+	state int // 0 fresh, 1 joined (submitted at least once), 2 left
+}
+
+// ensureJoined takes the submitting membership on first use. A proxy
+// that already left never re-joins: its late submissions are still
+// served, they just hold no one up.
+func (p *proxy) ensureJoined() {
+	p.mu.Lock()
+	fresh := p.state == 0
+	if fresh {
+		p.state = 1
+	}
+	p.mu.Unlock()
+	if fresh {
+		p.group.join()
+	}
+}
+
+// Technique implements filters.Backend.
+func (p *proxy) Technique() filters.Technique { return p.inner.Technique() }
+
+// Grid implements filters.Backend.
+func (p *proxy) Grid() int { return p.inner.Grid() }
+
+// Evaluate implements filters.Backend: a batch of one, coalesced like any
+// other submission.
+func (p *proxy) Evaluate(f *video.Frame) *filters.Output {
+	p.ensureJoined()
+	outs := p.group.submit(p, []*video.Frame{f})
+	return outs[0]
+}
+
+// EvaluateBatch implements filters.BatchBackend. The returned outputs are
+// appended to dst per the interface's aliasing rule.
+func (p *proxy) EvaluateBatch(frames []*video.Frame, dst []*filters.Output) []*filters.Output {
+	if len(frames) == 0 {
+		return dst
+	}
+	p.ensureJoined()
+	return append(dst, p.group.submit(p, frames)...)
+}
+
+// ConcurrentSafe implements filters.ConcurrentBackend: submissions may
+// come from any number of goroutines; the group serialises the inner
+// evaluations.
+func (p *proxy) ConcurrentSafe() bool { return true }
+
+// CoalesceKey implements filters.Coalescable, so an already-wrapped
+// backend re-wrapped by the same or another broker still coalesces.
+func (p *proxy) CoalesceKey() string { return p.group.key }
+
+// Leave implements Member.
+func (p *proxy) Leave() {
+	p.mu.Lock()
+	prev := p.state
+	p.state = 2
+	p.mu.Unlock()
+	if prev != 2 {
+		p.group.release(prev == 1)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"vmq/internal/detect"
 	"vmq/internal/filters"
+	"vmq/internal/sched"
 	"vmq/internal/stream"
 	"vmq/internal/video"
 )
@@ -66,18 +67,59 @@ type feed struct {
 	deflt   *filters.Shared
 	batcher *scanBatcher
 	detMemo *detect.Memo
+	broker  *sched.Broker // nil when cross-feed coalescing is disabled
 
 	// defaultUsers counts live registrations on the default backend; the
 	// scan batcher only warms the memo while someone will read it.
 	defaultUsers atomic.Int64
 
 	mu      sync.Mutex
-	shared  map[filters.Backend]*filters.Shared
+	shared  map[filters.Backend]*sharedEntry
 	started time.Time
 	running bool
 }
 
-func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap, scanBatch int, scanFlush time.Duration) (*feed, error) {
+// sharedEntry is one memoised backend on this feed. Override backends
+// (Options.Backend) are reference-counted by the registrations using
+// them: when the last one retires, the entry is dropped and its broker
+// membership released, so long-running servers with query churn do not
+// accumulate groups, members and retained weight tensors. The feed's
+// default entry lives for the feed's lifetime (defaultUsers gates its
+// scan warm-up instead).
+type sharedEntry struct {
+	sh    *filters.Shared
+	refs  int          // live registrations on an override backend
+	leave sched.Member // non-nil when the wrapped backend holds a broker membership
+}
+
+func newSharedEntry(sh *filters.Shared, wrapped filters.Backend) *sharedEntry {
+	e := &sharedEntry{sh: sh}
+	if m, ok := wrapped.(sched.Member); ok {
+		e.leave = m
+	}
+	return e
+}
+
+// leaveBroker releases every broker membership this feed holds, so other
+// feeds' coalesced flushes stop deadline-waiting for a feed that will
+// never submit again. Idempotent (Member.Leave is once-only).
+func (f *feed) leaveBroker() {
+	f.mu.Lock()
+	var leavers []sched.Member
+	for _, e := range f.shared {
+		if e.leave != nil {
+			leavers = append(leavers, e.leave)
+		}
+	}
+	f.mu.Unlock()
+	for _, m := range leavers {
+		m.Leave()
+	}
+}
+
+func newFeed(cfg FeedConfig, srv Config, broker *sched.Broker) (*feed, error) {
+	fanoutBuffer, cacheCap := srv.FanoutBuffer, srv.SharedCacheCap
+	scanBatch, scanFlush := srv.ScanBatch, srv.ScanFlush
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("server: feed needs a name")
 	}
@@ -102,10 +144,18 @@ func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap, scanBatch int, scanFlush ti
 	f := &feed{
 		name:    cfg.Name,
 		profile: cfg.Profile,
-		shared:  make(map[filters.Backend]*filters.Shared),
+		broker:  broker,
+		shared:  make(map[filters.Backend]*sharedEntry),
 	}
-	f.deflt = filters.NewShared(backend, cacheCap)
-	f.shared[backend] = f.deflt
+	// Trained backends that fingerprint an architecture identity route
+	// through the cross-feed broker: feeds serving the same model merge
+	// their micro-batches into one GEMM, and the memo scatter below the
+	// Shared wrapper is untouched. The shared map stays keyed by the
+	// original backend so queries naming the same instance join the same
+	// memo.
+	wrapped := broker.Wrap(backend)
+	f.deflt = filters.NewShared(wrapped, cacheCap)
+	f.shared[backend] = newSharedEntry(f.deflt, wrapped)
 
 	// Micro-batch the shared scan: frames flow source -> batcher ->
 	// fan-out, and each flushed batch pre-fills the default memo through
@@ -124,6 +174,10 @@ func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap, scanBatch int, scanFlush ti
 		}
 		src = f.batcher
 	}
+	// A bounded feed that drains releases its broker memberships the
+	// moment its source ends, so feeds still running stop spending the
+	// coalesce deadline waiting for submissions it will never make.
+	src = &eofNotifySource{src: src, fire: f.leaveBroker}
 	f.fanout = stream.NewFanout(src, fanoutBuffer)
 
 	newDet := cfg.NewDetector
@@ -142,36 +196,70 @@ func newFeed(cfg FeedConfig, fanoutBuffer, cacheCap, scanBatch int, scanFlush ti
 	return f, nil
 }
 
-// release undoes a registration's claim on the default backend.
-func (f *feed) release(usedDefault bool) {
+// release undoes a registration's claims: the default-backend warm-up
+// gate, and — for a registration that brought its own backend — that
+// backend's shared entry, dropped (memo and broker membership released)
+// when its last registration retires.
+func (f *feed) release(usedDefault bool, override filters.Backend) {
 	if usedDefault {
 		f.defaultUsers.Add(-1)
 	}
+	if override == nil {
+		return
+	}
+	f.mu.Lock()
+	e, ok := f.shared[override]
+	if !ok || e.sh == f.deflt {
+		f.mu.Unlock()
+		return
+	}
+	e.refs--
+	var leave sched.Member
+	if e.refs <= 0 {
+		delete(f.shared, override)
+		leave = e.leave
+	}
+	f.mu.Unlock()
+	if leave != nil {
+		leave.Leave()
+	}
 }
 
-// close stops the scan batcher and the fan-out pump.
+// close stops the scan batcher and the fan-out pump, releasing the feed's
+// broker memberships.
 func (f *feed) close() {
 	if f.batcher != nil {
 		f.batcher.shutdown()
 	}
+	f.leaveBroker()
 	f.fanout.Stop()
 }
 
 // sharedFor returns the feed's memoised wrapper for a backend, creating
 // one on first use so every query naming the same backend instance joins
-// the same shared scan. A nil backend selects the feed default.
+// the same shared scan. A nil backend selects the feed default. Override
+// entries are reference-counted; each call must be paired with a release
+// carrying the same backend.
 func (f *feed) sharedFor(b filters.Backend, cacheCap int) *filters.Shared {
 	if b == nil {
 		return f.deflt
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if s, ok := f.shared[b]; ok {
-		return s
+	if e, ok := f.shared[b]; ok {
+		// The default entry is not refcounted (it lives for the feed's
+		// lifetime), so keep the increment symmetric with release's guard
+		// even when a query names the feed's own backend explicitly.
+		if e.sh != f.deflt {
+			e.refs++
+		}
+		return e.sh
 	}
-	s := filters.NewShared(b, cacheCap)
-	f.shared[b] = s
-	return s
+	wrapped := f.broker.Wrap(b)
+	e := newSharedEntry(filters.NewShared(wrapped, cacheCap), wrapped)
+	e.refs = 1
+	f.shared[b] = e
+	return e.sh
 }
 
 // start launches the pump goroutine (once).
@@ -283,6 +371,21 @@ func (s *scanBatcher) pull() {
 
 // shutdown releases the puller; idempotent.
 func (s *scanBatcher) shutdown() { s.stopO.Do(func() { close(s.stop) }) }
+
+// eofNotifySource fires a callback once when the wrapped source ends.
+type eofNotifySource struct {
+	src  stream.Source
+	fire func()
+	once sync.Once
+}
+
+func (s *eofNotifySource) Next() (*video.Frame, bool) {
+	f, ok := s.src.Next()
+	if !ok {
+		s.once.Do(s.fire)
+	}
+	return f, ok
+}
 
 // limitSource caps a source at n frames.
 type limitSource struct {

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"vmq/internal/query"
+	"vmq/internal/sched"
 	"vmq/internal/stream"
 	"vmq/internal/vql"
 )
@@ -53,6 +54,19 @@ type Config struct {
 	// frames before flushing downstream (default 2ms) — the latency a
 	// paced feed's frame can add waiting for batch-mates.
 	ScanFlush time.Duration
+	// CoalesceBatch is the size trigger of the cross-feed inference
+	// broker (default 32): pending frames from every feed whose backend
+	// shares an architecture/weights identity (filters.Coalescable) are
+	// merged into one batch evaluation once this many accumulate, so many
+	// sparse feeds serving one trained model issue one large GEMM instead
+	// of one tiny GEMM each. 1 disables coalescing; values <= 0 select
+	// the default.
+	CoalesceBatch int
+	// CoalesceFlush bounds how long a pending frame may wait for
+	// cross-feed batch-mates before the broker flushes (default 2ms) —
+	// the coalescing analogue of ScanFlush, preserving the per-feed
+	// latency contract.
+	CoalesceFlush time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +88,12 @@ func (c Config) withDefaults() Config {
 	if c.ScanFlush <= 0 {
 		c.ScanFlush = 2 * time.Millisecond
 	}
+	if c.CoalesceBatch <= 0 {
+		c.CoalesceBatch = 32
+	}
+	if c.CoalesceFlush <= 0 {
+		c.CoalesceFlush = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -81,6 +101,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	birth    time.Time
+	broker   *sched.Broker // cross-feed inference coalescing (nil when disabled)
 	mu       sync.Mutex
 	feeds    map[string]*feed
 	regs     map[string]*Registration
@@ -99,18 +120,22 @@ const retainFinished = 64
 
 // New creates an empty server.
 func New(cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:   cfg.withDefaults(),
 		birth: time.Now(),
 		feeds: make(map[string]*feed),
 		regs:  make(map[string]*Registration),
 	}
+	if s.cfg.CoalesceBatch > 1 {
+		s.broker = sched.New(sched.Config{Batch: s.cfg.CoalesceBatch, Flush: s.cfg.CoalesceFlush})
+	}
+	return s
 }
 
 // AddFeed registers a named feed. Feeds added after Start begin pumping
 // immediately; feeds added before Start wait for it.
 func (s *Server) AddFeed(cfg FeedConfig) error {
-	f, err := newFeed(cfg, s.cfg.FanoutBuffer, s.cfg.SharedCacheCap, s.cfg.ScanBatch, s.cfg.ScanFlush)
+	f, err := newFeed(cfg, s.cfg, s.broker)
 	if err != nil {
 		return err
 	}
@@ -223,7 +248,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	if s.closed {
 		s.mu.Unlock()
 		r.sub.Cancel()
-		f.release(usesDefault)
+		f.release(usesDefault, opt.Backend)
 		return nil, fmt.Errorf("server: closed")
 	}
 	s.regs[id] = r
@@ -246,7 +271,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		}
 		go func() {
 			defer s.wg.Done()
-			defer f.release(usesDefault)
+			defer f.release(usesDefault, opt.Backend)
 			r.runWindows(backend, det, cfg, opt.MaxFrames)
 			s.retire(id)
 		}()
@@ -257,7 +282,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		eng := &query.Engine{Backend: backend, Detector: det, Tol: tol, ChunkSize: 1}
 		go func() {
 			defer s.wg.Done()
-			defer f.release(usesDefault)
+			defer f.release(usesDefault, opt.Backend)
 			r.runMonitor(eng, opt.MaxFrames)
 			s.retire(id)
 		}()
@@ -352,6 +377,10 @@ type Metrics struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Feeds         []FeedMetrics  `json:"feeds"`
 	Queries       []QueryMetrics `json:"queries"`
+	// Coalesce reports the cross-feed inference broker's per-architecture
+	// groups (absent when coalescing is disabled or no coalescable
+	// backend is registered).
+	Coalesce []sched.GroupMetrics `json:"coalesce,omitempty"`
 }
 
 // FeedMetrics is one feed's share of the snapshot.
@@ -432,7 +461,7 @@ func (s *Server) Metrics() Metrics {
 	}
 	s.mu.Unlock()
 
-	m := Metrics{UptimeSeconds: time.Since(s.birth).Seconds()}
+	m := Metrics{UptimeSeconds: time.Since(s.birth).Seconds(), Coalesce: s.broker.Metrics()}
 	for _, f := range feeds {
 		fm := FeedMetrics{
 			Name:    f.name,
@@ -459,10 +488,10 @@ func (s *Server) Metrics() Metrics {
 				fm.FramesPerSec = float64(fm.Frames) / secs
 			}
 		}
-		for _, sh := range f.shared {
-			hits, misses := sh.Stats()
+		for _, e := range f.shared {
+			hits, misses := e.sh.Stats()
 			sf := SharedFilterMetrics{
-				Technique: sh.Technique().String(),
+				Technique: e.sh.Technique().String(),
 				Misses:    misses,
 				Hits:      hits,
 			}

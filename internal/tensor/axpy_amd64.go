@@ -12,11 +12,137 @@ package tensor
 //go:noescape
 func axpy4(d0, d1, d2, d3, b *float32, n int, v0, v1, v2, v3 float32)
 
-// axpyQuad is the architecture dispatch used by the GEMM micro-kernel:
-// d_r[j] += v_r * b[j] for the four accumulator rows.
-func axpyQuad(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
+// axpy8 is the AVX2 variant of axpy4: eight lanes per VMULPS/VADDPS
+// (VEX-encoded, no FMA — multiply then add, like every other variant),
+// with an in-asm scalar tail for n % 8. Implemented in axpy_amd64.s.
+//
+//go:noescape
+func axpy8(d0, d1, d2, d3, b *float32, n int, v0, v1, v2, v3 float32)
+
+// bias8 adds b to seg[0:n] eight lanes at a time (n must be a multiple of
+// 8; the Go wrapper peels the tail).
+//
+//go:noescape
+func bias8(seg *float32, n int, b float32)
+
+// biasReLU8 computes seg[i] = max(seg[i]+b, 0) via VMAXPS with the zero
+// vector as the second source, which reproduces the scalar `if v > 0`
+// select exactly: ties, signed zeros and NaN all resolve to +0.
+//
+//go:noescape
+func biasReLU8(seg *float32, n int, b float32)
+
+// biasLeaky8 computes v = seg[i]+b; seg[i] = v > 0 ? v : v*slope using
+// VCMPPS(GT_OQ) + VBLENDVPS — a true select, not an arithmetic identity,
+// so it is bit-identical to the scalar branch on every input.
+//
+//go:noescape
+func biasLeaky8(seg *float32, n int, b, slope float32)
+
+// maxPool2x8 writes n outputs (n a positive multiple of 8) of one 2×2
+// stride-2 pooling row: dst[x] = fold-max of r0[2x], r0[2x+1], r1[2x],
+// r1[2x+1] in reference order. Even/odd lanes are deinterleaved with
+// VSHUFPS, folded with three VMAXPS in the scalar loop's order, and
+// restored with one VPERMPD per block.
+//
+//go:noescape
+func maxPool2x8(dst, r0, r1 *float32, n int)
+
+// maxPool2RowAVX2 is the 8-wide dispatch target for the k=2 pooling row.
+func maxPool2RowAVX2(dst, r0, r1 []float32) {
+	n8 := len(dst) &^ 7
+	if n8 > 0 {
+		maxPool2x8(&dst[0], &r0[0], &r1[0], n8)
+	}
+	if n8 < len(dst) {
+		maxPool2RowGeneric(dst[n8:], r0[2*n8:], r1[2*n8:])
+	}
+}
+
+// cpuidex executes CPUID with the given leaf/subleaf. Implemented in
+// axpy_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (callers must check CPUID.1:ECX.OSXSAVE first).
+// Implemented in axpy_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// axpyQuadSSE is the 4-wide dispatch target used by the GEMM micro-kernel.
+func axpyQuadSSE(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
 	if len(b) == 0 {
 		return
 	}
 	axpy4(&d0[0], &d1[0], &d2[0], &d3[0], &b[0], len(b), v0, v1, v2, v3)
+}
+
+// axpyQuadAVX2 is the 8-wide dispatch target.
+func axpyQuadAVX2(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
+	if len(b) == 0 {
+		return
+	}
+	axpy8(&d0[0], &d1[0], &d2[0], &d3[0], &b[0], len(b), v0, v1, v2, v3)
+}
+
+// epilogueRowAVX2 applies the bias+activation epilogue with the 8-wide
+// select kernels. The scalar epilogue's activation branches mispredict
+// constantly on random-sign activations, so the branch-free compare+blend
+// versions are a large win even beyond the width; the tail (< 8 elements)
+// runs the generic loop, which computes the same values bit-for-bit.
+func epilogueRowAVX2(seg []float32, b float32, act Act, slope float32) {
+	n8 := len(seg) &^ 7
+	if n8 > 0 {
+		switch act {
+		case ActReLU:
+			biasReLU8(&seg[0], n8, b)
+		case ActLeakyReLU:
+			biasLeaky8(&seg[0], n8, b, slope)
+		default:
+			bias8(&seg[0], n8, b)
+		}
+	}
+	if n8 < len(seg) {
+		epilogueRowGeneric(seg[n8:], b, act, slope)
+	}
+}
+
+// hasAVX2 reports whether the CPU and OS support AVX2 (CPUID feature bit
+// plus OSXSAVE/XCR0 confirmation that the OS preserves YMM state).
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// archKernels returns the SIMD kernel levels this CPU supports. The "sse"
+// level is exactly the pre-AVX2 system: 4-wide axpy with the scalar
+// epilogue and pooling.
+func archKernels() map[string]kernelImpl {
+	ks := map[string]kernelImpl{
+		"sse": {axpy: axpyQuadSSE, epilogue: epilogueRowGeneric, pool2: maxPool2RowGeneric},
+	}
+	if hasAVX2() {
+		ks["avx2"] = kernelImpl{axpy: axpyQuadAVX2, epilogue: epilogueRowAVX2, pool2: maxPool2RowAVX2}
+	}
+	return ks
+}
+
+// defaultKernelName selects the widest available level.
+func defaultKernelName() string {
+	if hasAVX2() {
+		return "avx2"
+	}
+	return "sse"
 }

@@ -104,3 +104,235 @@ tailloop:
 
 done:
 	RET
+
+// func axpy8(d0, d1, d2, d3, b *float32, n int, v0, v1, v2, v3 float32)
+//
+// AVX2 variant of axpy4: eight lanes per VMULPS/VADDPS. Still elementwise
+// multiply then add — no FMA, so every output element sees the exact IEEE
+// operation sequence of the scalar loop (multiplication and addition are
+// commutative in IEEE 754, so operand order is immaterial). The < 8 tail
+// runs scalar after VZEROUPPER; VBROADCASTSS leaves the scalar in lane 0,
+// which the tail's MULSS uses.
+TEXT ·axpy8(SB), NOSPLIT, $0-64
+	MOVQ d0+0(FP), R8
+	MOVQ d1+8(FP), R9
+	MOVQ d2+16(FP), R10
+	MOVQ d3+24(FP), R11
+	MOVQ b+32(FP), BX
+	MOVQ n+40(FP), CX
+	VBROADCASTSS v0+48(FP), Y0
+	VBROADCASTSS v1+52(FP), Y1
+	VBROADCASTSS v2+56(FP), Y2
+	VBROADCASTSS v3+60(FP), Y3
+
+	CMPQ CX, $8
+	JL   avx2tail
+
+avx2loop:
+	VMOVUPS (BX), Y4
+
+	VMULPS  Y0, Y4, Y5
+	VMOVUPS (R8), Y6
+	VADDPS  Y5, Y6, Y6
+	VMOVUPS Y6, (R8)
+
+	VMULPS  Y1, Y4, Y5
+	VMOVUPS (R9), Y6
+	VADDPS  Y5, Y6, Y6
+	VMOVUPS Y6, (R9)
+
+	VMULPS  Y2, Y4, Y5
+	VMOVUPS (R10), Y6
+	VADDPS  Y5, Y6, Y6
+	VMOVUPS Y6, (R10)
+
+	VMULPS  Y3, Y4, Y5
+	VMOVUPS (R11), Y6
+	VADDPS  Y5, Y6, Y6
+	VMOVUPS Y6, (R11)
+
+	ADDQ $32, BX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $8, CX
+	CMPQ CX, $8
+	JGE  avx2loop
+
+avx2tail:
+	VZEROUPPER
+	CMPQ CX, $0
+	JLE  avx2done
+
+avx2tailloop:
+	MOVSS (BX), X4
+
+	MOVAPS X4, X5
+	MULSS  X0, X5
+	MOVSS  (R8), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R8)
+
+	MOVAPS X4, X5
+	MULSS  X1, X5
+	MOVSS  (R9), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R9)
+
+	MOVAPS X4, X5
+	MULSS  X2, X5
+	MOVSS  (R10), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R10)
+
+	MOVAPS X4, X5
+	MULSS  X3, X5
+	MOVSS  (R11), X6
+	ADDSS  X5, X6
+	MOVSS  X6, (R11)
+
+	ADDQ $4, BX
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	DECQ CX
+	JG   avx2tailloop
+
+avx2done:
+	RET
+
+// func bias8(seg *float32, n int, b float32)
+//
+// seg[i] += b, eight lanes at a time. n must be a positive multiple of 8
+// (the Go wrapper peels the tail).
+TEXT ·bias8(SB), NOSPLIT, $0-20
+	MOVQ         seg+0(FP), SI
+	MOVQ         n+8(FP), CX
+	VBROADCASTSS b+16(FP), Y0
+
+bias8loop:
+	VMOVUPS (SI), Y1
+	VADDPS  Y0, Y1, Y1
+	VMOVUPS Y1, (SI)
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JG      bias8loop
+
+	VZEROUPPER
+	RET
+
+// func biasReLU8(seg *float32, n int, b float32)
+//
+// v = seg[i] + b; seg[i] = v > 0 ? v : 0. VMAXPS with the zero vector as
+// Intel SRC2 matches the scalar select exactly: ties (v == ±0) and NaN
+// both yield SRC2 = +0, just like the scalar `v > 0` test failing.
+TEXT ·biasReLU8(SB), NOSPLIT, $0-20
+	MOVQ         seg+0(FP), SI
+	MOVQ         n+8(FP), CX
+	VBROADCASTSS b+16(FP), Y0
+	VXORPS       Y2, Y2, Y2
+
+relu8loop:
+	VMOVUPS (SI), Y1
+	VADDPS  Y0, Y1, Y1
+	VMAXPS  Y2, Y1, Y1
+	VMOVUPS Y1, (SI)
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JG      relu8loop
+
+	VZEROUPPER
+	RET
+
+// func biasLeaky8(seg *float32, n int, b, slope float32)
+//
+// v = seg[i] + b; seg[i] = v > 0 ? v : v*slope. A true select:
+// VCMPPS(GT_OQ) builds the v > 0 mask (false on NaN, like the scalar
+// comparison) and VBLENDVPS picks v or v*slope per lane, so the result is
+// bit-identical to the scalar branch on every input, signed zeros and
+// denormal underflow included.
+TEXT ·biasLeaky8(SB), NOSPLIT, $0-24
+	MOVQ         seg+0(FP), SI
+	MOVQ         n+8(FP), CX
+	VBROADCASTSS b+16(FP), Y0
+	VBROADCASTSS slope+20(FP), Y7
+	VXORPS       Y2, Y2, Y2
+
+leaky8loop:
+	VMOVUPS   (SI), Y1
+	VADDPS    Y0, Y1, Y1        // v = seg + b
+	VMULPS    Y7, Y1, Y3        // v * slope
+	VCMPPS    $0x1E, Y2, Y1, Y4 // GT_OQ: v > 0 (false on NaN)
+	VBLENDVPS Y4, Y1, Y3, Y1    // v > 0 ? v : v*slope
+	VMOVUPS   Y1, (SI)
+	ADDQ      $32, SI
+	SUBQ      $8, CX
+	JG        leaky8loop
+
+	VZEROUPPER
+	RET
+
+// func maxPool2x8(dst, r0, r1 *float32, n int)
+//
+// One 2×2 stride-2 pooling row, 8 outputs per iteration. Each block loads
+// 16 floats of each input row, splits even/odd taps with VSHUFPS (which
+// leaves the four output pairs in a lane-crossed qword order), folds the
+// four tap vectors with VMAXPS in the scalar reference's exact order —
+// Intel MAXPS returns the second source unless the first is strictly
+// greater, which is precisely the `if v > best` fold, ties, signed zeros
+// and NaN included — and restores output order with one VPERMPD.
+TEXT ·maxPool2x8(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ r0+8(FP), SI
+	MOVQ r1+16(FP), DX
+	MOVQ n+24(FP), CX
+
+pool8loop:
+	VMOVUPS (SI), Y0           // r0[0:8]
+	VMOVUPS 32(SI), Y1         // r0[8:16]
+	VSHUFPS $0x88, Y1, Y0, Y2  // r0 even taps  (qword-scrambled)
+	VSHUFPS $0xDD, Y1, Y0, Y3  // r0 odd taps
+	VMOVUPS (DX), Y0           // r1[0:8]
+	VMOVUPS 32(DX), Y1         // r1[8:16]
+	VSHUFPS $0x88, Y1, Y0, Y4  // r1 even taps
+	VSHUFPS $0xDD, Y1, Y0, Y5  // r1 odd taps
+
+	// best = r0even; best = max(r0odd, best); ... — SRC2 is the running
+	// best, so each VMAXPS keeps it unless the new tap is strictly greater.
+	VMAXPS  Y2, Y3, Y2
+	VMAXPS  Y2, Y4, Y2
+	VMAXPS  Y2, Y5, Y2
+	VPERMPD $0xD8, Y2, Y2      // undo the VSHUFPS qword scramble
+	VMOVUPS Y2, (DI)
+
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JG   pool8loop
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+//
+// Reads XCR0. Callers must have confirmed CPUID.1:ECX.OSXSAVE.
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

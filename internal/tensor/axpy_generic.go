@@ -1,11 +1,15 @@
-//go:build !amd64
-
 package tensor
 
-// axpyQuad is the portable micro-kernel: d_r[j] += v_r * b[j] for the four
-// accumulator rows. The amd64 build replaces it with an SSE version that
-// performs the identical elementwise operations four lanes at a time.
-func axpyQuad(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
+// The portable micro-kernels behind the blocked GEMM. Every architecture
+// compiles these: they are the correctness reference the SIMD variants are
+// property-tested against (bit-identical outputs on every input, including
+// signed zeros, denormals and NaN), and the fallback the "generic" kernel
+// selection (VMQ_KERNEL=generic, or SetKernel) pins for debugging.
+
+// axpyQuadGeneric computes d_r[j] += v_r * b[j] for the four accumulator
+// rows. The SIMD variants perform the identical elementwise operations,
+// only more lanes at a time.
+func axpyQuadGeneric(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
 	d0 = d0[:len(b)]
 	d1 = d1[:len(b)]
 	d2 = d2[:len(b)]
@@ -15,5 +19,58 @@ func axpyQuad(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32) {
 		d1[j] += v1 * bv
 		d2[j] += v2 * bv
 		d3[j] += v3 * bv
+	}
+}
+
+// maxPool2RowGeneric writes one output row of 2×2 stride-2 max pooling:
+// dst[x] folds r0[2x], r0[2x+1], r1[2x], r1[2x+1] in that order with a
+// strict-greater compare, so ties (signed zeros) and NaN keep the earlier
+// value. The AVX2 variant performs the identical fold with VMAXPS, whose
+// tie/NaN rule (return the second source unless the first is strictly
+// greater) matches exactly.
+func maxPool2RowGeneric(dst, r0, r1 []float32) {
+	r0 = r0[:2*len(dst)]
+	r1 = r1[:2*len(dst)]
+	for ox := range dst {
+		best := r0[2*ox]
+		if v := r0[2*ox+1]; v > best {
+			best = v
+		}
+		if v := r1[2*ox]; v > best {
+			best = v
+		}
+		if v := r1[2*ox+1]; v > best {
+			best = v
+		}
+		dst[ox] = best
+	}
+}
+
+// epilogueRowGeneric applies the bias and activation to one L1-hot dst
+// segment. The AVX2 variant implements the same select semantics with
+// compare+blend (not arithmetic identities), so outputs stay bit-identical
+// even on signed zeros and NaN.
+func epilogueRowGeneric(seg []float32, b float32, act Act, slope float32) {
+	switch act {
+	case ActReLU:
+		for i := range seg {
+			if v := seg[i] + b; v > 0 {
+				seg[i] = v
+			} else {
+				seg[i] = 0
+			}
+		}
+	case ActLeakyReLU:
+		for i := range seg {
+			if v := seg[i] + b; v > 0 {
+				seg[i] = v
+			} else {
+				seg[i] = v * slope
+			}
+		}
+	default:
+		for i := range seg {
+			seg[i] += b
+		}
 	}
 }

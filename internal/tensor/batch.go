@@ -166,24 +166,12 @@ func MaxPool2DBatchInto(dst, in *Tensor, k int) *Tensor {
 		out := dst.Data[pl*oh*ow : (pl+1)*oh*ow]
 		if k == 2 {
 			// The backbones pool exclusively with k=2; compare two rows
-			// pairwise without the per-window index arithmetic.
+			// pairwise without the per-window index arithmetic, through
+			// the dispatched row kernel (AVX2 where available).
 			for oy := 0; oy < oh; oy++ {
 				r0 := chn[(2*oy)*w:][: 2*ow : 2*ow]
 				r1 := chn[(2*oy+1)*w:][: 2*ow : 2*ow]
-				orow := out[oy*ow:][:ow:ow]
-				for ox := range orow {
-					best := r0[2*ox]
-					if v := r0[2*ox+1]; v > best {
-						best = v
-					}
-					if v := r1[2*ox]; v > best {
-						best = v
-					}
-					if v := r1[2*ox+1]; v > best {
-						best = v
-					}
-					orow[ox] = best
-				}
+				maxPool2Row(out[oy*ow:][:ow:ow], r0, r1)
 			}
 			continue
 		}

@@ -152,32 +152,6 @@ func biasAt(bias []float32, i int) float32 {
 	return bias[i]
 }
 
-// epilogueRow applies the bias and activation to one L1-hot dst segment.
-func epilogueRow(seg []float32, b float32, act Act, slope float32) {
-	switch act {
-	case ActReLU:
-		for i := range seg {
-			if v := seg[i] + b; v > 0 {
-				seg[i] = v
-			} else {
-				seg[i] = 0
-			}
-		}
-	case ActLeakyReLU:
-		for i := range seg {
-			if v := seg[i] + b; v > 0 {
-				seg[i] = v
-			} else {
-				seg[i] = v * slope
-			}
-		}
-	default:
-		for i := range seg {
-			seg[i] += b
-		}
-	}
-}
-
 // gemmQuadRows accumulates four output rows over one column block. The b
 // row segment is read once per quad instead of once per row, and the four
 // independent accumulator streams give the scalar inner loop

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Micro-kernel dispatch
+//
+// The blocked GEMM's inner loops route through the two function pointers
+// below. On amd64 the package selects the widest instruction set the CPU
+// supports at process start (runtime CPUID feature detection, no build
+// flags): "avx2" (8-wide mul+add axpy and compare+blend epilogues, no FMA)
+// when available, else "sse" (4-wide axpy, scalar epilogue — the amd64
+// baseline). Everywhere else the portable "generic" kernels run.
+//
+// All variants perform the exact IEEE operation sequence of the generic
+// loops — elementwise multiply-then-add, select-based activations — so
+// outputs are bit-identical across kernels, which is what lets the batched
+// and coalesced inference paths keep their result-identity guarantees no
+// matter which machine they land on.
+//
+// The VMQ_KERNEL environment variable pins a kernel at start
+// (GODEBUG-style, for debugging and for CI to exercise the pure-Go path):
+//
+//	VMQ_KERNEL=generic go test ./...
+//
+// Unknown or unavailable values are ignored. SetKernel does the same at
+// runtime for tests and benchmarks.
+var (
+	axpyQuad    = axpyQuadGeneric
+	epilogueRow = epilogueRowGeneric
+	maxPool2Row = maxPool2RowGeneric
+	kernelName  = "generic"
+)
+
+// kernelImpl bundles one instruction-set level's micro-kernels.
+type kernelImpl struct {
+	axpy     func(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32)
+	epilogue func(seg []float32, b float32, act Act, slope float32)
+	pool2    func(dst, r0, r1 []float32)
+}
+
+// kernelTable lists the kernels this process can run: generic everywhere,
+// plus whatever archKernels detects on this CPU.
+func kernelTable() map[string]kernelImpl {
+	ks := map[string]kernelImpl{"generic": {axpyQuadGeneric, epilogueRowGeneric, maxPool2RowGeneric}}
+	for name, impl := range archKernels() {
+		ks[name] = impl
+	}
+	return ks
+}
+
+func init() {
+	name := defaultKernelName()
+	if env := os.Getenv("VMQ_KERNEL"); env != "" {
+		if _, ok := kernelTable()[env]; ok {
+			name = env
+		}
+	}
+	if err := SetKernel(name); err != nil {
+		panic(err) // unreachable: name came from the table
+	}
+}
+
+// Kernel reports the active micro-kernel level ("generic", "sse" or
+// "avx2").
+func Kernel() string { return kernelName }
+
+// Kernels lists the kernel levels available on this CPU, sorted.
+func Kernels() []string {
+	names := make([]string, 0, 3)
+	for name := range kernelTable() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetKernel pins the micro-kernel level for this process — a debugging and
+// testing hook, not a hot-path switch: it must not race a running GEMM.
+// It returns an error (and changes nothing) if the level is unknown or
+// unavailable on this CPU.
+func SetKernel(name string) error {
+	impl, ok := kernelTable()[name]
+	if !ok {
+		return fmt.Errorf("tensor: unknown kernel %q (available: %v)", name, Kernels())
+	}
+	axpyQuad = impl.axpy
+	epilogueRow = impl.epilogue
+	maxPool2Row = impl.pool2
+	kernelName = name
+	return nil
+}

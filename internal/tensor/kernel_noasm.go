@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// archKernels reports no SIMD kernels off amd64; the generic loops are the
+// only (and reference) implementation.
+func archKernels() map[string]kernelImpl { return nil }
+
+func defaultKernelName() string { return "generic" }
