@@ -16,6 +16,7 @@ import (
 	"vmq/internal/filters"
 	"vmq/internal/grid"
 	"vmq/internal/query"
+	"vmq/internal/rlog"
 	"vmq/internal/server"
 	"vmq/internal/stream"
 	"vmq/internal/tensor"
@@ -555,6 +556,88 @@ func BenchmarkServerPerFeedScanSSE(b *testing.B) {
 	fps, calls := benchCoalesceFleet(b, server.Config{ScanBatch: 2, CoalesceBatch: 1})
 	b.ReportMetric(fps, "frames/s")
 	b.ReportMetric(calls, "gemm-calls/frame")
+}
+
+// --- Server benchmarks: result delivery under consumer pressure ---
+
+// benchDeliveryFleet serves one feed to benchDeliveryQueries match-heavy
+// queries (COUNT >= 0: every frame is a match event, the worst delivery
+// load). With stall set, one registration is never consumed — the
+// scenario that wedged the whole feed under the old lossless channels
+// once its buffers filled; under drop-oldest its result log sheds
+// instead, and the feed's scan rate must be indistinguishable from the
+// all-drained baseline. Returns the feed's frames/s and the events
+// dropped per iteration across the fleet (≈0 when everyone drains).
+const (
+	benchDeliveryQueries = 4
+	benchDeliveryFrames  = 1500
+)
+
+func benchDeliveryFleet(b *testing.B, stall bool) (framesPerSec, droppedPerOp float64) {
+	b.Helper()
+	p := video.Jackson()
+	frames := video.NewStream(p, 55).Take(benchDeliveryFrames)
+	var dropped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := server.New(server.Config{})
+		if err := srv.AddFeed(server.FeedConfig{
+			Name: p.Name, Profile: p,
+			Source:  &stream.SliceSource{Frames: frames},
+			Backend: filters.NewODFilter(p, 55, nil),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		regs := make([]*server.Registration, benchDeliveryQueries)
+		for j := range regs {
+			q, _ := vql.Parse(`SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`)
+			var err error
+			regs[j], err = srv.Register(q, server.Options{Policy: rlog.DropOldest, ResultBuffer: 32})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv.Start()
+		var wg sync.WaitGroup
+		for j, reg := range regs {
+			if stall && j == 0 {
+				continue // deliberately abandoned: no consumer ever attaches
+			}
+			wg.Add(1)
+			go func(reg *server.Registration) {
+				defer wg.Done()
+				for range reg.Results() {
+				}
+			}(reg)
+		}
+		wg.Wait()
+		for _, reg := range regs {
+			<-reg.Done()
+			dropped += reg.Log().Dropped()
+		}
+		srv.Close()
+	}
+	return float64(benchDeliveryFrames) * float64(b.N) / b.Elapsed().Seconds(),
+		float64(dropped) / float64(b.N)
+}
+
+// BenchmarkServerDeliveryDrained is the healthy baseline: every
+// consumer keeps up, nothing drops.
+func BenchmarkServerDeliveryDrained(b *testing.B) {
+	fps, dropped := benchDeliveryFleet(b, false)
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(dropped, "dropped-events")
+}
+
+// BenchmarkServerDeliveryStalledConsumer abandons one of the four
+// consumers. The headline check (recorded in README, warned on by
+// benchjson -compare): frames/s stays at the drained baseline — the
+// stalled query sheds into its own ring instead of back-pressuring the
+// shared scan — and dropped-events accounts exactly for what it shed.
+func BenchmarkServerDeliveryStalledConsumer(b *testing.B) {
+	fps, dropped := benchDeliveryFleet(b, true)
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(dropped, "dropped-events")
 }
 
 // --- Micro-benchmarks: per-operation costs of the building blocks ---

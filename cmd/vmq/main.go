@@ -7,7 +7,7 @@
 //	vmq query   -q 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' [-frames N] [-ctol K] [-ltol K] [-brute]
 //	vmq aggregate -q 'SELECT COUNT(FRAMES) FROM jackson WHERE car LEFT OF person' [-window N] [-samples K]
 //	vmq windows -q 'SELECT COUNT(FRAMES) FROM jackson WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 1000, ADVANCE BY 1000)' [-n N] [-samples K]
-//	vmq serve   [-addr :8372] [-feeds jackson,detrac] [-fps 30] [-seed 42]
+//	vmq serve   [-addr :8372] [-feeds jackson,detrac] [-fps 30] [-seed 42] [-policy block|drop-oldest|sample-under-pressure] [-result-log N] [-max-queries N]
 //	vmq experiment -name tableII|fig7|fig11|fig15|tableIII|tableIV|constraint|branch|anomaly|all [-frames N] [-reps N]
 //	vmq train   [-dataset jackson] [-frames N] [-epochs N]
 package main

@@ -104,13 +104,19 @@ func TestWindowsHappyPath(t *testing.T) {
 // servers for known ones; the assembled server speaks the HTTP API end
 // to end.
 func TestServeBuildServer(t *testing.T) {
-	if _, err := buildServer("jackson,nosuch", 1, 0, 100); err == nil {
+	if _, err := buildServer(serveConfig{feeds: "jackson,nosuch", seed: 1, frames: 100}); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if _, err := buildServer("", 1, 0, 0); err == nil {
+	if _, err := buildServer(serveConfig{feeds: "", seed: 1}); err == nil {
 		t.Fatal("empty feed list accepted")
 	}
-	srv, err := buildServer("jackson, detrac", 1, 0, 120)
+	if _, err := buildServer(serveConfig{feeds: "jackson", seed: 1, policy: "nonsense"}); err == nil {
+		t.Fatal("unknown delivery policy accepted")
+	}
+	srv, err := buildServer(serveConfig{
+		feeds: "jackson, detrac", seed: 1, frames: 120,
+		policy: "drop-oldest", resultLog: 256, maxQueries: 8,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,10 +27,16 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	seed := fs.Uint64("seed", 42, "stream seed")
 	fps := fs.Float64("fps", 30, "per-feed frame rate (0 = as fast as consumers allow)")
 	frames := fs.Int("frames", 0, "stop each feed after this many frames (0 = unbounded)")
+	policy := fs.String("policy", "block", "default delivery policy: block, drop-oldest, sample-under-pressure")
+	resultLog := fs.Int("result-log", 0, "result-log ring capacity per query, in events (0 = default 64)")
+	maxQueries := fs.Int("max-queries", 0, "registration limit per feed (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := buildServer(*feeds, *seed, *fps, *frames)
+	srv, err := buildServer(serveConfig{
+		feeds: *feeds, seed: *seed, fps: *fps, frames: *frames,
+		policy: *policy, resultLog: *resultLog, maxQueries: *maxQueries,
+	})
 	if err != nil {
 		return err
 	}
@@ -46,13 +52,32 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	return http.Serve(ln, srv.Handler())
 }
 
+// serveConfig carries cmdServe's flags into buildServer.
+type serveConfig struct {
+	feeds      string
+	seed       uint64
+	fps        float64
+	frames     int
+	policy     string
+	resultLog  int
+	maxQueries int
+}
+
 // buildServer assembles a server over the named synthetic feeds — split
 // from cmdServe so tests can exercise feed parsing and construction
 // without binding a socket.
-func buildServer(feeds string, seed uint64, fps float64, frames int) (*vmq.Server, error) {
-	srv := vmq.NewServer(vmq.ServerConfig{})
-	names := strings.Split(feeds, ",")
-	if len(names) == 0 || feeds == "" {
+func buildServer(sc serveConfig) (*vmq.Server, error) {
+	pol, ok := vmq.ParseDeliveryPolicy(sc.policy)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown -policy %q (try: block, drop-oldest, sample-under-pressure)", sc.policy)
+	}
+	srv := vmq.NewServer(vmq.ServerConfig{
+		DefaultPolicy:     pol,
+		ResultBuffer:      sc.resultLog,
+		MaxQueriesPerFeed: sc.maxQueries,
+	})
+	names := strings.Split(sc.feeds, ",")
+	if len(names) == 0 || sc.feeds == "" {
 		return nil, fmt.Errorf("serve: -feeds must name at least one dataset")
 	}
 	for _, name := range names {
@@ -61,11 +86,11 @@ func buildServer(feeds string, seed uint64, fps float64, frames int) (*vmq.Serve
 		if !ok {
 			return nil, fmt.Errorf("serve: unknown dataset %q (try: coral, jackson, detrac)", name)
 		}
-		cfg := vmq.LiveFeed(p, seed)
-		if fps > 0 {
-			cfg.FrameInterval = time.Duration(float64(time.Second) / fps)
+		cfg := vmq.LiveFeed(p, sc.seed)
+		if sc.fps > 0 {
+			cfg.FrameInterval = time.Duration(float64(time.Second) / sc.fps)
 		}
-		cfg.MaxFrames = frames
+		cfg.MaxFrames = sc.frames
 		if err := srv.AddFeed(cfg); err != nil {
 			return nil, err
 		}

@@ -60,6 +60,14 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 			workers = e.Workers
 		}
 	}
+	// With a gate the pool is spawned wide and the gate bounds how many
+	// workers evaluate at once: capacity changes (the server rebalancing
+	// its budget across feeds) take effect mid-run, which a fixed pool
+	// size cannot.
+	gate := e.Gate
+	if workers == 1 {
+		gate = nil // a serial stage needs no admission control
+	}
 	chunkSize := e.ChunkSize
 	if chunkSize <= 0 {
 		chunkSize = defaultChunkSize
@@ -117,9 +125,15 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 					filtered <- c
 					continue
 				}
+				if gate != nil {
+					gate.Acquire()
+				}
 				outs = filters.EvaluateBatchInto(e.Backend, c.frames, outs[:0])
 				for i, f := range c.frames {
 					c.pass[i] = plan.Where.EvalFilter(outs[i], f.Bounds, e.Tol)
+				}
+				if gate != nil {
+					gate.Release()
 				}
 				filtered <- c
 			}

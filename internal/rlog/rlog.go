@@ -1,0 +1,470 @@
+// Package rlog is the server's result-delivery subsystem: a bounded,
+// monotonically-sequenced per-query result log. The continuous-query
+// server appends every event a query produces into one Log; any number
+// of consumers read it through per-consumer cursors, resume from a
+// sequence number after a disconnect, and — when the ring has wrapped
+// past their position — receive an explicit gap notice instead of a
+// silently spliced stream.
+//
+// The log replaces the per-registration event channel the server used
+// before: a channel couples production to exactly one consumer's pace
+// and loses everything an absent consumer never read. The log decouples
+// them with three per-query delivery policies:
+//
+//   - Block: lossless. The writer blocks rather than overwrite an event
+//     no consumer has taken responsibility for — the channel contract,
+//     but resumable: a consumer that disconnects and returns with
+//     ?from=<seq> sees a gap-free stream.
+//   - DropOldest: bounded lag. The writer never blocks; when the ring is
+//     full of unconsumed events the oldest is overwritten (and counted
+//     dropped). Slow consumers observe a gap and keep up from there.
+//   - Sample: graceful degradation. As unconsumed backlog crosses half
+//     the ring the writer decimates droppable events (keeping every 2nd,
+//     then every 4th, then none) so a consumer under pressure still sees
+//     a representative sample at bounded staleness.
+//
+// Storage is a power-of-two ring buffer indexed by sequence & mask, so
+// retained sequence numbers are always the contiguous interval
+// [firstRetained, nextSeq). An optional Spill receives entries as they
+// are evicted from the ring; a reader positioned below firstRetained is
+// served from the spill when one is attached, and reports a gap
+// otherwise.
+//
+// The Log is single-writer (sequence assignment needs no coordination)
+// and multi-reader; all methods are safe for concurrent use.
+package rlog
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Policy selects what the writer does when appending would overwrite an
+// event no consumer has read yet.
+type Policy string
+
+// Delivery policies.
+const (
+	// Block makes the writer wait for the slowest consumer — lossless
+	// delivery, at the cost of back-pressuring the producer.
+	Block Policy = "block"
+	// DropOldest overwrites the oldest unread event — bounded memory and
+	// a never-blocked producer, at the cost of gaps for slow consumers.
+	DropOldest Policy = "drop-oldest"
+	// Sample decimates incoming droppable events once unread backlog
+	// crosses half the ring (1-in-2, then 1-in-4 past three quarters,
+	// then none when full) — consumers under pressure see a thinned but
+	// current stream instead of an ever-staler complete one.
+	Sample Policy = "sample-under-pressure"
+)
+
+// ParsePolicy resolves a policy name; the empty string selects Block
+// (the lossless pre-log contract).
+func ParsePolicy(s string) (Policy, bool) {
+	switch Policy(s) {
+	case "", Block:
+		return Block, true
+	case DropOldest:
+		return DropOldest, true
+	case Sample:
+		return Sample, true
+	}
+	return "", false
+}
+
+// Gap reports a range of sequence numbers a reader could not be served:
+// [From, To) was dropped or evicted before the reader got there.
+type Gap struct {
+	From int64
+	To   int64
+}
+
+// Item is one delivery to a reader: either a logged value with its
+// sequence number, or a gap notice (Gap non-nil, Value the zero value).
+type Item[T any] struct {
+	Seq   int64
+	Value T
+	Gap   *Gap
+}
+
+// Spill receives entries as they are evicted from the ring, extending
+// the resumable window beyond the ring's capacity. Implementations must
+// be safe for one appender and concurrent readers.
+type Spill[T any] interface {
+	// Append persists one evicted entry. Entries arrive in sequence
+	// order, exactly once.
+	Append(seq int64, v T) error
+	// Read returns the entry for seq, or false when it is not held
+	// (never spilled, expired, or a read error).
+	Read(seq int64) (T, bool)
+	// FirstRetained returns the lowest sequence the spill still holds
+	// (false when empty), so a reader below it gaps exactly to the
+	// resumable boundary instead of skipping the whole spill window.
+	FirstRetained() (int64, bool)
+}
+
+// Log is one query's bounded, sequenced result log.
+type Log[T any] struct {
+	mu      sync.Mutex
+	ring    []T
+	mask    int64
+	policy  Policy
+	spill   Spill[T]
+	next    int64 // sequence of the next append
+	first   int64 // oldest sequence still in the ring
+	parked  int64 // retention floor while no reader is attached
+	readers map[*Reader[T]]struct{}
+	dropped int64
+	decim   int64 // sample-policy decimation counter
+	closed  bool
+
+	// dataCh is closed and replaced on each append/close, waking blocked
+	// readers; spaceCh likewise on floor advance, waking a blocked
+	// writer. Channel-based broadcast keeps reads selectable against
+	// caller-supplied abort channels.
+	dataCh  chan struct{}
+	spaceCh chan struct{}
+}
+
+// New creates a log with the given policy retaining at least capacity
+// entries (rounded up to a power of two; minimum 8). A nil-able spill
+// may be attached with SetSpill before the first append.
+func New[T any](capacity int, policy Policy) *Log[T] {
+	if capacity < 8 {
+		capacity = 8
+	}
+	capacity = 1 << bits.Len(uint(capacity-1)) // next power of two
+	if policy == "" {
+		policy = Block
+	}
+	return &Log[T]{
+		ring:    make([]T, capacity),
+		mask:    int64(capacity - 1),
+		policy:  policy,
+		readers: make(map[*Reader[T]]struct{}),
+		dataCh:  make(chan struct{}),
+		spaceCh: make(chan struct{}),
+	}
+}
+
+// SetSpill attaches a spill for evicted entries. It must be called
+// before the first append.
+func (l *Log[T]) SetSpill(s Spill[T]) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.spill = s
+}
+
+// Policy returns the log's delivery policy.
+func (l *Log[T]) Policy() Policy {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.policy
+}
+
+// Capacity returns the ring size (a power of two).
+func (l *Log[T]) Capacity() int { return len(l.ring) }
+
+// floorLocked is the lowest sequence retention must honour: the least
+// attached cursor, or — with no reader attached — the position the last
+// reader detached at (initially 0, so a log nobody has read yet retains
+// from the beginning, exactly like the buffered channel it replaces).
+func (l *Log[T]) floorLocked() int64 {
+	if len(l.readers) == 0 {
+		return l.parked
+	}
+	min := int64(-1)
+	for r := range l.readers {
+		if min < 0 || r.cursor < min {
+			min = r.cursor
+		}
+	}
+	return min
+}
+
+// Append writes v as the next sequenced entry. droppable marks events
+// the Sample policy may decimate and DropOldest semantics apply to;
+// terminal events (a stream's end marker) pass false so they always
+// land, overwriting the oldest entry if the ring is full of unread
+// events. abort, when non-nil, releases a Block-policy writer waiting
+// for a consumer (the append is then counted dropped).
+//
+// Append reports whether the value was stored. It returns false after
+// Close, on abort, and for events the policy shed.
+func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	if droppable && l.policy == Sample {
+		// Decide decimation before any eviction: a shed event must not
+		// cost an unread ring entry. Past half the ring of unread
+		// backlog keep 1 in 2, past three quarters 1 in 4, at a full
+		// ring shed every droppable event.
+		backlog := l.next - l.floorLocked()
+		capacity := int64(len(l.ring))
+		keepEvery := int64(1)
+		switch {
+		case backlog >= capacity:
+			l.dropped++
+			l.mu.Unlock()
+			return false
+		case backlog >= capacity*3/4:
+			keepEvery = 4
+		case backlog >= capacity/2:
+			keepEvery = 2
+		}
+		if keepEvery > 1 {
+			l.decim++
+			if l.decim%keepEvery != 0 {
+				l.dropped++
+				l.mu.Unlock()
+				return false
+			}
+		}
+	}
+	for l.next-l.first >= int64(len(l.ring)) {
+		// Full ring. Eviction of an already-consumed entry is always
+		// allowed; losing an unread one is what the policy decides.
+		if l.first >= l.floorLocked() {
+			if l.policy == Block && droppable {
+				ch := l.spaceCh
+				l.mu.Unlock()
+				if abort == nil {
+					<-ch
+				} else {
+					select {
+					case <-ch:
+					case <-abort:
+						l.mu.Lock()
+						l.dropped++
+						l.mu.Unlock()
+						return false
+					}
+				}
+				l.mu.Lock()
+				if l.closed {
+					l.mu.Unlock()
+					return false
+				}
+				continue
+			}
+			// DropOldest, Sample at full pressure (non-droppable), or a
+			// terminal event under any policy: overwrite the oldest
+			// unread so the event always lands.
+			l.dropped++
+		}
+		// Spill the evictee outside the lock — file I/O must not stall
+		// every reader and the telemetry getters. Safe because the log
+		// is single-writer: nothing else advances first while we are
+		// unlocked, and writing the spill entry before first moves means
+		// a reader can never see cursor < first without the spill
+		// already holding the entry.
+		if l.spill != nil {
+			seq, v := l.first, l.ring[l.first&l.mask]
+			spill := l.spill
+			l.mu.Unlock()
+			_ = spill.Append(seq, v)
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return false
+			}
+		}
+		var zero T
+		l.ring[l.first&l.mask] = zero
+		l.first++
+	}
+	l.ring[l.next&l.mask] = v
+	l.next++
+	ch := l.dataCh
+	l.dataCh = make(chan struct{})
+	l.mu.Unlock()
+	close(ch) // wake readers
+	return true
+}
+
+// Close marks the log complete: appends fail from now on, and readers
+// drain what remains and then see the end of the stream. Idempotent.
+func (l *Log[T]) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	data, space := l.dataCh, l.spaceCh
+	l.dataCh = make(chan struct{})
+	l.spaceCh = make(chan struct{})
+	l.mu.Unlock()
+	close(data)
+	close(space)
+}
+
+// NextSeq returns the sequence number the next append will take — the
+// count of events ever stored.
+func (l *Log[T]) NextSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// FirstRetained returns the oldest sequence still in the ring.
+func (l *Log[T]) FirstRetained() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
+}
+
+// Dropped returns how many events were lost to the policy: shed by
+// sampling, overwritten unread under DropOldest, or abandoned by an
+// aborted blocking append.
+func (l *Log[T]) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Readers returns the number of attached readers.
+func (l *Log[T]) Readers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.readers)
+}
+
+// Lag returns how far the slowest attached reader (or the parked
+// retention floor, when none is attached) trails the writer, in events.
+func (l *Log[T]) Lag() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - l.floorLocked()
+}
+
+// Reader is one consumer's cursor over the log. Readers are created by
+// ReaderFrom, advance with Next, and must be detached with Detach when
+// the consumer goes away so a Block-policy writer stops waiting on them.
+type Reader[T any] struct {
+	log    *Log[T]
+	cursor int64
+}
+
+// ReaderFrom attaches a reader positioned at seq. Negative seq means
+// "live tail": the reader starts at the next event to be appended,
+// skipping history. A seq above the current tail is clamped to it.
+func (l *Log[T]) ReaderFrom(seq int64) *Reader[T] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < 0 || seq > l.next {
+		seq = l.next
+	}
+	r := &Reader[T]{log: l, cursor: seq}
+	l.readers[r] = struct{}{}
+	return r
+}
+
+// Cursor returns the sequence number of the next item the reader will
+// deliver.
+func (r *Reader[T]) Cursor() int64 {
+	r.log.mu.Lock()
+	defer r.log.mu.Unlock()
+	return r.cursor
+}
+
+// Next delivers the reader's next item, blocking until one is available,
+// the log is closed and drained (ok false), or abort fires (ok false).
+// An item is either a value with its sequence number or a gap notice
+// covering evicted sequences the spill could not serve; after a gap the
+// reader continues at the gap's To.
+func (r *Reader[T]) Next(abort <-chan struct{}) (Item[T], bool) {
+	l := r.log
+	l.mu.Lock()
+	for {
+		if r.cursor < l.next {
+			if r.cursor < l.first {
+				// Behind the ring: serve from the spill when attached,
+				// otherwise report the evicted range as a gap.
+				if l.spill != nil {
+					seq := r.cursor
+					spill := l.spill
+					l.mu.Unlock()
+					// Spill reads happen outside the lock (they may hit a
+					// file); the entry is immutable once spilled.
+					if v, ok := spill.Read(seq); ok {
+						l.mu.Lock()
+						r.advanceLocked(seq + 1)
+						l.mu.Unlock()
+						return Item[T]{Seq: seq, Value: v}, true
+					}
+					l.mu.Lock()
+					if r.cursor >= l.first { // raced: entry back in range
+						continue
+					}
+					// The spill no longer holds cursor; gap only to the
+					// oldest position something can still serve.
+					if low, ok := spill.FirstRetained(); ok && low > r.cursor && low < l.first {
+						gap := &Gap{From: r.cursor, To: low}
+						r.advanceLocked(low)
+						l.mu.Unlock()
+						return Item[T]{Seq: gap.From, Gap: gap}, true
+					}
+				}
+				gap := &Gap{From: r.cursor, To: l.first}
+				r.advanceLocked(l.first)
+				l.mu.Unlock()
+				return Item[T]{Seq: gap.From, Gap: gap}, true
+			}
+			seq := r.cursor
+			v := l.ring[seq&l.mask]
+			r.advanceLocked(seq + 1)
+			l.mu.Unlock()
+			return Item[T]{Seq: seq, Value: v}, true
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return Item[T]{}, false
+		}
+		ch := l.dataCh
+		l.mu.Unlock()
+		if abort == nil {
+			<-ch
+		} else {
+			select {
+			case <-ch:
+			case <-abort:
+				return Item[T]{}, false
+			}
+		}
+		l.mu.Lock()
+	}
+}
+
+// advanceLocked moves the cursor and wakes a writer blocked on the
+// retention floor (caller holds l.mu).
+func (r *Reader[T]) advanceLocked(to int64) {
+	r.cursor = to
+	ch := r.log.spaceCh
+	r.log.spaceCh = make(chan struct{})
+	close(ch)
+}
+
+// Detach removes the reader from the retention floor. The position it
+// reached is parked: if no other reader is attached, a Block-policy
+// writer retains from here so the consumer can resume gap-free.
+// Idempotent.
+func (r *Reader[T]) Detach() {
+	l := r.log
+	l.mu.Lock()
+	if _, ok := l.readers[r]; !ok {
+		l.mu.Unlock()
+		return
+	}
+	delete(l.readers, r)
+	if len(l.readers) == 0 {
+		l.parked = r.cursor
+	}
+	ch := l.spaceCh
+	l.spaceCh = make(chan struct{})
+	l.mu.Unlock()
+	close(ch) // the floor may have advanced
+}

@@ -1,0 +1,135 @@
+package rlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileSpill is a file-backed Spill: evicted entries are appended to one
+// NDJSON file ({"seq":n,"v":...} per line) and served back by sequence
+// number through an in-memory offset index. It extends a query's
+// resumable window beyond the ring for as long as the file is kept —
+// an operator reviewing what a disconnected dashboard missed, or a test
+// asserting on a full delivery history.
+//
+// The spill retains at most maxEntries index entries (FIFO); reads below
+// the retained window miss, which the Log reports as a gap. The file
+// itself is append-only — rotation is the operator's concern, the index
+// is the bounded part.
+type FileSpill[T any] struct {
+	mu         sync.Mutex
+	f          *os.File
+	w          *bufio.Writer
+	offsets    map[int64]int64 // seq -> byte offset of its line
+	order      []int64         // FIFO eviction of the index
+	maxEntries int
+	pos        int64
+}
+
+// spillLine is the on-disk form of one entry.
+type spillLine[T any] struct {
+	Seq int64 `json:"seq"`
+	V   T     `json:"v"`
+}
+
+// NewFileSpill creates (truncating) the spill file at path, indexing at
+// most maxEntries entries (<= 0 selects 65536).
+func NewFileSpill[T any](path string, maxEntries int) (*FileSpill[T], error) {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("rlog: spill: %w", err)
+	}
+	return &FileSpill[T]{
+		f:          f,
+		w:          bufio.NewWriter(f),
+		offsets:    make(map[int64]int64),
+		maxEntries: maxEntries,
+	}, nil
+}
+
+// Append implements Spill.
+func (s *FileSpill[T]) Append(seq int64, v T) error {
+	line, err := json.Marshal(spillLine[T]{Seq: seq, V: v})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("rlog: spill closed")
+	}
+	s.offsets[seq] = s.pos
+	s.order = append(s.order, seq)
+	for len(s.order) > s.maxEntries {
+		delete(s.offsets, s.order[0])
+		s.order = s.order[1:]
+	}
+	n, err := s.w.Write(append(line, '\n'))
+	s.pos += int64(n)
+	return err
+}
+
+// Read implements Spill.
+func (s *FileSpill[T]) Read(seq int64) (T, bool) {
+	var zero T
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off, ok := s.offsets[seq]
+	if !ok || s.f == nil {
+		return zero, false
+	}
+	if err := s.w.Flush(); err != nil {
+		return zero, false
+	}
+	// Reads are rare (a consumer resuming from far behind), so a
+	// positioned re-read beats keeping every line in memory.
+	rd := bufio.NewReader(io.NewSectionReader(s.f, off, s.pos-off))
+	line, err := rd.ReadBytes('\n')
+	if err != nil {
+		return zero, false
+	}
+	var l spillLine[T]
+	if err := json.Unmarshal(line, &l); err != nil || l.Seq != seq {
+		return zero, false
+	}
+	return l.V, true
+}
+
+// FirstRetained implements Spill: the oldest indexed sequence.
+func (s *FileSpill[T]) FirstRetained() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) == 0 {
+		return 0, false
+	}
+	return s.order[0], true
+}
+
+// Entries returns how many entries the index currently serves.
+func (s *FileSpill[T]) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.offsets)
+}
+
+// Close flushes and closes the file. Reads and appends fail afterwards.
+func (s *FileSpill[T]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

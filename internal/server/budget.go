@@ -1,0 +1,174 @@
+package server
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// budgeter is the server-wide filter-worker budget: one machine's
+// GOMAXPROCS split evenly across the feeds that currently host at least
+// one monitoring query, exactly the way RunMulti budgets a camera fleet
+// (CameraResult.Workers) — except live. Before it, every registration's
+// engine sized its own pool to GOMAXPROCS, so a server with F busy feeds
+// oversubscribed the machine F-fold and the OS scheduler picked the
+// losers; now each feed's queries share a resizable gate whose capacity
+// is its current share, rebalanced whenever a feed gains its first or
+// loses its last query.
+//
+// Shares are floored at one worker: with more feeds than cores every
+// feed still makes progress, it just degrades to serial filtering (the
+// same silent floor RunMulti documents).
+type budgeter struct {
+	total int // worker budget, normally GOMAXPROCS at server start
+
+	mu    sync.Mutex
+	feeds map[string]*feedBudget
+}
+
+// feedBudget is one live feed's slice of the budget.
+type feedBudget struct {
+	gate *workerGate
+	refs int // monitoring registrations holding the feed live
+}
+
+func newBudgeter(total int) *budgeter {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	return &budgeter{total: total, feeds: make(map[string]*feedBudget)}
+}
+
+// join adds one monitoring registration on the named feed and returns
+// the feed's gate (shared by every query on the feed). The first
+// registration on a feed triggers a rebalance across all live feeds.
+func (b *budgeter) join(feed string) *workerGate {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fb, ok := b.feeds[feed]
+	if !ok {
+		fb = &feedBudget{gate: newWorkerGate(1)}
+		b.feeds[feed] = fb
+		b.rebalanceLocked()
+	}
+	fb.refs++
+	return fb.gate
+}
+
+// leave drops one registration; a feed that loses its last returns its
+// share to the pool and the survivors grow.
+func (b *budgeter) leave(feed string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fb, ok := b.feeds[feed]
+	if !ok {
+		return
+	}
+	if fb.refs--; fb.refs <= 0 {
+		delete(b.feeds, feed)
+		// Wake anything still blocked on the departing gate: its queries
+		// are winding down and must not wait on a retired budget.
+		fb.gate.resize(b.total)
+		b.rebalanceLocked()
+	}
+}
+
+// rebalanceLocked recomputes every live feed's share (caller holds b.mu).
+func (b *budgeter) rebalanceLocked() {
+	if len(b.feeds) == 0 {
+		return
+	}
+	share := b.total / len(b.feeds)
+	if share < 1 {
+		share = 1
+	}
+	for _, fb := range b.feeds {
+		fb.gate.resize(share)
+	}
+}
+
+// share reports a feed's current worker allocation (0 when the feed has
+// no monitoring query), for the metrics snapshot.
+func (b *budgeter) share(feed string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fb, ok := b.feeds[feed]
+	if !ok {
+		return 0
+	}
+	return fb.gate.capacity()
+}
+
+// snapshot lists every live feed's share, sorted by feed name.
+func (b *budgeter) snapshot() []workerShare {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]workerShare, 0, len(b.feeds))
+	for name, fb := range b.feeds {
+		out = append(out, workerShare{Feed: name, Workers: fb.gate.capacity(), Queries: fb.refs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Feed < out[j].Feed })
+	return out
+}
+
+// workerShare is one feed's row in the budget snapshot.
+type workerShare struct {
+	Feed    string `json:"feed"`
+	Workers int    `json:"workers"`
+	Queries int    `json:"queries"`
+}
+
+// workerGate is a resizable counting semaphore implementing
+// query.WorkerGate. Shrinking takes effect as holders release; growth
+// wakes waiters immediately. Capacity never drops below one.
+type workerGate struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int
+	inUse int
+}
+
+func newWorkerGate(capacity int) *workerGate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	g := &workerGate{cap: capacity}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Acquire implements query.WorkerGate.
+func (g *workerGate) Acquire() {
+	g.mu.Lock()
+	for g.inUse >= g.cap {
+		g.cond.Wait()
+	}
+	g.inUse++
+	g.mu.Unlock()
+}
+
+// Release implements query.WorkerGate.
+func (g *workerGate) Release() {
+	g.mu.Lock()
+	g.inUse--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// resize sets the capacity (floored at 1) and wakes waiters so growth is
+// immediate.
+func (g *workerGate) resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	g.mu.Lock()
+	g.cap = capacity
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *workerGate) capacity() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cap
+}

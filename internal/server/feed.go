@@ -298,9 +298,14 @@ type scanBatcher struct {
 	stop  chan struct{}
 	stopO sync.Once
 
-	cur  []*video.Frame
-	idx  int
-	outs []*filters.Output // scratch for memo warming, reused per batch
+	cur []*video.Frame
+	idx int
+	// warmWG tracks fire-and-forget memo warm-ups. EOF waits for them:
+	// the frames-exhausted signal is what releases the feed's broker
+	// membership, and a warm-up still submitting after that would
+	// evaluate into a retired group whose counters are no longer
+	// visible. Add and Wait both run on the pump goroutine.
+	warmWG sync.WaitGroup
 
 	batches atomic.Int64
 	framesN atomic.Int64
@@ -326,6 +331,7 @@ func (s *scanBatcher) Next() (*video.Frame, bool) {
 func (s *scanBatcher) fill() bool {
 	f, ok := <-s.raw
 	if !ok {
+		s.warmWG.Wait() // let in-flight warm-ups land before EOF propagates
 		return false
 	}
 	s.cur = append(s.cur[:0], f)
@@ -347,7 +353,24 @@ collect:
 	s.batches.Add(1)
 	s.framesN.Add(int64(len(s.cur)))
 	if s.warm != nil && s.active() {
-		s.outs = s.warm.EvaluateBatch(s.cur, s.outs[:0])
+		// Warm the memo fire-and-forget: the batch claims its frames'
+		// memo entries in one inner batch evaluation while the pump is
+		// already dispatching them downstream, overlapping decode and
+		// fan-out with a flush that may be waiting on coalesced
+		// batch-mates from other feeds. Queries that reach a frame first
+		// simply claim it themselves (memo entries are exactly-once) and
+		// everyone else blocks on the entry's ready channel, so results
+		// and shared-scan economy are unchanged — only the pump stops
+		// stalling. The goroutine owns its own copy of the batch (s.cur
+		// is reused) and at most a couple are in flight: a new one fires
+		// only after the pump dispatched the previous batch.
+		batch := make([]*video.Frame, len(s.cur))
+		copy(batch, s.cur)
+		s.warmWG.Add(1)
+		go func() {
+			defer s.warmWG.Done()
+			s.warm.EvaluateBatch(batch, nil)
+		}()
 	}
 	return true
 }

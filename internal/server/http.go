@@ -2,12 +2,15 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
+	"vmq/internal/rlog"
 	"vmq/internal/vql"
 )
 
@@ -16,12 +19,16 @@ import (
 //	POST   /queries              register a query (VQL text in, id out)
 //	GET    /queries              list registered queries
 //	GET    /queries/{id}/results stream results as NDJSON until the query ends
+//	                             (?from=<seq> resumes from a result-log
+//	                             sequence number; a gap event reports any
+//	                             range evicted before the consumer got there)
 //	DELETE /queries/{id}         unregister
 //	GET    /metrics              server telemetry snapshot
 //
 // POST accepts either a raw VQL statement (text/plain) or a JSON body
 // {"query": "...", "count_tolerance": n, "location_tolerance": n,
-// "max_frames": n, "samples": n, "seed": n}.
+// "max_frames": n, "samples": n, "seed": n, "policy": "block" |
+// "drop-oldest" | "sample-under-pressure", "result_buffer": n}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.handleRegister)
@@ -40,13 +47,19 @@ type registerRequest struct {
 	MaxFrames         int    `json:"max_frames,omitempty"`
 	Samples           int    `json:"samples,omitempty"`
 	Seed              uint64 `json:"seed,omitempty"`
+	// Policy selects the delivery policy ("block", "drop-oldest",
+	// "sample-under-pressure"); empty keeps the server default.
+	Policy string `json:"policy,omitempty"`
+	// ResultBuffer overrides the result-log ring capacity (events).
+	ResultBuffer int `json:"result_buffer,omitempty"`
 }
 
 // registerResponse answers POST /queries.
 type registerResponse struct {
-	ID    string `json:"id"`
-	Feed  string `json:"feed"`
-	Query string `json:"query"` // canonical rendering
+	ID     string `json:"id"`
+	Feed   string `json:"feed"`
+	Query  string `json:"query"` // canonical rendering
+	Policy string `json:"policy"`
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -79,7 +92,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
-	opt := Options{MaxFrames: req.MaxFrames, SampleSize: req.Samples, Seed: req.Seed}
+	opt := Options{MaxFrames: req.MaxFrames, SampleSize: req.Samples, Seed: req.Seed, ResultBuffer: req.ResultBuffer}
+	if req.Policy != "" {
+		pol, ok := rlog.ParsePolicy(req.Policy)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown delivery policy %q", req.Policy)
+			return
+		}
+		opt.Policy = pol
+	}
 	if req.CountTolerance != nil || req.LocationTolerance != nil {
 		tol := *s.cfg.Tol
 		if req.CountTolerance != nil {
@@ -92,12 +113,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	reg, err := s.Register(q, opt)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrFeedBusy) {
+			code = http.StatusTooManyRequests
+		}
+		httpError(w, code, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
-	_ = json.NewEncoder(w).Encode(registerResponse{ID: reg.ID(), Feed: reg.Feed(), Query: reg.Query().String()})
+	_ = json.NewEncoder(w).Encode(registerResponse{
+		ID: reg.ID(), Feed: reg.Feed(), Query: reg.Query().String(),
+		Policy: string(reg.Log().Policy()),
+	})
 }
 
 // listedQuery is one row of GET /queries.
@@ -126,35 +154,51 @@ func lessID(a, b string) bool {
 	return a < b
 }
 
-// handleResults streams the query's events as newline-delimited JSON. The
+// handleResults streams the query's events as newline-delimited JSON
+// through its own cursor over the registration's result log. The
 // connection stays open until the query ends, is unregistered, or the
 // client goes away; each event is flushed as it happens, so a curl client
 // sees matches live.
+//
+// ?from=<seq> resumes from a result-log sequence number (each event
+// carries its own as event_seq): a consumer that disconnected reconnects
+// with from set to one past the last event it processed and sees a
+// gap-free continuation — or, when the ring wrapped past that point, one
+// gap event reporting exactly the dropped range. Without from the stream
+// replays from the oldest retained event. Multiple consumers may stream
+// one query concurrently, each on its own cursor.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	reg, ok := s.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no query %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, "%v: %q", ErrQueryNotFound, r.PathValue("id"))
 		return
 	}
+	from := int64(0)
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad from=%q: %v", raw, err)
+			return
+		}
+		from = v
+	}
+	reader := reg.ResultsFrom(from)
+	defer reader.Detach()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for {
-		select {
-		case ev, open := <-reg.Results():
-			if !open {
-				return
-			}
-			if err := enc.Encode(ev); err != nil {
-				return
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-		case <-r.Context().Done():
+		it, ok := reader.Next(r.Context().Done())
+		if !ok {
 			return
+		}
+		if err := enc.Encode(reg.itemEvent(it)); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
 		}
 	}
 }
@@ -162,7 +206,11 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.Unregister(id); err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrQueryNotFound) {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

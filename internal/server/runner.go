@@ -9,6 +9,7 @@ import (
 	"vmq/internal/filters"
 	"vmq/internal/metrics"
 	"vmq/internal/query"
+	"vmq/internal/rlog"
 	"vmq/internal/stream"
 	"vmq/internal/video"
 	"vmq/internal/vql"
@@ -32,8 +33,19 @@ type Options struct {
 	SampleSize int
 	// Seed seeds the window sampler (default 1).
 	Seed uint64
-	// ResultBuffer overrides the server's default event-channel buffer.
+	// ResultBuffer overrides the server's default result-log ring
+	// capacity for this query (rounded up to a power of two).
 	ResultBuffer int
+	// Policy overrides the server's default delivery policy for this
+	// query: rlog.Block (lossless, the writer waits for the slowest
+	// consumer), rlog.DropOldest (bounded lag, slow consumers see gaps)
+	// or rlog.Sample (decimate under backlog pressure).
+	Policy rlog.Policy
+	// SpillPath, when non-empty, attaches a file-backed spill at that
+	// path: events evicted from the ring are appended there and served
+	// back to consumers resuming from far behind, extending the
+	// resumable window beyond the ring.
+	SpillPath string
 }
 
 // EventKind distinguishes the entries of a registration's result stream.
@@ -50,6 +62,12 @@ const (
 	// EventEnd is the final entry before the stream closes, carrying the
 	// run's totals.
 	EventEnd EventKind = "end"
+	// EventGap reports that the events in [DroppedFrom, DroppedTo) were
+	// evicted from the result log before this consumer reached them — a
+	// slow consumer under drop-oldest/sampling, or a resume from below
+	// the retained window. Gap events are synthesised per consumer at
+	// read time; they occupy no log sequence.
+	EventGap EventKind = "gap"
 )
 
 // Event is one entry in a registered query's result stream.
@@ -57,6 +75,12 @@ type Event struct {
 	Kind    EventKind `json:"kind"`
 	QueryID string    `json:"query_id"`
 	Feed    string    `json:"feed"`
+
+	// EventSeq is the event's position in the query's result log — the
+	// monotonically increasing delivery sequence a consumer passes back
+	// as ?from= to resume after a disconnect. (Distinct from Seq, which
+	// is a frame position.)
+	EventSeq int64 `json:"event_seq"`
 
 	// Match events: Seq is the frame's index within the query's executed
 	// sequence (what Result.Matched records), FrameIndex the frame's
@@ -74,6 +98,13 @@ type Event struct {
 
 	// End events.
 	Final *query.Result `json:"final,omitempty"`
+
+	// Gap events: the half-open dropped range. DroppedFrom has no
+	// omitempty — 0 is its most common legitimate value (a resume from
+	// the beginning after the ring wrapped) and wire consumers must see
+	// it; DroppedTo is never 0 for a real gap.
+	DroppedFrom int64 `json:"dropped_from"`
+	DroppedTo   int64 `json:"dropped_to,omitempty"`
 }
 
 // Registration is one continuous query registered against a feed.
@@ -84,8 +115,14 @@ type Registration struct {
 	plan *query.Plan
 	sub  *stream.Subscription
 
-	events chan Event
-	done   chan struct{}
+	// log is the registration's result log: the runner appends, any
+	// number of consumers read through cursors (Results, ResultsFrom).
+	log   *rlog.Log[Event]
+	spill *rlog.FileSpill[Event] // non-nil when Options.SpillPath was set
+	done  chan struct{}
+
+	resultsOnce sync.Once
+	resultsCh   chan Event
 
 	stats regStats
 }
@@ -115,33 +152,113 @@ func (r *Registration) Feed() string { return r.feed.name }
 // Query returns the registered query.
 func (r *Registration) Query() *vql.Query { return r.qry }
 
-// Results is the registration's event stream: matches (or window
-// estimates) as they confirm, then one EventEnd, then the channel closes.
-// The stream must be drained — an abandoned consumer eventually
-// back-pressures the whole feed, which is the lossless-delivery contract
-// (admission control is future work, see ROADMAP).
-func (r *Registration) Results() <-chan Event { return r.events }
+// Results is the registration's event stream as a channel: matches (or
+// window estimates) as they confirm, then one EventEnd, then the channel
+// closes. It is a convenience consumer over the registration's result
+// log, reading from sequence 0; under the default Block policy an
+// abandoned channel back-pressures the query exactly as the pre-log
+// contract did, while DropOldest/Sample queries shed into gap events
+// instead. For resumable consumption use ResultsFrom.
+func (r *Registration) Results() <-chan Event {
+	r.resultsOnce.Do(func() {
+		r.resultsCh = make(chan Event, 16)
+		reader := r.log.ReaderFrom(0)
+		go func() {
+			defer close(r.resultsCh)
+			defer reader.Detach()
+			for {
+				// The runner closes the log when it finishes or is
+				// unregistered, so this read always unblocks and the
+				// drain after close is finite. Sends are unconditional:
+				// the channel contract has always been that the stream
+				// must be drained, and under Block that is exactly the
+				// back-pressure the policy promises.
+				it, ok := reader.Next(nil)
+				if !ok {
+					return
+				}
+				r.resultsCh <- r.itemEvent(it)
+			}
+		}()
+	})
+	return r.resultsCh
+}
+
+// ResultsFrom attaches a new cursor to the registration's result log at
+// the given sequence (negative = live tail, skipping history). Each
+// consumer reads independently; Detach the reader when the consumer goes
+// away so a Block-policy writer stops retaining on its behalf.
+func (r *Registration) ResultsFrom(seq int64) *rlog.Reader[Event] {
+	return r.log.ReaderFrom(seq)
+}
+
+// itemEvent converts one log item to its wire event: either the stored
+// event or a synthesised gap notice.
+func (r *Registration) itemEvent(it rlog.Item[Event]) Event {
+	if it.Gap == nil {
+		return it.Value
+	}
+	return Event{
+		Kind:        EventGap,
+		QueryID:     r.id,
+		Feed:        r.feed.name,
+		EventSeq:    it.Gap.From,
+		DroppedFrom: it.Gap.From,
+		DroppedTo:   it.Gap.To,
+	}
+}
+
+// Log exposes the registration's result log for telemetry (sequence
+// high-water mark, retained window, drops, consumer lag).
+func (r *Registration) Log() *rlog.Log[Event] { return r.log }
 
 // Done closes when the runner has finished (feed ended, frame budget
 // reached, or unregistered).
 func (r *Registration) Done() <-chan struct{} { return r.done }
 
-// emit delivers an event unless the registration was cancelled (then the
-// consumer is gone and the event is dropped so the runner can wind down).
-func (r *Registration) emit(ev Event) {
+// emit appends an event to the result log unless the registration was
+// cancelled (then the consumers are gone and the event is dropped so the
+// runner can wind down). droppable marks events the query's policy may
+// shed; the end-of-stream event passes false so it always lands. A
+// Block-policy append waiting for a slow consumer aborts the moment the
+// registration is cancelled.
+func (r *Registration) emit(ev Event, droppable bool) {
 	ev.QueryID = r.id
 	ev.Feed = r.feed.name
 	select {
-	case r.events <- ev:
 	case <-r.sub.Cancelled():
+		return
+	default:
+	}
+	// Single writer: the sequence the next append takes is stable here,
+	// so the stored event carries its own resume cursor.
+	ev.EventSeq = r.log.NextSeq()
+	r.log.Append(ev, droppable, r.sub.Cancelled())
+}
+
+// finish closes the result log (consumers drain and end) and signals
+// Done. It runs after the runner's resource releases (worker budget,
+// backend refcounts, admission slots), so by the time Unregister or a
+// Done waiter proceeds the server's books are already rebalanced. The
+// spill file stays open so late consumers can still replay a finished
+// query's history; it is closed when the registration leaves the
+// registry (closeSpill).
+func (r *Registration) finish() {
+	r.log.Close()
+	close(r.done)
+}
+
+// closeSpill releases the registration's spill file, if any. Called when
+// the registration is removed from the server's registry.
+func (r *Registration) closeSpill() {
+	if r.spill != nil {
+		_ = r.spill.Close()
 	}
 }
 
 // runMonitor executes a SELECT FRAMES query on the pipelined executor,
 // streaming matches out of the confirmation stage as they happen.
 func (r *Registration) runMonitor(eng *query.Engine, n int) {
-	defer close(r.done)
-	defer close(r.events)
 	defer r.sub.Cancel()
 	if n <= 0 {
 		n = math.MaxInt
@@ -164,14 +281,17 @@ func (r *Registration) runMonitor(eng *query.Engine, n int) {
 				Seq:        o.Index,
 				FrameIndex: o.Frame.Index,
 				Objects:    len(o.Frame.Objects),
-			})
+			}, true)
 		}
 	}
 	res := eng.RunStream(r.plan, r.sub, n)
 	r.stats.mu.Lock()
 	r.stats.finished = true
 	r.stats.mu.Unlock()
-	r.emit(Event{Kind: EventEnd, Final: res})
+	// The end event is not droppable: however hard the policy shed load,
+	// the stream's totals always land (overwriting the oldest retained
+	// event if it must).
+	r.emit(Event{Kind: EventEnd, Final: res}, false)
 }
 
 // runWindows executes a windowed aggregate query continuously: it builds
@@ -179,8 +299,6 @@ func (r *Registration) runMonitor(eng *query.Engine, n int) {
 // or skip, sliding windows overlap) and emits one estimate per window
 // until the feed ends or the query is unregistered.
 func (r *Registration) runWindows(backend filters.Backend, det detect.Detector, cfg query.AggregateConfig, maxFrames int) {
-	defer close(r.done)
-	defer close(r.events)
 	defer r.sub.Cancel()
 	w := r.qry.Window
 	if maxFrames <= 0 {
@@ -226,7 +344,7 @@ func (r *Registration) runWindows(backend filters.Backend, det detect.Detector, 
 		r.stats.windows++
 		r.stats.virtualExtra += res.VirtualTimePerSample * time.Duration(res.Samples)
 		r.stats.mu.Unlock()
-		r.emit(Event{Kind: EventWindow, WindowStart: start, Window: res})
+		r.emit(Event{Kind: EventWindow, WindowStart: start, Window: res}, true)
 		if w.Kind == vql.Sliding && w.Advance < w.Size {
 			buf = buf[:copy(buf, buf[w.Advance:])]
 			start += w.Advance
@@ -248,5 +366,5 @@ func (r *Registration) finishWindows() {
 	r.stats.mu.Lock()
 	r.stats.finished = true
 	r.stats.mu.Unlock()
-	r.emit(Event{Kind: EventEnd})
+	r.emit(Event{Kind: EventEnd}, false)
 }

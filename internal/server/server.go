@@ -19,15 +19,30 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"vmq/internal/query"
+	"vmq/internal/rlog"
 	"vmq/internal/sched"
 	"vmq/internal/stream"
 	"vmq/internal/vql"
+)
+
+// Typed registry errors, for errors.Is at the API boundary (the HTTP
+// layer maps them to status codes).
+var (
+	// ErrQueryNotFound reports an id with no registration behind it —
+	// never registered, or already unregistered/evicted after finishing.
+	ErrQueryNotFound = errors.New("server: query not found")
+	// ErrFeedBusy reports a feed at its registration limit
+	// (Config.MaxQueriesPerFeed).
+	ErrFeedBusy = errors.New("server: feed at its query limit")
+	// ErrClosed reports an operation on a closed server.
+	ErrClosed = errors.New("server: closed")
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -39,9 +54,23 @@ type Config struct {
 	// (default 64): how far queries on one feed may drift apart before
 	// the slowest throttles the rest.
 	FanoutBuffer int
-	// ResultBuffer is the default event-channel buffer per registration
-	// (default 64).
+	// ResultBuffer is the default result-log ring capacity per
+	// registration, in events (default 64, rounded up to a power of
+	// two): how many delivered-but-unread events a query retains for
+	// resuming consumers before its policy decides between blocking and
+	// shedding.
 	ResultBuffer int
+	// DefaultPolicy is the delivery policy for registrations that do not
+	// set their own: rlog.Block (default — lossless, the writer waits
+	// for the slowest consumer), rlog.DropOldest, or rlog.Sample.
+	DefaultPolicy rlog.Policy
+	// MaxQueriesPerFeed caps live registrations per feed (0 =
+	// unlimited). Register returns ErrFeedBusy beyond it — admission
+	// control so one tenant cannot crowd a feed out.
+	MaxQueriesPerFeed int
+	// WorkerBudget is the server-wide filter worker budget split across
+	// feeds with live monitoring queries (default GOMAXPROCS).
+	WorkerBudget int
 	// SharedCacheCap caps each shared filter memo, in frames
 	// (default 4096).
 	SharedCacheCap int
@@ -79,6 +108,9 @@ func (c Config) withDefaults() Config {
 	if c.ResultBuffer <= 0 {
 		c.ResultBuffer = 64
 	}
+	if c.DefaultPolicy == "" {
+		c.DefaultPolicy = rlog.Block
+	}
 	if c.SharedCacheCap <= 0 {
 		c.SharedCacheCap = 4096
 	}
@@ -102,10 +134,12 @@ type Server struct {
 	cfg      Config
 	birth    time.Time
 	broker   *sched.Broker // cross-feed inference coalescing (nil when disabled)
+	budget   *budgeter     // server-wide filter worker budget
 	mu       sync.Mutex
 	feeds    map[string]*feed
 	regs     map[string]*Registration
-	finished []string // finished registration ids, oldest first
+	liveRegs map[string]int // live registrations per feed, for admission control
+	finished []string       // finished registration ids, oldest first
 	nextID   int
 	started  bool
 	closed   bool
@@ -121,11 +155,13 @@ const retainFinished = 64
 // New creates an empty server.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg.withDefaults(),
-		birth: time.Now(),
-		feeds: make(map[string]*feed),
-		regs:  make(map[string]*Registration),
+		cfg:      cfg.withDefaults(),
+		birth:    time.Now(),
+		feeds:    make(map[string]*feed),
+		regs:     make(map[string]*Registration),
+		liveRegs: make(map[string]int),
 	}
+	s.budget = newBudgeter(s.cfg.WorkerBudget)
 	if s.cfg.CoalesceBatch > 1 {
 		s.broker = sched.New(sched.Config{Batch: s.cfg.CoalesceBatch, Flush: s.cfg.CoalesceFlush})
 	}
@@ -185,15 +221,28 @@ func (s *Server) Start() {
 // Registering before Start is how a batch of queries is guaranteed to see
 // the feed's very first frame; registering later joins mid-stream.
 func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
+	policy := opt.Policy
+	if policy == "" {
+		policy = s.cfg.DefaultPolicy
+	}
+	if _, ok := rlog.ParsePolicy(string(policy)); !ok {
+		return nil, fmt.Errorf("server: unknown delivery policy %q", policy)
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("server: closed")
+		return nil, ErrClosed
 	}
 	f, ok := s.feeds[q.Source]
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("server: no feed %q (have %v)", q.Source, s.feedNamesLocked())
+	}
+	if lim := s.cfg.MaxQueriesPerFeed; lim > 0 && s.liveRegs[f.name] >= lim {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: feed %q serves %d queries (limit %d)",
+			ErrFeedBusy, f.name, lim, lim)
 	}
 	s.nextID++
 	id := fmt.Sprintf("q%d", s.nextID)
@@ -219,24 +268,35 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	if det == nil {
 		det = f.newDet()
 	}
+	buffer := opt.ResultBuffer
+	if buffer <= 0 {
+		buffer = s.cfg.ResultBuffer
+	}
+	log := rlog.New[Event](buffer, policy)
+	var spill *rlog.FileSpill[Event]
+	if opt.SpillPath != "" {
+		spill, err = rlog.NewFileSpill[Event](opt.SpillPath, 0)
+		if err != nil {
+			return nil, err
+		}
+		log.SetSpill(spill)
+	}
+
 	backend := f.sharedFor(opt.Backend, s.cfg.SharedCacheCap)
 	usesDefault := opt.Backend == nil
 	if usesDefault {
 		f.defaultUsers.Add(1)
 	}
-	buffer := opt.ResultBuffer
-	if buffer <= 0 {
-		buffer = s.cfg.ResultBuffer
-	}
 
 	r := &Registration{
-		id:     id,
-		feed:   f,
-		qry:    q,
-		plan:   plan,
-		sub:    f.fanout.Subscribe(),
-		events: make(chan Event, buffer),
-		done:   make(chan struct{}),
+		id:    id,
+		feed:  f,
+		qry:   q,
+		plan:  plan,
+		sub:   f.fanout.Subscribe(),
+		log:   log,
+		spill: spill,
+		done:  make(chan struct{}),
 	}
 	r.stats.detectCost = det.Cost().PerCall
 	r.stats.windowed = isWindowed
@@ -245,14 +305,36 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	err = nil
+	switch lim := s.cfg.MaxQueriesPerFeed; {
+	case s.closed:
+		err = ErrClosed
+	case lim > 0 && s.liveRegs[f.name] >= lim:
+		// Re-checked here, where the slot is actually taken: the early
+		// check ran under a previous lock acquisition and concurrent
+		// registrations may have filled the feed since.
+		err = fmt.Errorf("%w: feed %q serves %d queries (limit %d)",
+			ErrFeedBusy, f.name, s.liveRegs[f.name], lim)
+	}
+	if err != nil {
 		s.mu.Unlock()
 		r.sub.Cancel()
+		r.closeSpill()
 		f.release(usesDefault, opt.Backend)
-		return nil, fmt.Errorf("server: closed")
+		return nil, err
 	}
 	s.regs[id] = r
+	s.liveRegs[f.name]++
 	s.mu.Unlock()
+
+	release := func() {
+		f.release(usesDefault, opt.Backend)
+		s.mu.Lock()
+		if s.liveRegs[f.name]--; s.liveRegs[f.name] <= 0 {
+			delete(s.liveRegs, f.name)
+		}
+		s.mu.Unlock()
+	}
 
 	s.wg.Add(1)
 	if isWindowed {
@@ -271,19 +353,30 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		}
 		go func() {
 			defer s.wg.Done()
-			defer f.release(usesDefault, opt.Backend)
 			r.runWindows(backend, det, cfg, opt.MaxFrames)
+			release()
+			r.finish()
 			s.retire(id)
 		}()
 	} else {
 		// ChunkSize 1: a monitoring server exists to surface matches the
 		// moment they happen, so the pipeline must not sit on a partial
-		// chunk waiting for a paced feed to fill it.
-		eng := &query.Engine{Backend: backend, Detector: det, Tol: tol, ChunkSize: 1}
+		// chunk waiting for a paced feed to fill it. The worker gate is
+		// the feed's share of the server-wide budget, resized as feeds
+		// come and go.
+		eng := &query.Engine{
+			Backend: backend, Detector: det, Tol: tol, ChunkSize: 1,
+			Gate: s.budget.join(f.name),
+		}
 		go func() {
 			defer s.wg.Done()
-			defer f.release(usesDefault, opt.Backend)
 			r.runMonitor(eng, opt.MaxFrames)
+			// Release before signalling Done: whoever waited on the
+			// unregister sees the worker budget already rebalanced and
+			// the admission slot already free.
+			s.budget.leave(f.name)
+			release()
+			r.finish()
 			s.retire(id)
 		}()
 	}
@@ -296,14 +389,21 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 // is then a harmless no-op delete.)
 func (s *Server) retire(id string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.regs[id]; !ok {
-		return // already unregistered
+	var evicted []*Registration
+	if _, ok := s.regs[id]; ok {
+		s.finished = append(s.finished, id)
+		for len(s.finished) > retainFinished {
+			old := s.finished[0]
+			if r, ok := s.regs[old]; ok {
+				evicted = append(evicted, r)
+			}
+			delete(s.regs, old)
+			s.finished = s.finished[1:]
+		}
 	}
-	s.finished = append(s.finished, id)
-	for len(s.finished) > retainFinished {
-		delete(s.regs, s.finished[0])
-		s.finished = s.finished[1:]
+	s.mu.Unlock()
+	for _, r := range evicted {
+		r.closeSpill()
 	}
 }
 
@@ -326,7 +426,11 @@ func (s *Server) Get(id string) (*Registration, bool) {
 
 // Unregister cancels a query: its runner winds down, emits nothing
 // further, and closes the result stream. The registration disappears
-// from the metrics snapshot.
+// from the metrics snapshot. An unknown id — never registered, already
+// unregistered, or retired and evicted after its feed ended — returns
+// ErrQueryNotFound (check with errors.Is); a registration whose feed
+// already finished is still found and unregisters cleanly, it does not
+// race the feed's teardown.
 func (s *Server) Unregister(id string) error {
 	s.mu.Lock()
 	r, ok := s.regs[id]
@@ -335,10 +439,11 @@ func (s *Server) Unregister(id string) error {
 	}
 	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("server: no query %q", id)
+		return fmt.Errorf("%w: %q", ErrQueryNotFound, id)
 	}
 	r.sub.Cancel()
 	<-r.done
+	r.closeSpill()
 	return nil
 }
 
@@ -377,6 +482,10 @@ type Metrics struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Feeds         []FeedMetrics  `json:"feeds"`
 	Queries       []QueryMetrics `json:"queries"`
+	// WorkerBudget is the server-wide filter worker budget and its
+	// current split across feeds with live monitoring queries.
+	WorkerBudget int           `json:"worker_budget"`
+	WorkerShares []workerShare `json:"worker_shares,omitempty"`
 	// Coalesce reports the cross-feed inference broker's per-architecture
 	// groups (absent when coalescing is disabled or no coalescable
 	// backend is registered).
@@ -392,6 +501,9 @@ type FeedMetrics struct {
 	FramesPerSec float64 `json:"frames_per_sec"`
 	// Queries is the number of live subscriptions.
 	Queries int `json:"queries"`
+	// Workers is the feed's current share of the server-wide filter
+	// worker budget (0 while no monitoring query runs on it).
+	Workers int `json:"workers"`
 	// ScanBatches is how many micro-batches the shared scan has flushed;
 	// ScanAvgBatch is their mean size in frames.
 	ScanBatches  int64   `json:"scan_batches,omitempty"`
@@ -446,6 +558,17 @@ type QueryMetrics struct {
 	QueueDepth int `json:"queue_depth"`
 	// VirtualTimeMs is the simulated pipeline cost so far.
 	VirtualTimeMs float64 `json:"virtual_time_ms"`
+	// Result-log delivery telemetry: the policy in force, the next
+	// sequence the log will assign (= events stored so far), the oldest
+	// sequence still resumable from the ring, events lost to the policy,
+	// attached consumers, and how far the slowest consumer (or the
+	// parked resume point) trails the writer.
+	Policy        string `json:"policy"`
+	EventSeq      int64  `json:"event_seq"`
+	FirstRetained int64  `json:"first_retained"`
+	Dropped       int64  `json:"dropped"`
+	Readers       int    `json:"readers"`
+	ConsumerLag   int64  `json:"consumer_lag"`
 }
 
 // Metrics snapshots the server.
@@ -461,12 +584,18 @@ func (s *Server) Metrics() Metrics {
 	}
 	s.mu.Unlock()
 
-	m := Metrics{UptimeSeconds: time.Since(s.birth).Seconds(), Coalesce: s.broker.Metrics()}
+	m := Metrics{
+		UptimeSeconds: time.Since(s.birth).Seconds(),
+		WorkerBudget:  s.budget.total,
+		WorkerShares:  s.budget.snapshot(),
+		Coalesce:      s.broker.Metrics(),
+	}
 	for _, f := range feeds {
 		fm := FeedMetrics{
 			Name:    f.name,
 			Frames:  f.fanout.Frames(),
 			Queries: f.fanout.Subscribers(),
+			Workers: s.budget.share(f.name),
 		}
 		if f.batcher != nil {
 			fm.ScanBatches = f.batcher.batches.Load()
@@ -523,6 +652,12 @@ func (s *Server) Metrics() Metrics {
 			Recall:        r.stats.acc.Recall(),
 			Precision:     r.stats.acc.Precision(),
 			QueueDepth:    r.sub.Depth(),
+			Policy:        string(r.log.Policy()),
+			EventSeq:      r.log.NextSeq(),
+			FirstRetained: r.log.FirstRetained(),
+			Dropped:       r.log.Dropped(),
+			Readers:       r.log.Readers(),
+			ConsumerLag:   r.log.Lag(),
 		}
 		if r.stats.frames > 0 {
 			qm.Selectivity = float64(r.stats.passed) / float64(r.stats.frames)

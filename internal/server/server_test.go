@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -408,6 +409,48 @@ func TestServerQueryFrameBudget(t *testing.T) {
 	}
 }
 
+// Unregister returns the typed ErrQueryNotFound for ids with no
+// registration behind them, and — the regression this pins — a query
+// whose feed already ended unregisters cleanly instead of racing the
+// feed's teardown: the registration is still found, its runner has
+// already released its resources, and only a second unregister reports
+// not-found.
+func TestServerUnregisterTypedNotFound(t *testing.T) {
+	p := video.Jackson()
+	const n = 40
+	cfg, _ := clipFeed(p, 37, n)
+	srv := New(Config{})
+	if err := srv.AddFeed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg, err := srv.Register(parse(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	// Drain to completion: the bounded feed ends and the runner retires
+	// on its own.
+	if _, _, ok := drain(reg); !ok {
+		t.Fatal("no end event")
+	}
+	<-reg.Done()
+
+	// The feed is done and the runner finished, yet the registration is
+	// still addressable: unregistering it succeeds.
+	if err := srv.Unregister(reg.ID()); err != nil {
+		t.Fatalf("unregister after feed end: %v", err)
+	}
+	// Now it is gone: the second attempt reports the typed error.
+	if err := srv.Unregister(reg.ID()); !errors.Is(err, ErrQueryNotFound) {
+		t.Fatalf("double unregister error = %v, want ErrQueryNotFound", err)
+	}
+	// Never-registered ids report the same typed error.
+	if err := srv.Unregister("q999"); !errors.Is(err, ErrQueryNotFound) {
+		t.Fatalf("unknown id error = %v, want ErrQueryNotFound", err)
+	}
+}
+
 // Finished registrations are retained for inspection only up to a cap, so
 // a long-running server with query churn keeps a bounded registry.
 func TestServerBoundedFinishedRetention(t *testing.T) {
@@ -434,5 +477,11 @@ func TestServerBoundedFinishedRetention(t *testing.T) {
 	}
 	if len(m.Queries) < retainFinished/2 {
 		t.Fatalf("registry kept only %d recent queries", len(m.Queries))
+	}
+	// The oldest finished registration was evicted from the registry;
+	// unregistering it now reports the typed not-found error rather than
+	// racing any teardown state.
+	if err := srv.Unregister("q1"); !errors.Is(err, ErrQueryNotFound) {
+		t.Fatalf("evicted id error = %v, want ErrQueryNotFound", err)
 	}
 }

@@ -227,7 +227,30 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) error {
 			}
 			line += fmt.Sprintf(" %s %.4g -> %.4g (%+.1f%%)", unit, ov, nv, pctDelta(ov, nv))
 		}
+		var dropWarnings []string
+		for unit, nv := range r.nb.Metrics {
+			if !strings.Contains(unit, "dropped") {
+				continue
+			}
+			ov := r.ob.Metrics[unit]
+			line += fmt.Sprintf(" %s %.4g -> %.4g", unit, ov, nv)
+			// Delivery benchmarks record per-query dropped events; more
+			// drops than the previous run at the same workload means the
+			// delivery path regressed (a slower consumer path sheds
+			// earlier). Warn past the threshold — with an absolute floor
+			// of one whole event so a 0 -> 0.3 scheduling wobble stays
+			// quiet; the floor also makes drops appearing where there
+			// were none (0 -> n≥1) a regression outright.
+			if nv > ov*(1+threshold) && nv-ov >= 1 {
+				dropWarnings = append(dropWarnings,
+					fmt.Sprintf("::warning::%s %s regressed (%.4g -> %.4g)", r.key, unit, ov, nv))
+			}
+		}
 		fmt.Fprintln(w, line)
+		warned += len(dropWarnings)
+		for _, dw := range dropWarnings {
+			fmt.Fprintln(w, dw)
+		}
 		if ov, ok := r.ob.Metrics["ns/op"]; ok {
 			if nv, ok2 := r.nb.Metrics["ns/op"]; ok2 && ov > 0 && nv > ov*(1+threshold) {
 				warned++

@@ -124,6 +124,54 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// Dropped-event counts recorded by the delivery benchmarks are compared
+// like a regression metric: new drops where there were none (or beyond
+// the threshold) warn; sub-event scheduling wobble stays quiet.
+func TestCompareDroppedEvents(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", &Report{
+		Benchmarks: []Benchmark{
+			{Pkg: "vmq", Name: "BenchmarkServerDeliveryDrained", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "dropped-events": 0}},
+			{Pkg: "vmq", Name: "BenchmarkServerDeliveryStalledConsumer", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "dropped-events": 1400}},
+			{Pkg: "vmq", Name: "BenchmarkWobble", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "dropped-events": 0}},
+		},
+	})
+	newPath := writeArtifact(t, dir, "new.json", &Report{
+		Benchmarks: []Benchmark{
+			// 0 -> 40: the drained fleet started shedding — regression.
+			{Pkg: "vmq", Name: "BenchmarkServerDeliveryDrained", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "dropped-events": 40}},
+			// 1400 -> 1450: within the threshold for an intentionally
+			// stalled consumer — no warning.
+			{Pkg: "vmq", Name: "BenchmarkServerDeliveryStalledConsumer", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "dropped-events": 1450}},
+			// 0 -> 0.4: sub-event wobble — no warning.
+			{Pkg: "vmq", Name: "BenchmarkWobble", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "dropped-events": 0.4}},
+		},
+	})
+	var buf bytes.Buffer
+	if err := runCompare(&buf, oldPath, newPath, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "::warning::vmq BenchmarkServerDeliveryDrained-8 dropped-events regressed (0 -> 40)") {
+		t.Fatalf("missing dropped-events warning:\n%s", out)
+	}
+	if strings.Contains(out, "::warning::vmq BenchmarkServerDeliveryStalledConsumer") {
+		t.Fatalf("within-threshold stalled drops warned:\n%s", out)
+	}
+	if strings.Contains(out, "::warning::vmq BenchmarkWobble") {
+		t.Fatalf("sub-event wobble warned:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped-events 1400 -> 1450") {
+		t.Fatalf("dropped-events delta not printed:\n%s", out)
+	}
+}
+
 func TestCompareMissingFile(t *testing.T) {
 	if err := runCompare(&bytes.Buffer{}, "/does/not/exist.json", "/nor/this.json", 0.2); err == nil {
 		t.Fatal("want error for missing artifact")

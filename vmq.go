@@ -23,6 +23,7 @@ import (
 	"vmq/internal/detect"
 	"vmq/internal/filters"
 	"vmq/internal/query"
+	"vmq/internal/rlog"
 	"vmq/internal/server"
 	"vmq/internal/simclock"
 	"vmq/internal/stream"
@@ -86,6 +87,9 @@ type (
 	Event = server.Event
 	// ServerMetrics is the server telemetry snapshot.
 	ServerMetrics = server.Metrics
+	// DeliveryPolicy selects how a query's bounded result log treats a
+	// slow or absent consumer (block, drop-oldest, sample-under-pressure).
+	DeliveryPolicy = rlog.Policy
 )
 
 // Continuous-query event kinds.
@@ -96,6 +100,32 @@ const (
 	EventWindow = server.EventWindow
 	// EventEnd closes a registration's stream with the run's totals.
 	EventEnd = server.EventEnd
+	// EventGap reports a range of result-log sequences evicted before a
+	// consumer reached them (slow consumer under a shedding policy, or a
+	// resume from below the retained window).
+	EventGap = server.EventGap
+)
+
+// Delivery policies for a registration's result log.
+const (
+	// DeliverBlock is lossless: the query's writer waits for the slowest
+	// consumer rather than overwrite an unread event (the default).
+	DeliverBlock = rlog.Block
+	// DeliverDropOldest bounds consumer lag: the writer never blocks and
+	// the oldest unread event is overwritten, surfacing as a gap event.
+	DeliverDropOldest = rlog.DropOldest
+	// DeliverSample decimates droppable events under backlog pressure so
+	// a struggling consumer sees a thinned but current stream.
+	DeliverSample = rlog.Sample
+)
+
+// Typed server errors, matched with errors.Is.
+var (
+	// ErrQueryNotFound reports an Unregister or lookup of an id with no
+	// registration behind it.
+	ErrQueryNotFound = server.ErrQueryNotFound
+	// ErrFeedBusy reports a Register on a feed at its query limit.
+	ErrFeedBusy = server.ErrFeedBusy
 )
 
 // NewServer creates a continuous-query server. Add feeds (LiveFeed, or a
@@ -141,6 +171,10 @@ var (
 
 // ParseQuery compiles a VQL statement.
 func ParseQuery(src string) (*Query, error) { return vql.Parse(src) }
+
+// ParseDeliveryPolicy resolves a delivery-policy name ("block",
+// "drop-oldest", "sample-under-pressure"; empty selects block).
+func ParseDeliveryPolicy(s string) (DeliveryPolicy, bool) { return rlog.ParsePolicy(s) }
 
 // Session bundles a dataset stream with the standard filter/detector
 // stack: an OD filter backend (the paper's best-performing family), the
