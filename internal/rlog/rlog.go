@@ -118,20 +118,32 @@ type Log[T any] struct {
 	decim   int64 // sample-policy decimation counter
 	closed  bool
 
-	// dataCh is closed and replaced on each append/close, waking blocked
-	// readers; spaceCh likewise on floor advance, waking a blocked
-	// writer. Channel-based broadcast keeps reads selectable against
-	// caller-supplied abort channels.
-	dataCh  chan struct{}
-	spaceCh chan struct{}
+	// dataCh is closed and replaced to wake readers blocked on the tail;
+	// spaceCh likewise to wake a writer blocked on the retention floor.
+	// Channel-based broadcast keeps both waits selectable against
+	// caller-supplied abort channels. The waiter counts gate the
+	// close-and-replace: with nobody parked (the steady state for
+	// DropOldest/Sample, and for readers keeping up) appends and cursor
+	// advances skip the per-event channel allocation entirely. A count
+	// is an upper bound — an aborted waiter leaves it stale until the
+	// next broadcast resets it, costing at most one spurious wake.
+	dataCh       chan struct{}
+	spaceCh      chan struct{}
+	dataWaiters  int
+	spaceWaiters int
 }
 
 // New creates a log with the given policy retaining at least capacity
-// entries (rounded up to a power of two; minimum 8). A nil-able spill
-// may be attached with SetSpill before the first append.
+// entries (rounded up to a power of two; minimum 8, maximum 2^30 — the
+// clamp keeps the rounding from overflowing when a caller forwards an
+// unvalidated capacity). A nil-able spill may be attached with SetSpill
+// before the first append.
 func New[T any](capacity int, policy Policy) *Log[T] {
 	if capacity < 8 {
 		capacity = 8
+	}
+	if capacity > 1<<30 {
+		capacity = 1 << 30
 	}
 	capacity = 1 << bits.Len(uint(capacity-1)) // next power of two
 	if policy == "" {
@@ -229,6 +241,7 @@ func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
 		// allowed; losing an unread one is what the policy decides.
 		if l.first >= l.floorLocked() {
 			if l.policy == Block && droppable {
+				l.spaceWaiters++
 				ch := l.spaceCh
 				l.mu.Unlock()
 				if abort == nil {
@@ -278,10 +291,16 @@ func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
 	}
 	l.ring[l.next&l.mask] = v
 	l.next++
-	ch := l.dataCh
-	l.dataCh = make(chan struct{})
+	var wake chan struct{}
+	if l.dataWaiters > 0 {
+		wake = l.dataCh
+		l.dataCh = make(chan struct{})
+		l.dataWaiters = 0
+	}
 	l.mu.Unlock()
-	close(ch) // wake readers
+	if wake != nil {
+		close(wake) // wake readers parked on the tail
+	}
 	return true
 }
 
@@ -354,12 +373,26 @@ type Reader[T any] struct {
 // skipping history. A seq above the current tail is clamped to it.
 func (l *Log[T]) ReaderFrom(seq int64) *Reader[T] {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if seq < 0 || seq > l.next {
 		seq = l.next
 	}
 	r := &Reader[T]{log: l, cursor: seq}
 	l.readers[r] = struct{}{}
+	// Attaching can raise the retention floor: a reader joining at the
+	// live tail while the parked floor sits at a full ring's base moves
+	// floorLocked past every retained entry. A Block-policy writer may be
+	// waiting on the old floor, so wake it to re-evaluate — otherwise
+	// writer and the new reader deadlock on each other.
+	var wake chan struct{}
+	if l.spaceWaiters > 0 {
+		wake = l.spaceCh
+		l.spaceCh = make(chan struct{})
+		l.spaceWaiters = 0
+	}
+	l.mu.Unlock()
+	if wake != nil {
+		close(wake)
+	}
 	return r
 }
 
@@ -424,6 +457,7 @@ func (r *Reader[T]) Next(abort <-chan struct{}) (Item[T], bool) {
 			l.mu.Unlock()
 			return Item[T]{}, false
 		}
+		l.dataWaiters++
 		ch := l.dataCh
 		l.mu.Unlock()
 		if abort == nil {
@@ -440,11 +474,16 @@ func (r *Reader[T]) Next(abort <-chan struct{}) (Item[T], bool) {
 }
 
 // advanceLocked moves the cursor and wakes a writer blocked on the
-// retention floor (caller holds l.mu).
+// retention floor, if any (caller holds l.mu).
 func (r *Reader[T]) advanceLocked(to int64) {
 	r.cursor = to
-	ch := r.log.spaceCh
-	r.log.spaceCh = make(chan struct{})
+	l := r.log
+	if l.spaceWaiters == 0 {
+		return
+	}
+	ch := l.spaceCh
+	l.spaceCh = make(chan struct{})
+	l.spaceWaiters = 0
 	close(ch)
 }
 
@@ -463,8 +502,14 @@ func (r *Reader[T]) Detach() {
 	if len(l.readers) == 0 {
 		l.parked = r.cursor
 	}
-	ch := l.spaceCh
-	l.spaceCh = make(chan struct{})
+	var wake chan struct{}
+	if l.spaceWaiters > 0 {
+		wake = l.spaceCh
+		l.spaceCh = make(chan struct{})
+		l.spaceWaiters = 0
+	}
 	l.mu.Unlock()
-	close(ch) // the floor may have advanced
+	if wake != nil {
+		close(wake) // the floor may have advanced
+	}
 }

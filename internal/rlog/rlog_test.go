@@ -150,6 +150,36 @@ func TestLogDetachParksFloorForResume(t *testing.T) {
 	r2.Detach()
 }
 
+// Attaching a reader can raise the retention floor (live tail past a
+// parked floor); a Block writer waiting on the old floor must wake and
+// proceed rather than deadlock with its newly-connected consumer.
+func TestLogReaderFromWakesBlockedWriter(t *testing.T) {
+	l := New[int](8, Block)
+	appendN(t, l, 0, 8, true) // ring full, parked floor at 0
+
+	stored := make(chan bool)
+	go func() { stored <- l.Append(8, true, nil) }()
+	select {
+	case <-stored:
+		t.Fatal("append succeeded over an unread full ring")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	r := l.ReaderFrom(-1) // attach at the live tail: floor jumps 0 -> 8
+	select {
+	case ok := <-stored:
+		if !ok {
+			t.Fatal("append failed after the floor advanced")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("writer still blocked after a tail reader raised the floor")
+	}
+	if it, ok := r.Next(nil); !ok || it.Gap != nil || it.Seq != 8 || it.Value != 8 {
+		t.Fatalf("tail reader got %+v ok=%v, want seq 8", it, ok)
+	}
+	r.Detach()
+}
+
 // Sample: under backlog pressure droppable events are decimated, the
 // drop counter accounts for them, and non-droppable events always land.
 func TestLogSampleDecimatesUnderPressure(t *testing.T) {

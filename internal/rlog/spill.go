@@ -60,20 +60,32 @@ func (s *FileSpill[T]) Append(seq int64, v T) error {
 	if err != nil {
 		return err
 	}
+	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return fmt.Errorf("rlog: spill closed")
 	}
-	s.offsets[seq] = s.pos
+	// Write first, index only on a fully-written line: an entry indexed
+	// before its bytes land would serve missing or garbled data on error.
+	// pos still advances by the partial count so later entries' offsets
+	// stay correct past any truncated line (which is simply not indexed).
+	off := s.pos
+	n, err := s.w.Write(line)
+	s.pos += int64(n)
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return err
+	}
+	s.offsets[seq] = off
 	s.order = append(s.order, seq)
 	for len(s.order) > s.maxEntries {
 		delete(s.offsets, s.order[0])
 		s.order = s.order[1:]
 	}
-	n, err := s.w.Write(append(line, '\n'))
-	s.pos += int64(n)
-	return err
+	return nil
 }
 
 // Read implements Spill.
@@ -102,11 +114,14 @@ func (s *FileSpill[T]) Read(seq int64) (T, bool) {
 	return l.V, true
 }
 
-// FirstRetained implements Spill: the oldest indexed sequence.
+// FirstRetained implements Spill: the oldest indexed sequence. A closed
+// spill retains nothing — Read always misses then, and reporting a
+// retained floor anyway would make a reader emit two gaps (one to the
+// phantom floor, one past it) for a single evicted range.
 func (s *FileSpill[T]) FirstRetained() (int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.order) == 0 {
+	if len(s.order) == 0 || s.f == nil {
 		return 0, false
 	}
 	return s.order[0], true

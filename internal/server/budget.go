@@ -87,18 +87,6 @@ func (b *budgeter) rebalanceLocked() {
 	}
 }
 
-// share reports a feed's current worker allocation (0 when the feed has
-// no monitoring query), for the metrics snapshot.
-func (b *budgeter) share(feed string) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	fb, ok := b.feeds[feed]
-	if !ok {
-		return 0
-	}
-	return fb.gate.capacity()
-}
-
 // snapshot lists every live feed's share, sorted by feed name.
 func (b *budgeter) snapshot() []workerShare {
 	b.mu.Lock()

@@ -308,6 +308,20 @@ func TestServerWorkerBudgetRebalances(t *testing.T) {
 	if got := share("jackson"); got != 8 {
 		t.Fatalf("survivor's share after rebalance = %d, want 8", got)
 	}
+
+	// An unfiltered SELECT FRAMES runs no filter stage, so it must not
+	// join the budget: the filtered survivor keeps the whole budget.
+	c, err := srv.Register(parse(t, `SELECT FRAMES FROM detrac`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go drain(c)
+	if sj, sd := share("jackson"), share("detrac"); sj != 8 || sd != 0 {
+		t.Fatalf("unfiltered query shifted the budget to %d/%d, want 8/0", sj, sd)
+	}
+	if err := srv.Unregister(c.ID()); err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Unregister(a.ID()); err != nil {
 		t.Fatal(err)
 	}

@@ -164,13 +164,14 @@ func newFeed(cfg FeedConfig, srv Config, broker *sched.Broker) (*feed, error) {
 	// hits a warm cache.
 	if scanBatch > 1 {
 		f.batcher = &scanBatcher{
-			src:    src,
-			warm:   f.deflt,
-			active: func() bool { return f.defaultUsers.Load() > 0 },
-			size:   scanBatch,
-			flush:  scanFlush,
-			raw:    make(chan *video.Frame, scanBatch),
-			stop:   make(chan struct{}),
+			src:     src,
+			warm:    f.deflt,
+			active:  func() bool { return f.defaultUsers.Load() > 0 },
+			size:    scanBatch,
+			flush:   scanFlush,
+			raw:     make(chan *video.Frame, scanBatch),
+			stop:    make(chan struct{}),
+			warmSem: make(chan struct{}, 2),
 		}
 		src = f.batcher
 	}
@@ -304,8 +305,13 @@ type scanBatcher struct {
 	// the frames-exhausted signal is what releases the feed's broker
 	// membership, and a warm-up still submitting after that would
 	// evaluate into a retired group whose counters are no longer
-	// visible. Add and Wait both run on the pump goroutine.
-	warmWG sync.WaitGroup
+	// visible. Add and Wait both run on the pump goroutine. warmSem
+	// bounds how many warm-ups run at once — when EvaluateBatch falls
+	// behind the pump, acquiring a slot blocks the pump at a fixed
+	// pipeline depth instead of accumulating goroutines and batch
+	// copies without limit (see fill for why blocking, not skipping).
+	warmWG  sync.WaitGroup
+	warmSem chan struct{}
 
 	batches atomic.Int64
 	framesN atomic.Int64
@@ -362,15 +368,28 @@ collect:
 		// everyone else blocks on the entry's ready channel, so results
 		// and shared-scan economy are unchanged — only the pump stops
 		// stalling. The goroutine owns its own copy of the batch (s.cur
-		// is reused) and at most a couple are in flight: a new one fires
-		// only after the pump dispatched the previous batch.
-		batch := make([]*video.Frame, len(s.cur))
-		copy(batch, s.cur)
-		s.warmWG.Add(1)
-		go func() {
-			defer s.warmWG.Done()
-			s.warm.EvaluateBatch(batch, nil)
-		}()
+		// is reused). warmSem bounds the look-ahead: when EvaluateBatch
+		// falls behind the pump, acquiring a slot blocks, restoring
+		// backpressure at a fixed pipeline depth instead of accumulating
+		// goroutines and batch copies without limit. Skipping instead of
+		// blocking is not safe here: a batch left for queries to claim
+		// after the feed's EOF releases its broker membership would
+		// evaluate into a retired group and vanish from the metrics.
+		// On shutdown the stop branch forgoes the warm-up.
+		select {
+		case s.warmSem <- struct{}{}:
+			batch := make([]*video.Frame, len(s.cur))
+			copy(batch, s.cur)
+			s.warmWG.Add(1)
+			go func() {
+				defer func() {
+					<-s.warmSem
+					s.warmWG.Done()
+				}()
+				s.warm.EvaluateBatch(batch, nil)
+			}()
+		case <-s.stop:
+		}
 	}
 	return true
 }

@@ -34,7 +34,10 @@ type Options struct {
 	// Seed seeds the window sampler (default 1).
 	Seed uint64
 	// ResultBuffer overrides the server's default result-log ring
-	// capacity for this query (rounded up to a power of two).
+	// capacity for this query (rounded up to a power of two, at most
+	// MaxResultBuffer — the ring is allocated eagerly, so Register
+	// rejects requests beyond the cap rather than size an allocation
+	// by client input).
 	ResultBuffer int
 	// Policy overrides the server's default delivery policy for this
 	// query: rlog.Block (lossless, the writer waits for the slowest

@@ -45,6 +45,15 @@ var (
 	ErrClosed = errors.New("server: closed")
 )
 
+// MaxResultBuffer caps a registration's requested result-log ring
+// capacity. The ring is allocated eagerly at registration, the request
+// reaches Register from the unauthenticated HTTP body (result_buffer),
+// and finished registrations stay referenced up to retainFinished, so
+// client input must not pin large allocations: 2^16 events keeps the
+// worst case per ring in the ~10MB range while still holding minutes
+// of matches for a resuming consumer (spill files extend it further).
+const MaxResultBuffer = 1 << 16
+
 // Config tunes a Server. The zero value is usable.
 type Config struct {
 	// Tol is the default filter tolerance pair for registered queries
@@ -269,6 +278,9 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		det = f.newDet()
 	}
 	buffer := opt.ResultBuffer
+	if buffer > MaxResultBuffer {
+		return nil, fmt.Errorf("server: result buffer %d exceeds limit %d", buffer, MaxResultBuffer)
+	}
 	if buffer <= 0 {
 		buffer = s.cfg.ResultBuffer
 	}
@@ -363,10 +375,15 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		// moment they happen, so the pipeline must not sit on a partial
 		// chunk waiting for a paced feed to fill it. The worker gate is
 		// the feed's share of the server-wide budget, resized as feeds
-		// come and go.
+		// come and go — only filtered queries join: an unfiltered SELECT
+		// FRAMES runs no filter stage, so it must not shrink other
+		// feeds' shares for a gate it would never acquire.
 		eng := &query.Engine{
 			Backend: backend, Detector: det, Tol: tol, ChunkSize: 1,
-			Gate: s.budget.join(f.name),
+		}
+		budgeted := plan.Where != nil
+		if budgeted {
+			eng.Gate = s.budget.join(f.name)
 		}
 		go func() {
 			defer s.wg.Done()
@@ -374,7 +391,9 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 			// Release before signalling Done: whoever waited on the
 			// unregister sees the worker budget already rebalanced and
 			// the admission slot already free.
-			s.budget.leave(f.name)
+			if budgeted {
+				s.budget.leave(f.name)
+			}
 			release()
 			r.finish()
 			s.retire(id)
@@ -474,6 +493,12 @@ func (s *Server) Close() {
 		f.start() // a never-started pump still needs its Run to observe Stop and close subscriptions
 	}
 	s.wg.Wait()
+	// Flush and close live registrations' spills (retire/Unregister cover
+	// their own paths); FileSpill buffers writes, so skipping this would
+	// drop buffered entries and leak the descriptor.
+	for _, r := range regs {
+		r.closeSpill()
+	}
 }
 
 // Metrics is the server-wide telemetry snapshot the /metrics endpoint
@@ -590,12 +615,19 @@ func (s *Server) Metrics() Metrics {
 		WorkerShares:  s.budget.snapshot(),
 		Coalesce:      s.broker.Metrics(),
 	}
+	// Per-feed Workers comes from the one snapshot above, so the two
+	// fields always agree even when a rebalance lands mid-Metrics (and
+	// the budget lock is taken once, not once per feed).
+	shares := make(map[string]int, len(m.WorkerShares))
+	for _, ws := range m.WorkerShares {
+		shares[ws.Feed] = ws.Workers
+	}
 	for _, f := range feeds {
 		fm := FeedMetrics{
 			Name:    f.name,
 			Frames:  f.fanout.Frames(),
 			Queries: f.fanout.Subscribers(),
-			Workers: s.budget.share(f.name),
+			Workers: shares[f.name],
 		}
 		if f.batcher != nil {
 			fm.ScanBatches = f.batcher.batches.Load()

@@ -451,6 +451,31 @@ func TestServerUnregisterTypedNotFound(t *testing.T) {
 	}
 }
 
+// A result-buffer request beyond MaxResultBuffer is rejected before any
+// allocation: the field arrives from the unauthenticated HTTP register
+// body, so client input must not size the ring.
+func TestServerRejectsOversizedResultBuffer(t *testing.T) {
+	p := video.Jackson()
+	cfg, _ := clipFeed(p, 37, 8)
+	srv := New(Config{})
+	if err := srv.AddFeed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_, err := srv.Register(parse(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`),
+		Options{ResultBuffer: MaxResultBuffer + 1})
+	if err == nil {
+		t.Fatal("oversized result buffer accepted")
+	}
+	// Exactly at the cap registration still works.
+	reg, err := srv.Register(parse(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`),
+		Options{ResultBuffer: MaxResultBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = reg
+}
+
 // Finished registrations are retained for inspection only up to a cap, so
 // a long-running server with query churn keeps a bounded registry.
 func TestServerBoundedFinishedRetention(t *testing.T) {
