@@ -640,6 +640,90 @@ func BenchmarkServerDeliveryStalledConsumer(b *testing.B) {
 	b.ReportMetric(dropped, "dropped-events")
 }
 
+// benchIngestFleet serves one feed to benchDeliveryQueries queries,
+// either file-decoded (the SliceSource path every recorded-clip feed
+// uses) or fed the same frames through the push-ingestion bridge's ring.
+// The pair bounds the bridge's overhead: PushIngest must stay within 20%
+// of FileIngest, or admission control is taxing the scan it feeds.
+func benchIngestFleet(b *testing.B, pushFed bool) (framesPerSec, ingestDroppedPerOp float64) {
+	b.Helper()
+	p := video.Jackson()
+	frames := video.NewStream(p, 55).Take(benchDeliveryFrames)
+	var dropped int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := server.New(server.Config{})
+		cfg := server.FeedConfig{
+			Name: p.Name, Profile: p,
+			Backend: filters.NewODFilter(p, 55, nil),
+		}
+		var push *stream.PushSource
+		if pushFed {
+			push = stream.NewPushSource(256, stream.PushBlock)
+			cfg.Source = push
+		} else {
+			cfg.Source = &stream.SliceSource{Frames: frames}
+		}
+		if err := srv.AddFeed(cfg); err != nil {
+			b.Fatal(err)
+		}
+		regs := make([]*server.Registration, benchDeliveryQueries)
+		for j := range regs {
+			q, _ := vql.Parse(`SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`)
+			var err error
+			regs[j], err = srv.Register(q, server.Options{Policy: rlog.DropOldest, ResultBuffer: 32})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv.Start()
+		if pushFed {
+			go func() {
+				for _, f := range frames {
+					if err := push.Publish(f, nil); err != nil {
+						return
+					}
+				}
+				push.Close()
+			}()
+		}
+		var wg sync.WaitGroup
+		for _, reg := range regs {
+			wg.Add(1)
+			go func(reg *server.Registration) {
+				defer wg.Done()
+				for range reg.Results() {
+				}
+			}(reg)
+		}
+		wg.Wait()
+		if pushFed {
+			dropped += push.Dropped()
+		}
+		srv.Close()
+	}
+	return float64(benchDeliveryFrames) * float64(b.N) / b.Elapsed().Seconds(),
+		float64(dropped) / float64(b.N)
+}
+
+// BenchmarkServerFileIngest is the file-decoded baseline for the push
+// bridge comparison.
+func BenchmarkServerFileIngest(b *testing.B) {
+	fps, dropped := benchIngestFleet(b, false)
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(dropped, "ingest-dropped")
+}
+
+// BenchmarkServerPushIngest drives the same clip through a block-policy
+// ingest ring. The headline check (benchjson -compare warns on it):
+// frames/s within 20% of BenchmarkServerFileIngest and ingest-dropped
+// stays 0 — the block policy is lossless.
+func BenchmarkServerPushIngest(b *testing.B) {
+	fps, dropped := benchIngestFleet(b, true)
+	b.ReportMetric(fps, "frames/s")
+	b.ReportMetric(dropped, "ingest-dropped")
+}
+
 // --- Micro-benchmarks: per-operation costs of the building blocks ---
 
 // BenchmarkFilterEvaluateOD measures one OD filter forward pass

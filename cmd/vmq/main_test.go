@@ -2,10 +2,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"vmq/internal/server"
 )
@@ -162,5 +166,95 @@ func TestServeBuildServer(t *testing.T) {
 	}
 	if !sawEnd {
 		t.Fatal("result stream ended without an end event")
+	}
+}
+
+// A cancelled context (the SIGINT/SIGTERM path) shuts serve down
+// gracefully: the in-flight result stream sees its query end with the
+// feed_drained reason — not a severed connection — and runServe returns
+// cleanly once everything is drained and closed.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv, err := buildServer(serveConfig{feeds: "jackson", seed: 1, policy: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- runServe(ctx, srv, ln, "jackson", 10*time.Second, &out) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait for the listener to serve.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/queries", "text/plain",
+		strings.NewReader("SELECT FRAMES FROM jackson WHERE COUNT(car) = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	finals := make(chan server.Event, 1)
+	go func() {
+		resp, err := http.Get(base + "/queries/" + created.ID + "/results")
+		if err != nil {
+			t.Error(err)
+			finals <- server.Event{}
+			return
+		}
+		defer resp.Body.Close()
+		var final server.Event
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for sc.Scan() {
+			var ev server.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Error(err)
+				break
+			}
+			if ev.Kind == server.EventEnd {
+				final = ev
+			}
+		}
+		finals <- final
+	}()
+
+	// Let the unbounded feed produce before the "signal" lands.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("runServe: %v", err)
+	}
+	final := <-finals
+	if final.Kind != server.EventEnd {
+		t.Fatal("result stream severed without an end event during shutdown")
+	}
+	if final.Reason != server.EndReasonFeedDrained {
+		t.Fatalf("end reason %q, want %q", final.Reason, server.EndReasonFeedDrained)
+	}
+	if !strings.Contains(out.String(), "drained and closed") {
+		t.Fatalf("shutdown log missing: %q", out.String())
 	}
 }

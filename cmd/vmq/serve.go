@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"vmq"
@@ -19,7 +24,18 @@ import (
 //	GET    /queries              list registered queries
 //	GET    /queries/{id}/results stream results as NDJSON
 //	DELETE /queries/{id}         unregister
+//	POST   /feeds                create a feed at runtime (push or sim)
+//	GET    /feeds                list feeds with lifecycle state
+//	POST   /feeds/{name}/drain   drain a feed gracefully
+//	DELETE /feeds/{name}         drain, wait for end events, remove
+//	POST   /feeds/{name}/frames  publish NDJSON frames into a push feed
+//	GET    /feeds/{name}/publish WebSocket publisher bridge
 //	GET    /metrics              frames/sec, selectivity, recall, queues
+//
+// SIGINT or SIGTERM shuts down gracefully: the listener stops accepting,
+// every feed drains so in-flight queries end with typed end events and
+// their consumers finish, result-log spills are flushed, and the process
+// exits — all bounded by -drain-timeout.
 func cmdServe(args []string, out, errw io.Writer) error {
 	fs := newFlagSet("serve", errw)
 	addr := fs.String("addr", ":8372", "listen address")
@@ -30,6 +46,7 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	policy := fs.String("policy", "block", "default delivery policy: block, drop-oldest, sample-under-pressure")
 	resultLog := fs.Int("result-log", 0, "result-log ring capacity per query, in events (0 = default 64)")
 	maxQueries := fs.Int("max-queries", 0, "registration limit per feed (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining feeds and flushing results")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,16 +57,50 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
-
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		srv.Close()
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, srv, ln, *feeds, *drainTimeout, out)
+}
+
+// runServe serves the HTTP API on ln until ctx is cancelled (the signal
+// path), then shuts down gracefully: listener first, feeds drained with
+// their end events delivered, server closed. Split from cmdServe so
+// tests can drive the shutdown with a context instead of a signal.
+func runServe(ctx context.Context, srv *vmq.Server, ln net.Listener, feeds string, drainTimeout time.Duration, out io.Writer) error {
 	srv.Start()
 	fmt.Fprintf(out, "vmq serve: feeds [%s] on http://%s (try: curl -N -d 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' http://%s/queries)\n",
-		*feeds, ln.Addr(), ln.Addr())
-	return http.Serve(ln, srv.Handler())
+		feeds, ln.Addr(), ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "vmq serve: shutting down — draining feeds (budget %s)\n", drainTimeout)
+	// Stop accepting and let in-flight requests (result streams included)
+	// finish within the budget; feeds drain concurrently so those streams
+	// see their end events rather than a severed connection.
+	httpCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Shutdown(drainTimeout)
+	}()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(out, "vmq serve: http shutdown: %v\n", err)
+	}
+	<-done
+	fmt.Fprintln(out, "vmq serve: drained and closed")
+	return nil
 }
 
 // serveConfig carries cmdServe's flags into buildServer.

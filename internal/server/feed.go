@@ -13,11 +13,36 @@ import (
 	"vmq/internal/video"
 )
 
+// FeedState is a feed's lifecycle phase. Feeds move strictly forward:
+// creating -> running -> draining -> closed (a bounded feed whose source
+// ends naturally skips draining and goes straight to closed).
+type FeedState string
+
+// Feed lifecycle states.
+const (
+	// FeedCreating is a feed registered but not yet pumping (the server
+	// has not started, or the pump goroutine has not launched yet).
+	FeedCreating FeedState = "creating"
+	// FeedRunning is a feed whose pump is live.
+	FeedRunning FeedState = "running"
+	// FeedDraining is a feed whose ingestion has been cut: no new frames
+	// are admitted and no new queries may register, but frames already
+	// in flight (ingest ring, scan batches, fan-out buffers) still flow
+	// so every query ends with its end event.
+	FeedDraining FeedState = "draining"
+	// FeedClosed is a feed whose pump has finished; its subscriptions are
+	// closed and it holds no broker memberships.
+	FeedClosed FeedState = "closed"
+)
+
 // FeedConfig describes one named live feed: where its frames come from
 // and the default operator stack queries on it share.
 type FeedConfig struct {
 	// Name is the feed's registry key; queries address it via their FROM
-	// clause, so it must match the profile name the VQL references.
+	// clause. When it differs from the profile's dataset name, the feed
+	// binds queries against a copy of the profile renamed to the feed
+	// name, so `FROM <feed-name>` resolves naturally (this is how several
+	// runtime feeds share one dataset profile).
 	Name string
 	// Profile is the dataset profile queries are bound against.
 	Profile video.Profile
@@ -62,12 +87,23 @@ func LiveFeed(p video.Profile, seed uint64) FeedConfig {
 type feed struct {
 	name    string
 	profile video.Profile
+	// dataset is the underlying dataset profile's name, kept before the
+	// bind copy is renamed to the feed — what listings report as the
+	// feed's profile.
+	dataset string
 	fanout  *stream.Fanout
 	newDet  func() detect.Detector
 	deflt   *filters.Shared
 	batcher *scanBatcher
 	detMemo *detect.Memo
 	broker  *sched.Broker // nil when cross-feed coalescing is disabled
+
+	// push is the feed's ingest ring when its frames arrive from
+	// publishers (a *stream.PushSource config); nil for decoded feeds.
+	push *stream.PushSource
+	// gate cuts the source on drain for feeds without a scan batcher (the
+	// batcher drains at its own input so in-flight batches still flush).
+	gate *drainGate
 
 	// defaultUsers counts live registrations on the default backend; the
 	// scan batcher only warms the memo while someone will read it.
@@ -77,6 +113,64 @@ type feed struct {
 	shared  map[filters.Backend]*sharedEntry
 	started time.Time
 	running bool
+	// state is the lifecycle phase; endReason is stamped on every query's
+	// end event once a drain or removal decides how the feed ends (empty
+	// for a source that ends on its own).
+	state     FeedState
+	endReason string
+}
+
+// State returns the feed's lifecycle phase.
+func (f *feed) State() FeedState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}
+
+// endedReason returns the reason runners stamp on end events ("" while
+// the feed has not been drained or removed).
+func (f *feed) endedReason() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.endReason
+}
+
+// drain cuts the feed's ingestion while letting everything already in
+// flight — ingest-ring frames, scan batches, memo warm-ups, fan-out
+// buffers — flow to the registered queries, which then end through the
+// ordinary source-EOF path: the batcher flushes its partial batch, the
+// EOF notifier releases the feed's broker memberships, the fan-out
+// closes every subscription, and each runner emits its end event carrying
+// reason. Reports whether this call initiated the drain (false when the
+// feed was already draining or closed). Safe to call before the pump
+// starts: the later start finds the source already cut and closes out
+// immediately.
+func (f *feed) drain(reason string) bool {
+	f.mu.Lock()
+	if f.state == FeedDraining || f.state == FeedClosed {
+		f.mu.Unlock()
+		return false
+	}
+	f.state = FeedDraining
+	f.endReason = reason
+	f.mu.Unlock()
+	switch {
+	case f.push != nil:
+		// Close the ring's input: publishers get ErrPushClosed, buffered
+		// frames still reach the scan.
+		f.push.Close()
+	case f.batcher != nil:
+		f.batcher.drainInput()
+	default:
+		f.gate.cut()
+	}
+	// A pump idling on an empty subscriber set never reads the source, so
+	// it would never observe the cut; with registrations rejected from
+	// here on, no subscriber can appear and stopping it is safe.
+	if f.fanout.Subscribers() == 0 {
+		f.fanout.Stop()
+	}
+	return true
 }
 
 // sharedEntry is one memoised backend on this feed. Override backends
@@ -123,9 +217,15 @@ func newFeed(cfg FeedConfig, srv Config, broker *sched.Broker) (*feed, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("server: feed needs a name")
 	}
+	if cfg.Profile.Name == "" {
+		return nil, fmt.Errorf("server: feed %q needs a profile", cfg.Name)
+	}
+	// VQL FROM clauses resolve against the bound profile's name, so a feed
+	// named differently from its dataset profile binds queries against a
+	// renamed copy — several runtime feeds can then share one profile.
+	dataset := cfg.Profile.Name
 	if cfg.Name != cfg.Profile.Name {
-		return nil, fmt.Errorf("server: feed %q must carry its profile's name %q (VQL FROM clauses resolve against it)",
-			cfg.Name, cfg.Profile.Name)
+		cfg.Profile.Name = cfg.Name
 	}
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("server: feed %q needs a source", cfg.Name)
@@ -143,9 +243,14 @@ func newFeed(cfg FeedConfig, srv Config, broker *sched.Broker) (*feed, error) {
 	}
 	f := &feed{
 		name:    cfg.Name,
+		dataset: dataset,
 		profile: cfg.Profile,
 		broker:  broker,
 		shared:  make(map[filters.Backend]*sharedEntry),
+		state:   FeedCreating,
+	}
+	if ps, ok := cfg.Source.(*stream.PushSource); ok {
+		f.push = ps
 	}
 	// Trained backends that fingerprint an architecture identity route
 	// through the cross-feed broker: feeds serving the same model merge
@@ -171,9 +276,15 @@ func newFeed(cfg FeedConfig, srv Config, broker *sched.Broker) (*feed, error) {
 			flush:   scanFlush,
 			raw:     make(chan *video.Frame, scanBatch),
 			stop:    make(chan struct{}),
+			drainC:  make(chan struct{}),
 			warmSem: make(chan struct{}, 2),
 		}
 		src = f.batcher
+	} else {
+		// No batcher to drain at: give drain a gate that cuts the source
+		// directly (frames already teed downstream still flow).
+		f.gate = &drainGate{src: src}
+		src = f.gate
 	}
 	// A bounded feed that drains releases its broker memberships the
 	// moment its source ends, so feeds still running stop spending the
@@ -227,8 +338,16 @@ func (f *feed) release(usedDefault bool, override filters.Backend) {
 }
 
 // close stops the scan batcher and the fan-out pump, releasing the feed's
-// broker memberships.
+// broker memberships. Unlike drain it does not wait for in-flight frames;
+// it is the hard-stop path (server Close, teardown after a drain has
+// already flushed).
 func (f *feed) close() {
+	if f.push != nil {
+		// Unblock a pump parked in PushSource.Next waiting for publishers
+		// that will never come — Fanout.Stop cannot interrupt a blocking
+		// source read.
+		f.push.Close()
+	}
 	if f.batcher != nil {
 		f.batcher.shutdown()
 	}
@@ -263,7 +382,9 @@ func (f *feed) sharedFor(b filters.Backend, cacheCap int) *filters.Shared {
 	return e.sh
 }
 
-// start launches the pump goroutine (once).
+// start launches the pump goroutine (once). A feed drained before its
+// pump ever ran keeps its draining state — the pump then observes the cut
+// source (or the stop flag) and moves it to closed.
 func (f *feed) start() {
 	f.mu.Lock()
 	if f.running {
@@ -272,9 +393,34 @@ func (f *feed) start() {
 	}
 	f.running = true
 	f.started = time.Now()
+	if f.state == FeedCreating {
+		f.state = FeedRunning
+	}
 	f.mu.Unlock()
-	go f.fanout.Run()
+	go func() {
+		f.fanout.Run()
+		f.mu.Lock()
+		f.state = FeedClosed
+		f.mu.Unlock()
+	}()
 }
+
+// drainGate sits between a feed's source and its fan-out when there is no
+// scan batcher to drain at: cut flips it to end-of-stream, so the pump
+// observes EOF on its next read and the ordinary teardown path runs.
+type drainGate struct {
+	src    stream.Source
+	closed atomic.Bool
+}
+
+func (g *drainGate) Next() (*video.Frame, bool) {
+	if g.closed.Load() {
+		return nil, false
+	}
+	return g.src.Next()
+}
+
+func (g *drainGate) cut() { g.closed.Store(true) }
 
 // scanBatcher is the micro-batching stage between a feed's source and its
 // fan-out: frames are grouped into batches of up to size frames, flushed
@@ -298,6 +444,12 @@ type scanBatcher struct {
 	raw   chan *video.Frame
 	stop  chan struct{}
 	stopO sync.Once
+	// drainC ends the puller without cutting frames already pulled: the
+	// raw channel closes, fill flushes the partial batch, and EOF
+	// propagates downstream — a graceful drain, where stop is the hard
+	// shutdown that also abandons buffered frames.
+	drainC chan struct{}
+	drainO sync.Once
 
 	cur []*video.Frame
 	idx int
@@ -394,11 +546,16 @@ collect:
 	return true
 }
 
-// pull streams the source into the raw channel until the source ends or
-// the batcher is shut down.
+// pull streams the source into the raw channel until the source ends, the
+// batcher is shut down, or a drain cuts further pulls.
 func (s *scanBatcher) pull() {
 	defer close(s.raw)
 	for {
+		select {
+		case <-s.drainC:
+			return
+		default:
+		}
 		f, ok := s.src.Next()
 		if !ok {
 			return
@@ -407,12 +564,21 @@ func (s *scanBatcher) pull() {
 		case s.raw <- f:
 		case <-s.stop:
 			return
+		case <-s.drainC:
+			// The frame in hand was never admitted to a batch; the drain
+			// cut the source just before it.
+			return
 		}
 	}
 }
 
 // shutdown releases the puller; idempotent.
 func (s *scanBatcher) shutdown() { s.stopO.Do(func() { close(s.stop) }) }
+
+// drainInput stops pulling new frames while letting everything already in
+// the raw channel flush downstream as the final (possibly partial) batch;
+// idempotent.
+func (s *scanBatcher) drainInput() { s.drainO.Do(func() { close(s.drainC) }) }
 
 // eofNotifySource fires a callback once when the wrapped source ends.
 type eofNotifySource struct {

@@ -23,10 +23,16 @@ import (
 //	                             sequence number; a gap event reports any
 //	                             range evicted before the consumer got there)
 //	DELETE /queries/{id}         unregister
+//	POST   /feeds                create a feed at runtime (push or sim source)
+//	GET    /feeds                list feeds with lifecycle state and ingest stats
+//	POST   /feeds/{name}/drain   drain gracefully (queries end with end events)
+//	DELETE /feeds/{name}         drain, wait for end events, remove
+//	POST   /feeds/{name}/frames  publish NDJSON frames into a push feed
+//	GET    /feeds/{name}/publish WebSocket publisher bridge (one frame per message)
 //	GET    /metrics              server telemetry snapshot
 //
-// POST accepts either a raw VQL statement (text/plain) or a JSON body
-// {"query": "...", "count_tolerance": n, "location_tolerance": n,
+// POST /queries accepts either a raw VQL statement (text/plain) or a JSON
+// body {"query": "...", "count_tolerance": n, "location_tolerance": n,
 // "max_frames": n, "samples": n, "seed": n, "policy": "block" |
 // "drop-oldest" | "sample-under-pressure", "result_buffer": n}.
 func (s *Server) Handler() http.Handler {
@@ -35,6 +41,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries", s.handleList)
 	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleUnregister)
+	mux.HandleFunc("POST /feeds", s.handleCreateFeed)
+	mux.HandleFunc("GET /feeds", s.handleListFeeds)
+	mux.HandleFunc("POST /feeds/{name}/drain", s.handleDrainFeed)
+	mux.HandleFunc("DELETE /feeds/{name}", s.handleRemoveFeed)
+	mux.HandleFunc("POST /feeds/{name}/frames", s.handlePublishFrames)
+	mux.HandleFunc("GET /feeds/{name}/publish", s.handlePublishWS)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -116,6 +128,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		code := http.StatusUnprocessableEntity
 		if errors.Is(err, ErrFeedBusy) {
 			code = http.StatusTooManyRequests
+		}
+		if errors.Is(err, ErrFeedDraining) {
+			code = http.StatusConflict
 		}
 		httpError(w, code, "%v", err)
 		return

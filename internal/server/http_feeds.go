@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"vmq/internal/stream"
+	"vmq/internal/video"
+)
+
+// MaxIngestBuffer caps a push feed's requested ingest-ring capacity. Like
+// MaxResultBuffer, the ring is allocated eagerly from an unauthenticated
+// request body, so client input must not size an arbitrary allocation.
+const MaxIngestBuffer = 1 << 16
+
+// defaultIngestBuffer is the push ring capacity when the request leaves
+// it unset: enough to ride out scan-side scheduling hiccups at camera
+// frame rates without hiding sustained overload from the policy.
+const defaultIngestBuffer = 256
+
+// createFeedRequest is the JSON body of POST /feeds.
+type createFeedRequest struct {
+	// Name is the new feed's registry key (FROM clauses resolve on it).
+	Name string `json:"name"`
+	// Profile names the dataset profile the feed binds queries against
+	// ("coral", "jackson", "detrac").
+	Profile string `json:"profile"`
+	// Source selects ingestion: "push" (default) accepts frames from
+	// publishers via POST /feeds/{name}/frames or the WebSocket bridge;
+	// "sim" runs the built-in simulator stream.
+	Source string `json:"source,omitempty"`
+	// Seed seeds a sim feed's stream (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// FPS paces the feed at the given frame rate (0 = unpaced: a sim feed
+	// runs as fast as its queries consume, a push feed at publisher pace).
+	FPS int `json:"fps,omitempty"`
+	// MaxFrames ends the feed after this many frames (0 = unbounded).
+	MaxFrames int `json:"max_frames,omitempty"`
+	// IngestBuffer is a push feed's ring capacity in frames (default 256,
+	// max MaxIngestBuffer).
+	IngestBuffer int `json:"ingest_buffer,omitempty"`
+	// IngestPolicy is a push feed's admission policy: "block" (default),
+	// "drop-oldest" or "reject".
+	IngestPolicy string `json:"ingest_policy,omitempty"`
+}
+
+// feedStatus is one feed's row in POST/GET /feeds responses.
+type feedStatus struct {
+	Name    string         `json:"name"`
+	Profile string         `json:"profile"`
+	State   string         `json:"state"`
+	Frames  int64          `json:"frames"`
+	Queries int            `json:"queries"`
+	Ingest  *IngestMetrics `json:"ingest,omitempty"`
+}
+
+func (f *feed) status() feedStatus {
+	st := feedStatus{
+		Name:    f.name,
+		Profile: f.dataset,
+		State:   string(f.State()),
+		Frames:  f.fanout.Frames(),
+		Queries: f.fanout.Subscribers(),
+	}
+	if f.push != nil {
+		st.Ingest = &IngestMetrics{
+			Policy:    string(f.push.Policy()),
+			Depth:     f.push.Depth(),
+			Capacity:  f.push.Capacity(),
+			Published: f.push.Published(),
+			Dropped:   f.push.Dropped(),
+		}
+	}
+	return st
+}
+
+func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
+	var req createFeedRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "feed needs a name")
+		return
+	}
+	prof, ok := video.ProfileByName(req.Profile)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown profile %q", req.Profile)
+		return
+	}
+	cfg := FeedConfig{Name: req.Name, Profile: prof, MaxFrames: req.MaxFrames}
+	if req.FPS > 0 {
+		cfg.FrameInterval = time.Second / time.Duration(req.FPS)
+	}
+	switch req.Source {
+	case "", "push":
+		policy, err := stream.ParsePushPolicy(req.IngestPolicy)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		buffer := req.IngestBuffer
+		if buffer > MaxIngestBuffer {
+			httpError(w, http.StatusBadRequest, "ingest buffer %d exceeds limit %d", buffer, MaxIngestBuffer)
+			return
+		}
+		if buffer <= 0 {
+			buffer = defaultIngestBuffer
+		}
+		cfg.Source = stream.NewPushSource(buffer, policy)
+	case "sim":
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		cfg.Source = stream.FromStream(video.NewStream(prof, seed))
+	default:
+		httpError(w, http.StatusBadRequest, "unknown source %q (want push or sim)", req.Source)
+		return
+	}
+	if err := s.CreateFeed(cfg); err != nil {
+		code := http.StatusConflict // duplicate name
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	f, err := s.feedByName(req.Name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(f.status())
+}
+
+func (s *Server) handleListFeeds(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	feeds := make([]*feed, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	s.mu.Unlock()
+	out := make([]feedStatus, 0, len(feeds))
+	for _, f := range feeds {
+		out = append(out, f.status())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// feedHTTPError maps lifecycle errors to status codes.
+func feedHTTPError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrFeedNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	httpError(w, code, "%v", err)
+}
+
+func (s *Server) handleDrainFeed(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.DrainFeed(name); err != nil {
+		feedHTTPError(w, err)
+		return
+	}
+	f, err := s.feedByName(name)
+	if err != nil {
+		feedHTTPError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(f.status())
+}
+
+// handleRemoveFeed implements DELETE /feeds/{name}. It responds once
+// every query on the feed has ended — each end event already in its
+// result log — so a 200 means the teardown is complete, not scheduled.
+func (s *Server) handleRemoveFeed(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.RemoveFeed(name); err != nil {
+		feedHTTPError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"removed": name})
+}
+
+// publishResponse answers POST /feeds/{name}/frames.
+type publishResponse struct {
+	// Published counts frames admitted to the ingest ring from this
+	// request; Rejected counts frames the reject policy refused.
+	Published int64 `json:"published"`
+	Rejected  int64 `json:"rejected,omitempty"`
+	// Closed reports that the feed drained mid-request: the remaining
+	// frames were not admitted.
+	Closed bool `json:"closed,omitempty"`
+}
+
+// handlePublishFrames ingests newline-delimited JSON frames into a push
+// feed's ring. Admission follows the feed's policy: block parks the
+// request (and so the client's upload) until the scan frees space,
+// drop-oldest always admits, reject skips the frame and counts it. The
+// response reports how the batch fared.
+func (s *Server) handlePublishFrames(w http.ResponseWriter, r *http.Request) {
+	f, err := s.feedByName(r.PathValue("name"))
+	if err != nil {
+		feedHTTPError(w, err)
+		return
+	}
+	if f.push == nil {
+		httpError(w, http.StatusConflict, "feed %q is not a push feed", f.name)
+		return
+	}
+	var resp publishResponse
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var wf wireFrame
+		if err := json.Unmarshal(raw, &wf); err != nil {
+			httpError(w, http.StatusBadRequest, "line %d: %v", line, err)
+			return
+		}
+		frame, err := wf.frame(f.profile)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "line %d: %v", line, err)
+			return
+		}
+		switch err := f.push.Publish(frame, r.Context().Done()); {
+		case err == nil:
+			resp.Published++
+		case errors.Is(err, stream.ErrPushRejected):
+			resp.Rejected++
+		case errors.Is(err, stream.ErrPushClosed):
+			resp.Closed = true
+		case errors.Is(err, stream.ErrPushAborted):
+			return // client gone; nothing to answer
+		}
+		if resp.Closed {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil && resp.Published == 0 {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// EncodeFrames renders frames in the publisher wire format, one JSON
+// object per line — the body POST /feeds/{name}/frames expects (and,
+// line by line, the WebSocket bridge's message format). Exported through
+// the facade for reference publishers and tests.
+func EncodeFrames(frames []*video.Frame) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, f := range frames {
+		if err := enc.Encode(encodeWireFrame(f)); err != nil {
+			return nil, fmt.Errorf("encode frame %d: %w", f.Index, err)
+		}
+	}
+	return buf.Bytes(), nil
+}

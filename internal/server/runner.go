@@ -99,8 +99,11 @@ type Event struct {
 	WindowStart int                    `json:"window_start"`
 	Window      *query.AggregateResult `json:"window,omitempty"`
 
-	// End events.
-	Final *query.Result `json:"final,omitempty"`
+	// End events. Reason says why the stream ended when an operator
+	// action ended it ("feed_drained", "feed_removed"); empty when the
+	// source ran out or the query hit its own frame budget.
+	Final  *query.Result `json:"final,omitempty"`
+	Reason string        `json:"reason,omitempty"`
 
 	// Gap events: the half-open dropped range. DroppedFrom has no
 	// omitempty — 0 is its most common legitimate value (a resume from
@@ -294,7 +297,7 @@ func (r *Registration) runMonitor(eng *query.Engine, n int) {
 	// The end event is not droppable: however hard the policy shed load,
 	// the stream's totals always land (overwriting the oldest retained
 	// event if it must).
-	r.emit(Event{Kind: EventEnd, Final: res}, false)
+	r.emit(Event{Kind: EventEnd, Final: res, Reason: r.feed.endedReason()}, false)
 }
 
 // runWindows executes a windowed aggregate query continuously: it builds
@@ -369,5 +372,5 @@ func (r *Registration) finishWindows() {
 	r.stats.mu.Lock()
 	r.stats.finished = true
 	r.stats.mu.Unlock()
-	r.emit(Event{Kind: EventEnd}, false)
+	r.emit(Event{Kind: EventEnd, Reason: r.feed.endedReason()}, false)
 }

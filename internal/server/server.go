@@ -41,8 +41,25 @@ var (
 	// ErrFeedBusy reports a feed at its registration limit
 	// (Config.MaxQueriesPerFeed).
 	ErrFeedBusy = errors.New("server: feed at its query limit")
+	// ErrFeedNotFound reports a feed name with no feed behind it.
+	ErrFeedNotFound = errors.New("server: feed not found")
+	// ErrFeedDraining reports a registration against a feed that is
+	// draining: its ingestion is cut and its queries are winding down, so
+	// no new query may join.
+	ErrFeedDraining = errors.New("server: feed is draining")
 	// ErrClosed reports an operation on a closed server.
 	ErrClosed = errors.New("server: closed")
+)
+
+// End-event reasons. A query that ends because its feed was torn down
+// carries the reason on its EventEnd, so consumers can tell an exhausted
+// recording from an operator action.
+const (
+	// EndReasonFeedRemoved marks end events forced by RemoveFeed.
+	EndReasonFeedRemoved = "feed_removed"
+	// EndReasonFeedDrained marks end events from a graceful DrainFeed (or
+	// server Shutdown).
+	EndReasonFeedDrained = "feed_drained"
 )
 
 // MaxResultBuffer caps a registration's requested result-log ring
@@ -170,7 +187,7 @@ func New(cfg Config) *Server {
 		regs:     make(map[string]*Registration),
 		liveRegs: make(map[string]int),
 	}
-	s.budget = newBudgeter(s.cfg.WorkerBudget)
+	s.budget = newBudgeter(s.cfg.WorkerBudget, budgetTick)
 	if s.cfg.CoalesceBatch > 1 {
 		s.broker = sched.New(sched.Config{Batch: s.cfg.CoalesceBatch, Flush: s.cfg.CoalesceFlush})
 	}
@@ -178,7 +195,8 @@ func New(cfg Config) *Server {
 }
 
 // AddFeed registers a named feed. Feeds added after Start begin pumping
-// immediately; feeds added before Start wait for it.
+// immediately; feeds added before Start wait for it. A name freed by
+// RemoveFeed may be reused.
 func (s *Server) AddFeed(cfg FeedConfig) error {
 	f, err := newFeed(cfg, s.cfg, s.broker)
 	if err != nil {
@@ -187,7 +205,7 @@ func (s *Server) AddFeed(cfg FeedConfig) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("server: closed")
+		return ErrClosed
 	}
 	if _, dup := s.feeds[f.name]; dup {
 		return fmt.Errorf("server: feed %q already exists", f.name)
@@ -197,6 +215,120 @@ func (s *Server) AddFeed(cfg FeedConfig) error {
 		f.start()
 	}
 	return nil
+}
+
+// CreateFeed is AddFeed under the lifecycle API's name: feeds are runtime
+// objects that can be created, drained and removed while the server runs.
+func (s *Server) CreateFeed(cfg FeedConfig) error { return s.AddFeed(cfg) }
+
+// DrainFeed begins a graceful drain of the named feed: ingestion is cut
+// (publishers on a push feed get ErrPushClosed), new registrations are
+// rejected with ErrFeedDraining, and every frame already in flight —
+// ingest ring, scan batches, fan-out buffers — still reaches the
+// registered queries, which then end through the ordinary source-EOF path
+// and emit end events carrying the "feed_drained" reason. The feed stays
+// listed (state draining, then closed) until RemoveFeed deletes it.
+// Draining an already-draining or closed feed is a no-op.
+func (s *Server) DrainFeed(name string) error {
+	f, err := s.feedByName(name)
+	if err != nil {
+		return err
+	}
+	f.drain(EndReasonFeedDrained)
+	return nil
+}
+
+// RemoveFeed drains the named feed with the "feed_removed" end reason,
+// waits for every registration on it to finish — each query's end event
+// lands in its result log before the log closes; none are lost — then
+// tears the feed down (broker memberships released, pump stopped) and
+// deletes it from the registry, freeing the name for reuse.
+//
+// The wait honours the delivery contract: a Block-policy query whose
+// consumer never drains holds its runner (and so RemoveFeed) until the
+// consumer reads or the query is unregistered — lossless delivery does
+// not get lossy because an operator deletes the feed. Shutdown bounds
+// that wait with a deadline.
+func (s *Server) RemoveFeed(name string) error {
+	f, err := s.feedByName(name)
+	if err != nil {
+		return err
+	}
+	f.drain(EndReasonFeedRemoved)
+	s.mu.Lock()
+	waits := make([]*Registration, 0, 4)
+	for _, r := range s.regs {
+		if r.feed == f {
+			waits = append(waits, r)
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range waits {
+		<-r.done
+	}
+	f.close()
+	f.start() // a never-started pump must still observe Stop and close its subscriptions
+	s.mu.Lock()
+	if s.feeds[name] == f {
+		delete(s.feeds, name)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// feedByName resolves a feed for the lifecycle API.
+func (s *Server) feedByName(name string) (*feed, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	f, ok := s.feeds[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrFeedNotFound, name)
+	}
+	return f, nil
+}
+
+// Shutdown drains every feed, waits up to timeout for the registered
+// queries to finish and their end events to be consumed, then closes the
+// server (which flushes and closes result-log spills). Queries still
+// running at the deadline are cancelled by Close — the graceful window is
+// bounded, a wedged consumer cannot hold the process open.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	feeds := make([]*feed, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	regs := make([]*Registration, 0, len(s.regs))
+	for _, r := range s.regs {
+		regs = append(regs, r)
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		s.Close()
+		return
+	}
+	for _, f := range feeds {
+		f.drain(EndReasonFeedDrained)
+	}
+	// Pumps that never ran still need to run to observe the cut source and
+	// close their subscriptions, or pre-Start registrations would never
+	// see their end events.
+	s.Start()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+wait:
+	for _, r := range regs {
+		select {
+		case <-r.done:
+		case <-timer.C:
+			break wait
+		}
+	}
+	s.Close()
 }
 
 // Feeds lists the configured feed names, sorted.
@@ -247,6 +379,10 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("server: no feed %q (have %v)", q.Source, s.feedNamesLocked())
+	}
+	if f.State() == FeedDraining {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrFeedDraining, f.name)
 	}
 	if lim := s.cfg.MaxQueriesPerFeed; lim > 0 && s.liveRegs[f.name] >= lim {
 		s.mu.Unlock()
@@ -321,6 +457,13 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	switch lim := s.cfg.MaxQueriesPerFeed; {
 	case s.closed:
 		err = ErrClosed
+	case f.State() == FeedDraining:
+		// Re-checked under the same lock hold that records the
+		// registration: drain flips the state first and collects waiters
+		// under this lock after, so a registration either lands before the
+		// collection (and is waited for) or is rejected here — it cannot
+		// slip between.
+		err = fmt.Errorf("%w: %q", ErrFeedDraining, f.name)
 	case lim > 0 && s.liveRegs[f.name] >= lim:
 		// Re-checked here, where the slot is actually taken: the early
 		// check ran under a previous lock acquisition and concurrent
@@ -383,7 +526,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		}
 		budgeted := plan.Where != nil
 		if budgeted {
-			eng.Gate = s.budget.join(f.name)
+			eng.Gate = s.budget.join(f.name, f.fanout.Frames)
 		}
 		go func() {
 			defer s.wg.Done()
@@ -493,6 +636,7 @@ func (s *Server) Close() {
 		f.start() // a never-started pump still needs its Run to observe Stop and close subscriptions
 	}
 	s.wg.Wait()
+	s.budget.stop()
 	// Flush and close live registrations' spills (retire/Unregister cover
 	// their own paths); FileSpill buffers writes, so skipping this would
 	// drop buffered entries and leak the descriptor.
@@ -517,9 +661,26 @@ type Metrics struct {
 	Coalesce []sched.GroupMetrics `json:"coalesce,omitempty"`
 }
 
+// IngestMetrics reports a push-fed feed's ingest ring: how deep the
+// publisher-side buffer runs, the admission policy, and how many frames
+// were admitted or lost to admission control.
+type IngestMetrics struct {
+	Policy    string `json:"policy"`
+	Depth     int    `json:"depth"`
+	Capacity  int    `json:"capacity"`
+	Published int64  `json:"published"`
+	Dropped   int64  `json:"dropped"`
+}
+
 // FeedMetrics is one feed's share of the snapshot.
 type FeedMetrics struct {
 	Name string `json:"name"`
+	// State is the feed's lifecycle phase: creating, running, draining or
+	// closed.
+	State string `json:"state"`
+	// Ingest reports the push-ingestion ring for feeds fed by publishers
+	// (absent for decoded feeds).
+	Ingest *IngestMetrics `json:"ingest,omitempty"`
 	// Frames is the number of frames the pump has dispatched.
 	Frames int64 `json:"frames"`
 	// FramesPerSec is the dispatch rate since the pump started.
@@ -625,9 +786,19 @@ func (s *Server) Metrics() Metrics {
 	for _, f := range feeds {
 		fm := FeedMetrics{
 			Name:    f.name,
+			State:   string(f.State()),
 			Frames:  f.fanout.Frames(),
 			Queries: f.fanout.Subscribers(),
 			Workers: shares[f.name],
+		}
+		if f.push != nil {
+			fm.Ingest = &IngestMetrics{
+				Policy:    string(f.push.Policy()),
+				Depth:     f.push.Depth(),
+				Capacity:  f.push.Capacity(),
+				Published: f.push.Published(),
+				Dropped:   f.push.Dropped(),
+			}
 		}
 		if f.batcher != nil {
 			fm.ScanBatches = f.batcher.batches.Load()

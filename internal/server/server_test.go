@@ -358,8 +358,9 @@ func TestServerMetricsSnapshot(t *testing.T) {
 }
 
 // Registration-time validation: unknown feeds, aggregates without a
-// window, duplicate feeds, and mismatched feed/profile names are
-// rejected with errors, not panics.
+// window and duplicate feeds are rejected with errors, not panics; a
+// feed named differently from its profile binds queries against a
+// renamed profile copy, so FROM resolves on the feed name.
 func TestServerValidation(t *testing.T) {
 	p := video.Jackson()
 	srv := New(Config{})
@@ -370,8 +371,16 @@ func TestServerValidation(t *testing.T) {
 	if err := srv.AddFeed(LiveFeed(p, 2)); err == nil {
 		t.Fatal("duplicate feed accepted")
 	}
-	if err := srv.AddFeed(FeedConfig{Name: "other", Profile: p, Source: &stream.SliceSource{}}); err == nil {
-		t.Fatal("feed/profile name mismatch accepted")
+	if err := srv.AddFeed(FeedConfig{Name: "other", Profile: p, Source: &stream.SliceSource{}}); err != nil {
+		t.Fatalf("custom-named feed over the jackson profile rejected: %v", err)
+	}
+	if r, err := srv.Register(parse(t, `SELECT FRAMES FROM other WHERE COUNT(car) = 1`), Options{}); err != nil {
+		t.Fatalf("FROM <feed-name> did not resolve on a custom-named feed: %v", err)
+	} else {
+		go drain(r)
+	}
+	if err := srv.AddFeed(FeedConfig{Name: "noprofile", Source: &stream.SliceSource{}}); err == nil {
+		t.Fatal("feed without a profile accepted")
 	}
 	if _, err := srv.Register(parse(t, `SELECT FRAMES FROM detrac WHERE COUNT(car) = 1`), Options{}); err == nil {
 		t.Fatal("unknown feed accepted")

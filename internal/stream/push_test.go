@@ -1,0 +1,210 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"vmq/internal/video"
+)
+
+func pushFrames(n int) []*video.Frame {
+	out := make([]*video.Frame, n)
+	for i := range out {
+		out[i] = &video.Frame{CameraID: "push", Index: i}
+	}
+	return out
+}
+
+// A block-policy source delivers every published frame in order, and a
+// publisher parked on a full ring resumes when the reader frees a slot.
+func TestPushSourceBlockDeliversInOrder(t *testing.T) {
+	src := NewPushSource(4, PushBlock)
+	frames := pushFrames(64)
+	done := make(chan error, 1)
+	go func() {
+		for _, f := range frames {
+			if err := src.Publish(f, nil); err != nil {
+				done <- err
+				return
+			}
+		}
+		src.Close()
+		done <- nil
+	}()
+	for i := 0; ; i++ {
+		f, ok := src.Next()
+		if !ok {
+			if i != len(frames) {
+				t.Fatalf("stream ended after %d frames, want %d", i, len(frames))
+			}
+			break
+		}
+		if f.Index != i {
+			t.Fatalf("frame %d has index %d, want in-order delivery", i, f.Index)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("publisher: %v", err)
+	}
+	if got := src.Published(); got != int64(len(frames)) {
+		t.Fatalf("published = %d, want %d", got, len(frames))
+	}
+	if got := src.Dropped(); got != 0 {
+		t.Fatalf("dropped = %d, want 0 under block", got)
+	}
+}
+
+// A blocked publisher aborts with ErrPushAborted when its abort channel
+// fires before a slot frees.
+func TestPushSourceBlockAborts(t *testing.T) {
+	src := NewPushSource(1, PushBlock)
+	if err := src.Publish(&video.Frame{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	abort := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- src.Publish(&video.Frame{}, abort) }()
+	select {
+	case err := <-errc:
+		t.Fatalf("publish on a full ring returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(abort)
+	if err := <-errc; !errors.Is(err, ErrPushAborted) {
+		t.Fatalf("aborted publish error = %v, want ErrPushAborted", err)
+	}
+}
+
+// Drop-oldest keeps the freshest frames: publishing 10 into a capacity-3
+// ring with no reader leaves exactly the last 3, counting the evictions.
+func TestPushSourceDropOldestKeepsFreshest(t *testing.T) {
+	src := NewPushSource(3, PushDropOldest)
+	for _, f := range pushFrames(10) {
+		if err := src.Publish(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	var got []int
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, f.Index)
+	}
+	if len(got) != 3 || got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("surviving frames = %v, want [7 8 9]", got)
+	}
+	if d := src.Dropped(); d != 7 {
+		t.Fatalf("dropped = %d, want 7", d)
+	}
+}
+
+// Reject refuses frames beyond capacity without disturbing the ring.
+func TestPushSourceReject(t *testing.T) {
+	src := NewPushSource(2, PushReject)
+	if err := src.Publish(&video.Frame{Index: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Publish(&video.Frame{Index: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Publish(&video.Frame{Index: 2}, nil); !errors.Is(err, ErrPushRejected) {
+		t.Fatalf("overflow publish error = %v, want ErrPushRejected", err)
+	}
+	if d := src.Depth(); d != 2 {
+		t.Fatalf("depth after reject = %d, want 2", d)
+	}
+	if d := src.Dropped(); d != 1 {
+		t.Fatalf("dropped = %d, want 1", d)
+	}
+}
+
+// Close wakes blocked publishers with ErrPushClosed and lets the reader
+// drain what was admitted before reporting end-of-stream.
+func TestPushSourceCloseDrains(t *testing.T) {
+	src := NewPushSource(2, PushBlock)
+	for i := 0; i < 2; i++ {
+		if err := src.Publish(&video.Frame{Index: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- src.Publish(&video.Frame{Index: 99}, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	src.Close()
+	if err := <-errc; !errors.Is(err, ErrPushClosed) {
+		t.Fatalf("publish across close error = %v, want ErrPushClosed", err)
+	}
+	if err := src.Publish(&video.Frame{}, nil); !errors.Is(err, ErrPushClosed) {
+		t.Fatalf("publish after close error = %v, want ErrPushClosed", err)
+	}
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d frames after close, want the 2 admitted", n)
+	}
+}
+
+// Concurrent publishers under block: every admitted frame is delivered
+// exactly once (run with -race).
+func TestPushSourceConcurrentPublishers(t *testing.T) {
+	const pubs, perPub = 8, 50
+	src := NewPushSource(4, PushBlock)
+	var wg sync.WaitGroup
+	for i := 0; i < pubs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perPub; j++ {
+				if err := src.Publish(&video.Frame{Index: id*perPub + j}, nil); err != nil {
+					t.Errorf("publisher %d: %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		src.Close()
+	}()
+	seen := make(map[int]bool, pubs*perPub)
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		if seen[f.Index] {
+			t.Fatalf("frame %d delivered twice", f.Index)
+		}
+		seen[f.Index] = true
+	}
+	if len(seen) != pubs*perPub {
+		t.Fatalf("delivered %d distinct frames, want %d", len(seen), pubs*perPub)
+	}
+}
+
+// ParsePushPolicy accepts the three policies (empty defaults to block)
+// and rejects junk.
+func TestParsePushPolicy(t *testing.T) {
+	for in, want := range map[string]PushPolicy{
+		"": PushBlock, "block": PushBlock,
+		"drop-oldest": PushDropOldest, "reject": PushReject,
+	} {
+		got, err := ParsePushPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePushPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePushPolicy("nonsense"); err == nil {
+		t.Fatal("junk policy accepted")
+	}
+}

@@ -172,6 +172,32 @@ func TestCompareDroppedEvents(t *testing.T) {
 	}
 }
 
+// Ingest-drop counts from the push-ingestion benchmark ride the same
+// dropped-metric comparison: a block-policy ring that starts shedding
+// frames is a regression CI must flag.
+func TestCompareIngestDropped(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", &Report{
+		Benchmarks: []Benchmark{
+			{Pkg: "vmq", Name: "BenchmarkServerPushIngest", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "ingest-dropped": 0}},
+		},
+	})
+	newPath := writeArtifact(t, dir, "new.json", &Report{
+		Benchmarks: []Benchmark{
+			{Pkg: "vmq", Name: "BenchmarkServerPushIngest", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "ingest-dropped": 25}},
+		},
+	})
+	var buf bytes.Buffer
+	if err := runCompare(&buf, oldPath, newPath, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "::warning::vmq BenchmarkServerPushIngest-8 ingest-dropped regressed (0 -> 25)") {
+		t.Fatalf("missing ingest-dropped warning:\n%s", out)
+	}
+}
+
 func TestCompareMissingFile(t *testing.T) {
 	if err := runCompare(&bytes.Buffer{}, "/does/not/exist.json", "/nor/this.json", 0.2); err == nil {
 		t.Fatal("want error for missing artifact")

@@ -87,6 +87,9 @@ type (
 	Event = server.Event
 	// ServerMetrics is the server telemetry snapshot.
 	ServerMetrics = server.Metrics
+	// IngestMetrics is a push feed's ingest-ring telemetry within
+	// ServerMetrics (depth, capacity, admissions, drops).
+	IngestMetrics = server.IngestMetrics
 	// DeliveryPolicy selects how a query's bounded result log treats a
 	// slow or absent consumer (block, drop-oldest, sample-under-pressure).
 	DeliveryPolicy = rlog.Policy
@@ -126,7 +129,65 @@ var (
 	ErrQueryNotFound = server.ErrQueryNotFound
 	// ErrFeedBusy reports a Register on a feed at its query limit.
 	ErrFeedBusy = server.ErrFeedBusy
+	// ErrFeedNotFound reports a lifecycle call naming no live feed.
+	ErrFeedNotFound = server.ErrFeedNotFound
+	// ErrFeedDraining reports a Register on a feed being drained.
+	ErrFeedDraining = server.ErrFeedDraining
 )
+
+// FeedState is a feed's lifecycle phase (Server.Metrics reports it per
+// feed): creating → running → draining → closed.
+type FeedState = server.FeedState
+
+// Feed lifecycle states.
+const (
+	FeedCreating = server.FeedCreating
+	FeedRunning  = server.FeedRunning
+	FeedDraining = server.FeedDraining
+	FeedClosed   = server.FeedClosed
+)
+
+// End-event reasons: Event.Reason on the final event of a query whose
+// feed was torn down (empty when the source simply ran out).
+const (
+	EndReasonFeedDrained = server.EndReasonFeedDrained
+	EndReasonFeedRemoved = server.EndReasonFeedRemoved
+)
+
+// PushSource is a bounded ingest ring feeds frames are published into at
+// runtime — the programmatic end of the HTTP/WebSocket publisher
+// bridges. Use it as a FeedConfig.Source.
+type PushSource = stream.PushSource
+
+// PushPolicy is a push ring's admission policy.
+type PushPolicy = stream.PushPolicy
+
+// Push admission policies.
+const (
+	// PushBlock parks the publisher until the scan frees ring space
+	// (lossless; backpressure reaches the publisher).
+	PushBlock = stream.PushBlock
+	// PushDropOldest evicts the oldest buffered frame to admit the new
+	// one (freshness over completeness).
+	PushDropOldest = stream.PushDropOldest
+	// PushReject refuses the new frame, leaving the backlog intact.
+	PushReject = stream.PushReject
+)
+
+// NewPushSource creates a push-ingestion ring with the given capacity
+// (frames) and admission policy.
+func NewPushSource(capacity int, policy PushPolicy) *PushSource {
+	return stream.NewPushSource(capacity, policy)
+}
+
+// ParsePushPolicy parses "block", "drop-oldest" or "reject" (empty
+// defaults to block).
+func ParsePushPolicy(s string) (PushPolicy, error) { return stream.ParsePushPolicy(s) }
+
+// EncodeFrames renders frames in the publisher wire format (NDJSON, one
+// frame per line) — the body POST /feeds/{name}/frames expects and,
+// line-wise, the WebSocket bridge's per-message format.
+func EncodeFrames(frames []*Frame) ([]byte, error) { return server.EncodeFrames(frames) }
 
 // NewServer creates a continuous-query server. Add feeds (LiveFeed, or a
 // custom FeedConfig over any Source), Register parsed queries, then
