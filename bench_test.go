@@ -640,6 +640,65 @@ func BenchmarkServerDeliveryStalledConsumer(b *testing.B) {
 	b.ReportMetric(dropped, "dropped-events")
 }
 
+// BenchmarkServerAckedConsumer runs the delivery fleet with every
+// consumer in exactly-once mode: block-policy logs, and each event is
+// acknowledged as it is read, so the retention floor tracks the acked
+// position the whole run. This prices the ack path (a lock, a floor
+// recompute, a possible writer wake) against the fire-and-forget
+// drained baseline; nothing may drop.
+func BenchmarkServerAckedConsumer(b *testing.B) {
+	p := video.Jackson()
+	frames := video.NewStream(p, 55).Take(benchDeliveryFrames)
+	var dropped, acked int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := server.New(server.Config{})
+		if err := srv.AddFeed(server.FeedConfig{
+			Name: p.Name, Profile: p,
+			Source:  &stream.SliceSource{Frames: frames},
+			Backend: filters.NewODFilter(p, 55, nil),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		regs := make([]*server.Registration, benchDeliveryQueries)
+		for j := range regs {
+			q, _ := vql.Parse(`SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`)
+			var err error
+			regs[j], err = srv.Register(q, server.Options{Policy: rlog.Block, ResultBuffer: 32})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv.Start()
+		var wg sync.WaitGroup
+		for _, reg := range regs {
+			wg.Add(1)
+			go func(reg *server.Registration) {
+				defer wg.Done()
+				r := reg.ResultsFrom(0)
+				defer r.Detach()
+				for {
+					it, ok := r.Next(nil)
+					if !ok {
+						return
+					}
+					r.Ack(it.Seq)
+				}
+			}(reg)
+		}
+		wg.Wait()
+		for _, reg := range regs {
+			<-reg.Done()
+			dropped += reg.Log().Dropped()
+			acked += reg.Log().AckedSeq() + 1
+		}
+		srv.Close()
+	}
+	b.ReportMetric(float64(benchDeliveryFrames)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(float64(dropped)/float64(b.N), "dropped-events")
+	b.ReportMetric(float64(acked)/float64(b.N), "acked-events")
+}
+
 // benchIngestFleet serves one feed to benchDeliveryQueries queries,
 // either file-decoded (the SliceSource path every recorded-clip feed
 // uses) or fed the same frames through the push-ingestion bridge's ring.

@@ -18,19 +18,23 @@ import (
 )
 
 // cmdServe hosts the continuous-query server over one or more synthetic
-// live feeds and blocks serving its HTTP API:
+// live feeds and blocks serving its HTTP API (canonical under /v1; the
+// unversioned paths remain as deprecated aliases for one release):
 //
-//	POST   /queries              register a VQL query (text or JSON body)
-//	GET    /queries              list registered queries
-//	GET    /queries/{id}/results stream results as NDJSON
-//	DELETE /queries/{id}         unregister
-//	POST   /feeds                create a feed at runtime (push or sim)
-//	GET    /feeds                list feeds with lifecycle state
-//	POST   /feeds/{name}/drain   drain a feed gracefully
-//	DELETE /feeds/{name}         drain, wait for end events, remove
-//	POST   /feeds/{name}/frames  publish NDJSON frames into a push feed
-//	GET    /feeds/{name}/publish WebSocket publisher bridge
-//	GET    /metrics              frames/sec, selectivity, recall, queues
+//	POST   /v1/queries              register a VQL query (text or JSON body)
+//	GET    /v1/queries              list registered queries with delivery telemetry
+//	GET    /v1/queries/{id}         one query's status row
+//	GET    /v1/queries/{id}/results stream results as NDJSON (or WebSocket with in-band acks)
+//	POST   /v1/queries/{id}/ack     acknowledge consumption through a sequence
+//	GET    /v1/queries/{id}/history page spilled/ring history without attaching
+//	DELETE /v1/queries/{id}         unregister
+//	POST   /v1/feeds                create a feed at runtime (push or sim)
+//	GET    /v1/feeds                list feeds with lifecycle state
+//	POST   /v1/feeds/{name}/drain   drain a feed gracefully
+//	DELETE /v1/feeds/{name}         drain, wait for end events, remove
+//	POST   /v1/feeds/{name}/frames  publish NDJSON frames into a push feed
+//	GET    /v1/feeds/{name}/publish WebSocket publisher bridge
+//	GET    /v1/metrics              frames/sec, selectivity, recall, queues
 //
 // SIGINT or SIGTERM shuts down gracefully: the listener stops accepting,
 // every feed drains so in-flight queries end with typed end events and
@@ -46,6 +50,8 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	policy := fs.String("policy", "block", "default delivery policy: block, drop-oldest, sample-under-pressure")
 	resultLog := fs.Int("result-log", 0, "result-log ring capacity per query, in events (0 = default 64)")
 	maxQueries := fs.Int("max-queries", 0, "registration limit per feed (0 = unlimited)")
+	spillDir := fs.String("spill-dir", "", "directory for server-managed result spills requested per query (default: under the OS temp dir)")
+	spillRetain := fs.Int64("spill-retain", 0, "per-query on-disk spill retention budget in bytes (0 = default 64MiB, -1 = unbounded)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining feeds and flushing results")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +59,7 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	srv, err := buildServer(serveConfig{
 		feeds: *feeds, seed: *seed, fps: *fps, frames: *frames,
 		policy: *policy, resultLog: *resultLog, maxQueries: *maxQueries,
+		spillDir: *spillDir, spillRetain: *spillRetain,
 	})
 	if err != nil {
 		return err
@@ -105,13 +112,15 @@ func runServe(ctx context.Context, srv *vmq.Server, ln net.Listener, feeds strin
 
 // serveConfig carries cmdServe's flags into buildServer.
 type serveConfig struct {
-	feeds      string
-	seed       uint64
-	fps        float64
-	frames     int
-	policy     string
-	resultLog  int
-	maxQueries int
+	feeds       string
+	seed        uint64
+	fps         float64
+	frames      int
+	policy      string
+	resultLog   int
+	maxQueries  int
+	spillDir    string
+	spillRetain int64
 }
 
 // buildServer assembles a server over the named synthetic feeds — split
@@ -126,6 +135,8 @@ func buildServer(sc serveConfig) (*vmq.Server, error) {
 		DefaultPolicy:     pol,
 		ResultBuffer:      sc.resultLog,
 		MaxQueriesPerFeed: sc.maxQueries,
+		SpillDir:          sc.spillDir,
+		Spill:             vmq.SpillConfig{RetainBytes: sc.spillRetain},
 	})
 	names := strings.Split(sc.feeds, ",")
 	if len(names) == 0 || sc.feeds == "" {

@@ -28,7 +28,17 @@
 // [firstRetained, nextSeq). An optional Spill receives entries as they
 // are evicted from the ring; a reader positioned below firstRetained is
 // served from the spill when one is attached, and reports a gap
-// otherwise.
+// otherwise. With a spill attached, eviction prefers spilling over the
+// policy action under every policy: a Block writer only blocks (and a
+// DropOldest writer only drops) once the spill refuses the entry, so
+// the resumable window is ring plus spill rather than ring alone.
+//
+// Consumers that need exactly-once delivery acknowledge: Ack(seq) on a
+// cursor (or on the log, for out-of-band acknowledgements) records the
+// last sequence the consumer durably processed, and the retention floor
+// then follows the acknowledged position instead of the read position.
+// An event sent into a dead connection no longer counts as consumed —
+// the consumer that never acked it finds it again on resume.
 //
 // The Log is single-writer (sequence assignment needs no coordination)
 // and multi-reader; all methods are safe for concurrent use.
@@ -91,32 +101,37 @@ type Item[T any] struct {
 // the resumable window beyond the ring's capacity. Implementations must
 // be safe for one appender and concurrent readers.
 type Spill[T any] interface {
-	// Append persists one evicted entry. Entries arrive in sequence
-	// order, exactly once.
+	// Append persists one evicted entry. Entries arrive in ascending
+	// sequence order, at most once each — though not necessarily
+	// contiguously: an entry the spill refused (ErrSpillFull) may be
+	// followed by later ones, leaving a hole. A refusal may be retried
+	// with the same sequence before any later one arrives.
 	Append(seq int64, v T) error
 	// Read returns the entry for seq, or false when it is not held
 	// (never spilled, expired, or a read error).
 	Read(seq int64) (T, bool)
-	// FirstRetained returns the lowest sequence the spill still holds
-	// (false when empty), so a reader below it gaps exactly to the
-	// resumable boundary instead of skipping the whole spill window.
-	FirstRetained() (int64, bool)
+	// NextRetained returns the lowest retained sequence >= seq (false
+	// when none), so a reader below the spill window — or at a hole
+	// inside it — gaps exactly to the next resumable position instead
+	// of skipping the rest of the spill.
+	NextRetained(seq int64) (int64, bool)
 }
 
 // Log is one query's bounded, sequenced result log.
 type Log[T any] struct {
-	mu      sync.Mutex
-	ring    []T
-	mask    int64
-	policy  Policy
-	spill   Spill[T]
-	next    int64 // sequence of the next append
-	first   int64 // oldest sequence still in the ring
-	parked  int64 // retention floor while no reader is attached
-	readers map[*Reader[T]]struct{}
-	dropped int64
-	decim   int64 // sample-policy decimation counter
-	closed  bool
+	mu       sync.Mutex
+	ring     []T
+	mask     int64
+	policy   Policy
+	spill    Spill[T]
+	next     int64 // sequence of the next append
+	first    int64 // oldest sequence still in the ring
+	parked   int64 // retention floor while no reader is attached
+	ackFloor int64 // one past the highest acked sequence; -1 = never acked
+	readers  map[*Reader[T]]struct{}
+	dropped  int64
+	decim    int64 // sample-policy decimation counter
+	closed   bool
 
 	// dataCh is closed and replaced to wake readers blocked on the tail;
 	// spaceCh likewise to wake a writer blocked on the retention floor.
@@ -150,21 +165,27 @@ func New[T any](capacity int, policy Policy) *Log[T] {
 		policy = Block
 	}
 	return &Log[T]{
-		ring:    make([]T, capacity),
-		mask:    int64(capacity - 1),
-		policy:  policy,
-		readers: make(map[*Reader[T]]struct{}),
-		dataCh:  make(chan struct{}),
-		spaceCh: make(chan struct{}),
+		ring:     make([]T, capacity),
+		mask:     int64(capacity - 1),
+		policy:   policy,
+		ackFloor: -1,
+		readers:  make(map[*Reader[T]]struct{}),
+		dataCh:   make(chan struct{}),
+		spaceCh:  make(chan struct{}),
 	}
 }
 
 // SetSpill attaches a spill for evicted entries. It must be called
-// before the first append.
+// before the first append. A spill that garbage-collects (it implements
+// SetFloor(func() int64)) is handed the log's GC floor so it never
+// removes a segment a consumer could still be served from.
 func (l *Log[T]) SetSpill(s Spill[T]) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.spill = s
+	l.mu.Unlock()
+	if f, ok := s.(interface{ SetFloor(func() int64) }); ok {
+		f.SetFloor(l.gcFloor)
+	}
 }
 
 // Policy returns the log's delivery policy.
@@ -178,20 +199,112 @@ func (l *Log[T]) Policy() Policy {
 func (l *Log[T]) Capacity() int { return len(l.ring) }
 
 // floorLocked is the lowest sequence retention must honour: the least
-// attached cursor, or — with no reader attached — the position the last
-// reader detached at (initially 0, so a log nobody has read yet retains
-// from the beginning, exactly like the buffered channel it replaces).
+// attached contribution (a reader's acknowledged position when it acks,
+// its cursor otherwise), or — with no reader attached — the position
+// the last reader detached at (initially 0, so a log nobody has read
+// yet retains from the beginning, exactly like the buffered channel it
+// replaces). Once anything has acked, the floor never rises past the
+// acknowledged position: read-but-unacked events stay retained so a
+// consumer that crashed before processing them finds them on resume.
 func (l *Log[T]) floorLocked() int64 {
 	if len(l.readers) == 0 {
+		// With nobody attached the acknowledged position, once one
+		// exists, is authoritative in both directions: it stays below a
+		// parked read position (read-but-unacked events survive a crash)
+		// and rises past it on an out-of-band ack from a disconnected
+		// consumer.
+		if l.ackFloor >= 0 {
+			return l.ackFloor
+		}
 		return l.parked
 	}
-	min := int64(-1)
+	floor := int64(-1)
 	for r := range l.readers {
-		if min < 0 || r.cursor < min {
-			min = r.cursor
+		if c := r.contributionLocked(); floor < 0 || c < floor {
+			floor = c
 		}
 	}
-	return min
+	if l.ackFloor >= 0 && l.ackFloor < floor {
+		floor = l.ackFloor
+	}
+	return floor
+}
+
+// gcFloor is the lowest sequence a garbage-collecting spill must keep.
+// Under Block it equals the retention floor — the lossless promise
+// extends to disk, and a writer blocks once the spill's budget fills
+// rather than lose anything below it. Under DropOldest/Sample only
+// attached readers and acknowledgements pin segments: a parked
+// (detached) cursor does not, so the spill rotates its window forward
+// within its budget — bounded lag is the policy's contract, and the
+// evicted range surfaces as an honest gap on resume.
+func (l *Log[T]) gcFloor() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.policy == Block {
+		return l.floorLocked()
+	}
+	floor := l.next
+	for r := range l.readers {
+		if c := r.contributionLocked(); c < floor {
+			floor = c
+		}
+	}
+	if l.ackFloor >= 0 && l.ackFloor < floor {
+		floor = l.ackFloor
+	}
+	return floor
+}
+
+// Ack records that every sequence through seq has been durably
+// processed by the consuming side, without reference to a particular
+// cursor — the out-of-band acknowledgement path (an HTTP client acking
+// between streaming reads). The retention floor follows the
+// acknowledged position from now on; acking is monotone and clamped to
+// the sequences actually assigned. Returns the highest acked sequence.
+func (l *Log[T]) Ack(seq int64) int64 {
+	l.mu.Lock()
+	n := seq + 1
+	if n < 0 {
+		n = 0 // acked nothing yet, but declared the intent: retain all
+	}
+	if n > l.next {
+		n = l.next
+	}
+	if n > l.ackFloor {
+		l.ackFloor = n
+	}
+	acked := l.ackFloor - 1
+	wake := l.wakeSpaceLocked()
+	l.mu.Unlock()
+	if wake != nil {
+		close(wake) // the floor may have advanced
+	}
+	return acked
+}
+
+// AckedSeq returns the highest acknowledged sequence, -1 when nothing
+// has ever been acked.
+func (l *Log[T]) AckedSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ackFloor < 0 {
+		return -1
+	}
+	return l.ackFloor - 1
+}
+
+// wakeSpaceLocked arms a broadcast to writers blocked on the retention
+// floor. The caller closes the returned channel (nil when nobody waits)
+// after releasing l.mu.
+func (l *Log[T]) wakeSpaceLocked() chan struct{} {
+	if l.spaceWaiters == 0 {
+		return nil
+	}
+	ch := l.spaceCh
+	l.spaceCh = make(chan struct{})
+	l.spaceWaiters = 0
+	return ch
 }
 
 // Append writes v as the next sequenced entry. droppable marks events
@@ -237,9 +350,30 @@ func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
 		}
 	}
 	for l.next-l.first >= int64(len(l.ring)) {
-		// Full ring. Eviction of an already-consumed entry is always
-		// allowed; losing an unread one is what the policy decides.
-		if l.first >= l.floorLocked() {
+		// Full ring. Spill the evictee first — with a spill attached the
+		// resumable window is ring plus spill, so the policy only acts
+		// (block, drop) on entries the spill refused. The write happens
+		// outside the lock: file I/O must not stall every reader and the
+		// telemetry getters. Safe because the log is single-writer:
+		// nothing else advances first while we are unlocked, and writing
+		// the spill entry before first moves means a reader can never
+		// see cursor < first without the spill already holding the
+		// entry.
+		spilled := false
+		if l.spill != nil {
+			seq, v := l.first, l.ring[l.first&l.mask]
+			spill := l.spill
+			l.mu.Unlock()
+			spilled = spill.Append(seq, v) == nil
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return false
+			}
+		}
+		// Eviction of a consumed (or spilled) entry is always allowed;
+		// losing an unread one is what the policy decides.
+		if !spilled && l.first >= l.floorLocked() {
 			if l.policy == Block && droppable {
 				l.spaceWaiters++
 				ch := l.spaceCh
@@ -267,23 +401,6 @@ func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
 			// terminal event under any policy: overwrite the oldest
 			// unread so the event always lands.
 			l.dropped++
-		}
-		// Spill the evictee outside the lock — file I/O must not stall
-		// every reader and the telemetry getters. Safe because the log
-		// is single-writer: nothing else advances first while we are
-		// unlocked, and writing the spill entry before first moves means
-		// a reader can never see cursor < first without the spill
-		// already holding the entry.
-		if l.spill != nil {
-			seq, v := l.first, l.ring[l.first&l.mask]
-			spill := l.spill
-			l.mu.Unlock()
-			_ = spill.Append(seq, v)
-			l.mu.Lock()
-			if l.closed {
-				l.mu.Unlock()
-				return false
-			}
 		}
 		var zero T
 		l.ring[l.first&l.mask] = zero
@@ -363,32 +480,45 @@ func (l *Log[T]) Lag() int64 {
 // Reader is one consumer's cursor over the log. Readers are created by
 // ReaderFrom, advance with Next, and must be detached with Detach when
 // the consumer goes away so a Block-policy writer stops waiting on them.
+// A reader that acknowledges (Ack) contributes its acknowledged position
+// to the retention floor instead of its read position.
 type Reader[T any] struct {
 	log    *Log[T]
 	cursor int64
+	acked  int64 // one past the highest seq this reader acked; -1 = never
+	pager  bool  // transient page reader: Detach does not park the floor
 }
 
 // ReaderFrom attaches a reader positioned at seq. Negative seq means
 // "live tail": the reader starts at the next event to be appended,
 // skipping history. A seq above the current tail is clamped to it.
 func (l *Log[T]) ReaderFrom(seq int64) *Reader[T] {
+	return l.attach(seq, false)
+}
+
+// PagerFrom attaches a transient reader positioned at seq for paging
+// through history: while attached it pins retention like any reader (so
+// a page is never pulled out from under it), but detaching does not
+// park the retention floor at its position — paging a finished query
+// from sequence 0 must not commit a Block-policy writer to retaining
+// everything for a consumer that was only browsing.
+func (l *Log[T]) PagerFrom(seq int64) *Reader[T] {
+	return l.attach(seq, true)
+}
+
+func (l *Log[T]) attach(seq int64, pager bool) *Reader[T] {
 	l.mu.Lock()
 	if seq < 0 || seq > l.next {
 		seq = l.next
 	}
-	r := &Reader[T]{log: l, cursor: seq}
+	r := &Reader[T]{log: l, cursor: seq, acked: -1, pager: pager}
 	l.readers[r] = struct{}{}
 	// Attaching can raise the retention floor: a reader joining at the
 	// live tail while the parked floor sits at a full ring's base moves
 	// floorLocked past every retained entry. A Block-policy writer may be
 	// waiting on the old floor, so wake it to re-evaluate — otherwise
 	// writer and the new reader deadlock on each other.
-	var wake chan struct{}
-	if l.spaceWaiters > 0 {
-		wake = l.spaceCh
-		l.spaceCh = make(chan struct{})
-		l.spaceWaiters = 0
-	}
+	wake := l.wakeSpaceLocked()
 	l.mu.Unlock()
 	if wake != nil {
 		close(wake)
@@ -404,6 +534,49 @@ func (r *Reader[T]) Cursor() int64 {
 	return r.cursor
 }
 
+// contributionLocked is the position this reader pins retention at: the
+// acknowledged position once it acks, the read position before.
+func (r *Reader[T]) contributionLocked() int64 {
+	if r.acked >= 0 {
+		return r.acked
+	}
+	return r.cursor
+}
+
+// Ack records that the consumer behind this reader durably processed
+// every sequence through seq. From the first Ack on, the reader pins
+// retention at its acknowledged position rather than its read position:
+// events it read but never acked stay retained (under Block) for an
+// exact resume after a crash. Acks are monotone and clamped to the
+// reader's cursor — a consumer cannot ack what this reader has not
+// delivered. Returns the reader's highest acked sequence.
+func (r *Reader[T]) Ack(seq int64) int64 {
+	l := r.log
+	l.mu.Lock()
+	n := seq + 1
+	if n < 0 {
+		n = 0
+	}
+	if n > r.cursor {
+		n = r.cursor
+	}
+	if n > r.acked {
+		r.acked = n
+	}
+	// The log-level floor follows the furthest ack seen on any path, so
+	// an in-band ack here and an out-of-band Log.Ack converge.
+	if r.acked > l.ackFloor {
+		l.ackFloor = r.acked
+	}
+	acked := r.acked - 1
+	wake := l.wakeSpaceLocked()
+	l.mu.Unlock()
+	if wake != nil {
+		close(wake) // the floor may have advanced
+	}
+	return acked
+}
+
 // Next delivers the reader's next item, blocking until one is available,
 // the log is closed and drained (ok false), or abort fires (ok false).
 // An item is either a value with its sequence number or a gap notice
@@ -411,6 +584,7 @@ func (r *Reader[T]) Cursor() int64 {
 // reader continues at the gap's To.
 func (r *Reader[T]) Next(abort <-chan struct{}) (Item[T], bool) {
 	l := r.log
+	retried := false
 	l.mu.Lock()
 	for {
 		if r.cursor < l.next {
@@ -429,18 +603,36 @@ func (r *Reader[T]) Next(abort <-chan struct{}) (Item[T], bool) {
 						l.mu.Unlock()
 						return Item[T]{Seq: seq, Value: v}, true
 					}
+					// Also queried outside the lock: a garbage-collecting
+					// spill takes its own lock and may call back into the
+					// log for the GC floor.
+					nxt, ok := spill.NextRetained(seq)
 					l.mu.Lock()
 					if r.cursor >= l.first { // raced: entry back in range
 						continue
 					}
-					// The spill no longer holds cursor; gap only to the
-					// oldest position something can still serve.
-					if low, ok := spill.FirstRetained(); ok && low > r.cursor && low < l.first {
-						gap := &Gap{From: r.cursor, To: low}
-						r.advanceLocked(low)
-						l.mu.Unlock()
-						return Item[T]{Seq: gap.From, Gap: gap}, true
+					if ok && nxt <= r.cursor {
+						// The spill indexes cursor but the read missed:
+						// usually the entry landed between the two calls —
+						// retry once. A persistently unreadable entry is
+						// skipped as a one-event gap rather than looped on.
+						if !retried {
+							retried = true
+							continue
+						}
+						nxt = r.cursor + 1
 					}
+					to := l.first
+					if ok && nxt < to {
+						// Gap only to the next position the spill can still
+						// serve — holes and expired prefixes, not the whole
+						// spill window.
+						to = nxt
+					}
+					gap := &Gap{From: r.cursor, To: to}
+					r.advanceLocked(to)
+					l.mu.Unlock()
+					return Item[T]{Seq: gap.From, Gap: gap}, true
 				}
 				gap := &Gap{From: r.cursor, To: l.first}
 				r.advanceLocked(l.first)
@@ -488,9 +680,11 @@ func (r *Reader[T]) advanceLocked(to int64) {
 }
 
 // Detach removes the reader from the retention floor. The position it
-// reached is parked: if no other reader is attached, a Block-policy
-// writer retains from here so the consumer can resume gap-free.
-// Idempotent.
+// contributed — its acknowledged position if it acked, its read
+// position otherwise — is parked: if no other durable reader is
+// attached, a Block-policy writer retains from there so the consumer
+// can resume gap-free (and, when it acked, exactly from one past its
+// last ack). Pagers never park. Idempotent.
 func (r *Reader[T]) Detach() {
 	l := r.log
 	l.mu.Lock()
@@ -499,15 +693,19 @@ func (r *Reader[T]) Detach() {
 		return
 	}
 	delete(l.readers, r)
-	if len(l.readers) == 0 {
-		l.parked = r.cursor
+	if !r.pager {
+		durable := false
+		for o := range l.readers {
+			if !o.pager {
+				durable = true
+				break
+			}
+		}
+		if !durable {
+			l.parked = r.contributionLocked()
+		}
 	}
-	var wake chan struct{}
-	if l.spaceWaiters > 0 {
-		wake = l.spaceCh
-		l.spaceCh = make(chan struct{})
-		l.spaceWaiters = 0
-	}
+	wake := l.wakeSpaceLocked()
 	l.mu.Unlock()
 	if wake != nil {
 		close(wake) // the floor may have advanced

@@ -1,7 +1,6 @@
 package rlog
 
 import (
-	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -277,9 +276,9 @@ func TestLogConcurrentReadersRace(t *testing.T) {
 }
 
 // The spill serves evicted entries so a far-behind reader resumes with
-// no gap; entries past the spill's index miss and gap as usual.
+// no gap.
 func TestLogFileSpillServesEvicted(t *testing.T) {
-	spill, err := NewFileSpill[int](filepath.Join(t.TempDir(), "q1.ndjson"), 0)
+	spill, err := NewFileSpill[int](t.TempDir(), SpillConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,6 +288,9 @@ func TestLogFileSpillServesEvicted(t *testing.T) {
 	appendN(t, l, 0, 40, true) // 32 evicted into the spill
 	if spill.Entries() != 32 {
 		t.Fatalf("spill holds %d entries, want 32", spill.Entries())
+	}
+	if got := l.Dropped(); got != 0 {
+		t.Fatalf("spilled evictions counted dropped: %d", got)
 	}
 	r := l.ReaderFrom(0)
 	for i := 0; i < 40; i++ {
@@ -300,31 +302,126 @@ func TestLogFileSpillServesEvicted(t *testing.T) {
 	r.Detach()
 }
 
-// A bounded spill index: reads below the retained window gap rather
-// than failing.
-func TestLogFileSpillBoundedIndex(t *testing.T) {
-	spill, err := NewFileSpill[int](filepath.Join(t.TempDir(), "q2.ndjson"), 8)
+// A budget-bounded spill under DropOldest: old segments are collected,
+// and reads below the retained window gap exactly to the spill's first
+// retained sequence rather than failing or skipping the whole window.
+func TestLogFileSpillBoundedBudget(t *testing.T) {
+	spill, err := NewFileSpill[int](t.TempDir(), SpillConfig{SegmentBytes: 64, RetainBytes: 192})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer spill.Close()
 	l := New[int](8, DropOldest)
 	l.SetSpill(spill)
-	appendN(t, l, 0, 32, true) // 24 evicted, index keeps last 8 of them
-	if spill.Entries() != 8 {
-		t.Fatalf("spill index %d entries, want 8", spill.Entries())
+	appendN(t, l, 0, 64, true) // 56 evicted; the budget prunes the oldest segments
+	if got := spill.SizeBytes(); got > 192 {
+		t.Fatalf("spill size %d exceeds its 192-byte budget", got)
+	}
+	low, ok := spill.FirstRetained()
+	if !ok || low <= 0 || low >= 56 {
+		t.Fatalf("first retained %d ok=%v, want pruned window inside (0,56)", low, ok)
 	}
 	r := l.ReaderFrom(0)
 	it, ok := r.Next(nil)
-	if !ok || it.Gap == nil || it.Gap.From != 0 || it.Gap.To != 16 {
-		t.Fatalf("first read %+v, want gap [0,16)", it)
+	if !ok || it.Gap == nil || it.Gap.From != 0 || it.Gap.To != low {
+		t.Fatalf("first read %+v, want gap [0,%d)", it, low)
 	}
-	for i := 16; i < 32; i++ {
+	for i := int(low); i < 64; i++ {
 		it, ok := r.Next(nil)
 		if !ok || it.Gap != nil || it.Value != i {
 			t.Fatalf("read %+v, want %d", it, i)
 		}
 	}
+	r.Detach()
+}
+
+// Acks move the retention floor to the acknowledged position: under
+// Block the writer may evict read-but-acked entries, and waits on the
+// first read-but-unacked one until the ack arrives.
+func TestLogAckMovesRetentionFloor(t *testing.T) {
+	l := New[int](8, Block)
+	r := l.ReaderFrom(0)
+	appendN(t, l, 0, 8, true)
+	for i := 0; i < 8; i++ {
+		if it, ok := r.Next(nil); !ok || it.Value != i {
+			t.Fatalf("read %d: %+v ok=%v", i, it, ok)
+		}
+	}
+	if got := r.Ack(3); got != 3 {
+		t.Fatalf("Ack(3) = %d", got)
+	}
+	if got := l.AckedSeq(); got != 3 {
+		t.Fatalf("AckedSeq = %d, want 3", got)
+	}
+	// Floor is now 4, not the cursor (8): exactly four entries may be
+	// evicted before the writer must wait.
+	appendN(t, l, 8, 4, true)
+	stored := make(chan bool)
+	go func() { stored <- l.Append(12, true, nil) }()
+	select {
+	case <-stored:
+		t.Fatal("append evicted a read-but-unacked entry")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := r.Ack(7); got != 7 {
+		t.Fatalf("Ack(7) = %d", got)
+	}
+	if !<-stored {
+		t.Fatal("append failed after ack freed the floor")
+	}
+	r.Detach()
+}
+
+// An acking reader parks its acknowledged position on detach, and an
+// out-of-band Log.Ack lowers the floor below a parked cursor — both
+// sides of exact resume-after-crash.
+func TestLogAckParksAckedFloor(t *testing.T) {
+	l := New[int](8, Block)
+	r := l.ReaderFrom(0)
+	appendN(t, l, 0, 8, true)
+	for i := 0; i < 8; i++ {
+		r.Next(nil)
+	}
+	r.Ack(5)
+	r.Detach() // parks 6 (one past the ack), not the cursor 8
+	// Six more entries may land (evicting acked 0..5, blocking on 6).
+	appendN(t, l, 8, 6, true)
+	stored := make(chan bool)
+	go func() { stored <- l.Append(14, true, nil) }()
+	select {
+	case <-stored:
+		t.Fatal("append evicted an unacked parked entry")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The consumer acks out of band (no reader attached) and the writer
+	// resumes.
+	if got := l.Ack(6); got != 6 {
+		t.Fatalf("Log.Ack(6) = %d", got)
+	}
+	if !<-stored {
+		t.Fatal("append failed after out-of-band ack")
+	}
+}
+
+// A pager reads history without parking the retention floor on detach.
+func TestLogPagerDoesNotPark(t *testing.T) {
+	l := New[int](8, Block)
+	r := l.ReaderFrom(0)
+	appendN(t, l, 0, 8, true)
+	for i := 0; i < 8; i++ {
+		r.Next(nil)
+	}
+	r.Detach() // parks 8
+	p := l.PagerFrom(0)
+	for i := 0; i < 3; i++ {
+		if it, ok := p.Next(nil); !ok || it.Value != i {
+			t.Fatalf("pager read %d: %+v ok=%v", i, it, ok)
+		}
+	}
+	p.Detach() // must not park 3
+	// The floor is still the real reader's parked 8, so a full ring of
+	// appends proceeds without blocking.
+	appendN(t, l, 8, 8, true)
 }
 
 // ParsePolicy resolves every published name and rejects junk.

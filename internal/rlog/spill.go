@@ -3,31 +3,91 @@ package rlog
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
-// FileSpill is a file-backed Spill: evicted entries are appended to one
-// NDJSON file ({"seq":n,"v":...} per line) and served back by sequence
-// number through an in-memory offset index. It extends a query's
-// resumable window beyond the ring for as long as the file is kept —
-// an operator reviewing what a disconnected dashboard missed, or a test
-// asserting on a full delivery history.
+// ErrSpillFull reports that appending would exceed the spill's
+// retention budget and no segment below the retain floor can be
+// collected to make room. The Log falls back to its delivery policy for
+// the refused entry: a Block writer waits for the floor to advance, a
+// DropOldest/Sample writer counts the entry dropped.
+var ErrSpillFull = errors.New("rlog: spill retention budget full")
+
+// SpillConfig tunes a FileSpill's rotation and retention.
+type SpillConfig struct {
+	// SegmentBytes rotates the active segment once appending would grow
+	// it past this size (default 4MB). Smaller segments mean finer
+	// garbage-collection granularity at the cost of more files.
+	SegmentBytes int64
+	// SegmentAge, when positive, also rotates a non-empty active
+	// segment older than this — so a slow stream's history still breaks
+	// into collectable units instead of one ever-open file.
+	SegmentAge time.Duration
+	// RetainBytes caps the spill's total on-disk footprint (default
+	// 64MB; negative = unbounded). When an append would exceed it,
+	// whole sealed segments entirely below the retain floor are removed
+	// oldest-first; if nothing below the floor can go, the append is
+	// refused with ErrSpillFull.
+	RetainBytes int64
+}
+
+func (c SpillConfig) withDefaults() SpillConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.RetainBytes == 0 {
+		c.RetainBytes = 64 << 20
+	}
+	return c
+}
+
+// FileSpill is a file-backed Spill: evicted entries are appended to
+// NDJSON segment files ({"seq":n,"v":...} per line) in one directory
+// and served back by sequence number through per-segment offset
+// indexes. Segments rotate by size (and optionally age), and the
+// directory's total footprint is garbage-collected against a retention
+// budget — but never past the retain floor the Log provides, so an
+// attached or acknowledging consumer's resumable window is kept intact.
 //
-// The spill retains at most maxEntries index entries (FIFO); reads below
-// the retained window miss, which the Log reports as a gap. The file
-// itself is append-only — rotation is the operator's concern, the index
-// is the bounded part.
+// Reopening an existing directory recovers the segment indexes from
+// the files themselves; a final line truncated by a crash mid-write is
+// detected and skipped without disturbing earlier entries' offsets, and
+// recovered segments are sealed so new appends go to a fresh segment.
 type FileSpill[T any] struct {
-	mu         sync.Mutex
-	f          *os.File
-	w          *bufio.Writer
-	offsets    map[int64]int64 // seq -> byte offset of its line
-	order      []int64         // FIFO eviction of the index
-	maxEntries int
-	pos        int64
+	mu     sync.Mutex
+	dir    string
+	cfg    SpillConfig
+	floor  func() int64 // GC floor callback; nil = nothing pinned
+	segs   []*spillSegment
+	closed bool
+}
+
+// spillSegment is one NDJSON file: its open handle, byte size, the
+// inclusive sequence range it holds, and the offset index. The last
+// segment may be active (w non-nil); all others are sealed.
+type spillSegment struct {
+	path  string
+	f     *os.File
+	w     *bufio.Writer // non-nil while the segment accepts appends
+	size  int64
+	first int64 // lowest indexed seq, -1 when empty
+	last  int64 // highest indexed seq, -1 when empty
+	index []spillEntry
+	birth time.Time
+}
+
+// spillEntry maps one sequence to the byte offset of its line.
+type spillEntry struct {
+	seq int64
+	off int64
 }
 
 // spillLine is the on-disk form of one entry.
@@ -36,25 +96,99 @@ type spillLine[T any] struct {
 	V   T     `json:"v"`
 }
 
-// NewFileSpill creates (truncating) the spill file at path, indexing at
-// most maxEntries entries (<= 0 selects 65536).
-func NewFileSpill[T any](path string, maxEntries int) (*FileSpill[T], error) {
-	if maxEntries <= 0 {
-		maxEntries = 1 << 16
+const (
+	spillSegPrefix = "seg-"
+	spillSegSuffix = ".ndjson"
+)
+
+// NewFileSpill opens (creating if needed) the spill directory at dir.
+// Existing segment files are recovered and sealed: their indexes are
+// rebuilt line by line, and a partial final line — a crash mid-append —
+// is skipped without corrupting earlier offsets. New appends start a
+// fresh segment.
+func NewFileSpill[T any](dir string, cfg SpillConfig) (*FileSpill[T], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rlog: spill: %w", err)
 	}
-	f, err := os.Create(path)
+	s := &FileSpill[T]{dir: dir, cfg: cfg.withDefaults()}
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("rlog: spill: %w", err)
 	}
-	return &FileSpill[T]{
-		f:          f,
-		w:          bufio.NewWriter(f),
-		offsets:    make(map[int64]int64),
-		maxEntries: maxEntries,
-	}, nil
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, spillSegPrefix) && strings.HasSuffix(n, spillSegSuffix) {
+			names = append(names, n)
+		}
+	}
+	// Names embed the zero-padded first sequence, so lexicographic order
+	// is sequence order.
+	sort.Strings(names)
+	for _, n := range names {
+		seg, err := recoverSegment[T](filepath.Join(dir, n))
+		if err != nil {
+			for _, sg := range s.segs {
+				_ = sg.f.Close()
+			}
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	return s, nil
 }
 
-// Append implements Spill.
+// recoverSegment rebuilds a sealed segment's index from its file. Lines
+// are trusted only when complete (newline-terminated) and well-formed;
+// a truncated final line is skipped, as is any line whose sequence does
+// not advance (offsets of intact lines are unaffected either way).
+func recoverSegment[T any](path string) (*spillSegment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rlog: spill: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("rlog: spill: %w", err)
+	}
+	seg := &spillSegment{path: path, f: f, size: st.Size(), first: -1, last: -1, birth: time.Now()}
+	br := bufio.NewReader(io.NewSectionReader(f, 0, st.Size()))
+	var off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// EOF with a partial line: the crash-truncated tail. It is
+			// not indexed; its bytes still count toward the segment size
+			// already taken from Stat.
+			break
+		}
+		var sl spillLine[T]
+		if json.Unmarshal(line, &sl) == nil && sl.Seq > seg.last {
+			if seg.first < 0 {
+				seg.first = sl.Seq
+			}
+			seg.last = sl.Seq
+			seg.index = append(seg.index, spillEntry{seq: sl.Seq, off: off})
+		}
+		off += int64(len(line))
+	}
+	return seg, nil
+}
+
+// SetFloor installs the retain-floor callback. The Log wires this up
+// when the spill is attached (SetSpill); garbage collection asks it for
+// the lowest sequence that must survive. The callback is invoked with
+// the spill's lock held and may take the log's own lock — the Log never
+// calls into the spill while holding it.
+func (s *FileSpill[T]) SetFloor(floor func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.floor = floor
+}
+
+// Append implements Spill: rotate if due, garbage-collect into the
+// retention budget, refuse with ErrSpillFull when the budget is held by
+// segments the floor pins, else write and index the entry.
 func (s *FileSpill[T]) Append(seq int64, v T) error {
 	line, err := json.Marshal(spillLine[T]{Seq: seq, V: v})
 	if err != nil {
@@ -63,29 +197,126 @@ func (s *FileSpill[T]) Append(seq int64, v T) error {
 	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closed {
 		return fmt.Errorf("rlog: spill closed")
 	}
+	if n := len(s.segs); n > 0 && s.segs[n-1].last >= seq {
+		return fmt.Errorf("rlog: spill append out of order: seq %d not after %d", seq, s.segs[n-1].last)
+	}
+	active := s.activeLocked()
+	if active != nil && s.rotateDueLocked(active, int64(len(line))) {
+		if err := sealSegment(active); err != nil {
+			return err
+		}
+	}
+	if s.cfg.RetainBytes > 0 {
+		for s.totalLocked()+int64(len(line)) > s.cfg.RetainBytes && s.gcOldestLocked() {
+		}
+		if s.totalLocked()+int64(len(line)) > s.cfg.RetainBytes {
+			return ErrSpillFull
+		}
+	}
+	active = s.activeLocked()
+	if active == nil {
+		active, err = s.newSegmentLocked(seq)
+		if err != nil {
+			return err
+		}
+	}
 	// Write first, index only on a fully-written line: an entry indexed
-	// before its bytes land would serve missing or garbled data on error.
-	// pos still advances by the partial count so later entries' offsets
-	// stay correct past any truncated line (which is simply not indexed).
-	off := s.pos
-	n, err := s.w.Write(line)
-	s.pos += int64(n)
+	// before its bytes land would serve missing or garbled data on
+	// error. size still advances by the partial count so later entries'
+	// offsets stay correct past any truncated line (which is simply not
+	// indexed — exactly what recovery does for a crash-truncated tail).
+	off := active.size
+	n, err := active.w.Write(line)
+	active.size += int64(n)
 	if err == nil && n < len(line) {
 		err = io.ErrShortWrite
 	}
 	if err != nil {
 		return err
 	}
-	s.offsets[seq] = off
-	s.order = append(s.order, seq)
-	for len(s.order) > s.maxEntries {
-		delete(s.offsets, s.order[0])
-		s.order = s.order[1:]
+	if active.first < 0 {
+		active.first = seq
+	}
+	active.last = seq
+	active.index = append(active.index, spillEntry{seq: seq, off: off})
+	return nil
+}
+
+// activeLocked returns the writable segment, nil when all are sealed.
+func (s *FileSpill[T]) activeLocked() *spillSegment {
+	if n := len(s.segs); n > 0 && s.segs[n-1].w != nil {
+		return s.segs[n-1]
 	}
 	return nil
+}
+
+func (s *FileSpill[T]) rotateDueLocked(seg *spillSegment, add int64) bool {
+	if seg.size == 0 {
+		return false
+	}
+	if seg.size+add > s.cfg.SegmentBytes {
+		return true
+	}
+	return s.cfg.SegmentAge > 0 && time.Since(seg.birth) >= s.cfg.SegmentAge
+}
+
+// sealSegment flushes and freezes the active segment; its file stays
+// open for reads until GC or Close.
+func sealSegment(seg *spillSegment) error {
+	if seg.w == nil {
+		return nil
+	}
+	if err := seg.w.Flush(); err != nil {
+		return err
+	}
+	seg.w = nil
+	return nil
+}
+
+// gcOldestLocked removes the oldest segment when it is sealed and lies
+// entirely below the retain floor, reporting whether it did. Removal is
+// crash-consistent by construction: the file either survives (and is
+// recovered on reopen) or is gone — there is no in-between state, and
+// the in-memory drop happens only after the unlink succeeds.
+func (s *FileSpill[T]) gcOldestLocked() bool {
+	if len(s.segs) == 0 {
+		return false
+	}
+	seg := s.segs[0]
+	if seg.w != nil {
+		return false // the active segment is never collected
+	}
+	if seg.last >= 0 && s.floor != nil && seg.last >= s.floor() {
+		return false // a consumer could still be served from it
+	}
+	if err := os.Remove(seg.path); err != nil {
+		return false
+	}
+	_ = seg.f.Close()
+	s.segs = s.segs[1:]
+	return true
+}
+
+func (s *FileSpill[T]) totalLocked() int64 {
+	var t int64
+	for _, seg := range s.segs {
+		t += seg.size
+	}
+	return t
+}
+
+func (s *FileSpill[T]) newSegmentLocked(first int64) (*spillSegment, error) {
+	path := filepath.Join(s.dir, fmt.Sprintf("%s%016d%s", spillSegPrefix, first, spillSegSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("rlog: spill: %w", err)
+	}
+	seg := &spillSegment{path: path, f: f, w: bufio.NewWriter(f), first: -1, last: -1, birth: time.Now()}
+	s.segs = append(s.segs, seg)
+	return seg, nil
 }
 
 // Read implements Spill.
@@ -93,16 +324,30 @@ func (s *FileSpill[T]) Read(seq int64) (T, bool) {
 	var zero T
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	off, ok := s.offsets[seq]
-	if !ok || s.f == nil {
+	if s.closed {
 		return zero, false
 	}
-	if err := s.w.Flush(); err != nil {
+	seg := s.segmentForLocked(seq)
+	if seg == nil {
 		return zero, false
+	}
+	i := sort.Search(len(seg.index), func(i int) bool { return seg.index[i].seq >= seq })
+	if i >= len(seg.index) || seg.index[i].seq != seq {
+		return zero, false
+	}
+	if seg.w != nil {
+		if err := seg.w.Flush(); err != nil {
+			return zero, false
+		}
+	}
+	off := seg.index[i].off
+	end := seg.size
+	if i+1 < len(seg.index) {
+		end = seg.index[i+1].off
 	}
 	// Reads are rare (a consumer resuming from far behind), so a
 	// positioned re-read beats keeping every line in memory.
-	rd := bufio.NewReader(io.NewSectionReader(s.f, off, s.pos-off))
+	rd := bufio.NewReader(io.NewSectionReader(seg.f, off, end-off))
 	line, err := rd.ReadBytes('\n')
 	if err != nil {
 		return zero, false
@@ -114,37 +359,96 @@ func (s *FileSpill[T]) Read(seq int64) (T, bool) {
 	return l.V, true
 }
 
-// FirstRetained implements Spill: the oldest indexed sequence. A closed
-// spill retains nothing — Read always misses then, and reporting a
-// retained floor anyway would make a reader emit two gaps (one to the
-// phantom floor, one past it) for a single evicted range.
+// segmentForLocked finds the segment whose range covers seq.
+func (s *FileSpill[T]) segmentForLocked(seq int64) *spillSegment {
+	for _, seg := range s.segs {
+		if seg.first >= 0 && seg.first <= seq && seq <= seg.last {
+			return seg
+		}
+	}
+	return nil
+}
+
+// NextRetained implements Spill: the lowest indexed sequence >= seq.
+func (s *FileSpill[T]) NextRetained(seq int64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, false
+	}
+	for _, seg := range s.segs {
+		if seg.last < seq {
+			continue
+		}
+		i := sort.Search(len(seg.index), func(i int) bool { return seg.index[i].seq >= seq })
+		if i < len(seg.index) {
+			return seg.index[i].seq, true
+		}
+	}
+	return 0, false
+}
+
+// FirstRetained returns the oldest sequence the spill still holds
+// (false when empty or closed).
 func (s *FileSpill[T]) FirstRetained() (int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.order) == 0 || s.f == nil {
+	if s.closed {
 		return 0, false
 	}
-	return s.order[0], true
+	for _, seg := range s.segs {
+		if seg.first >= 0 {
+			return seg.first, true
+		}
+	}
+	return 0, false
 }
 
-// Entries returns how many entries the index currently serves.
+// Entries returns how many entries the indexes currently serve.
 func (s *FileSpill[T]) Entries() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.offsets)
+	n := 0
+	for _, seg := range s.segs {
+		n += len(seg.index)
+	}
+	return n
 }
 
-// Close flushes and closes the file. Reads and appends fail afterwards.
+// Segments returns how many segment files the spill holds.
+func (s *FileSpill[T]) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// SizeBytes returns the spill's total on-disk footprint.
+func (s *FileSpill[T]) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalLocked()
+}
+
+// Close flushes and closes every segment file. Reads and appends fail
+// afterwards; the files stay on disk for a later reopen.
 func (s *FileSpill[T]) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closed {
 		return nil
 	}
-	err := s.w.Flush()
-	if cerr := s.f.Close(); err == nil {
-		err = cerr
+	s.closed = true
+	var err error
+	for _, seg := range s.segs {
+		if seg.w != nil {
+			if ferr := seg.w.Flush(); err == nil {
+				err = ferr
+			}
+			seg.w = nil
+		}
+		if cerr := seg.f.Close(); err == nil {
+			err = cerr
+		}
 	}
-	s.f = nil
 	return err
 }

@@ -1,0 +1,227 @@
+package rlog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// segFiles lists the spill directory's segment files in sequence order.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, spillSegPrefix+"*"+spillSegSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("no segment files on disk")
+	}
+	return names
+}
+
+// A partial final line — a crash mid-append — is skipped on reopen
+// without corrupting earlier entries' offsets, in an unrotated (single
+// segment) spill.
+func TestFileSpillCrashRecoveryUnrotated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileSpill[int](dir, SpillConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(int64(i), i*7); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash simulation: a partial line lands at the tail of the one
+	// segment, without its newline.
+	files := segFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("%d segment files, want 1", len(files))
+	}
+	f, err := os.OpenFile(files[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"v"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewFileSpill[int](dir, SpillConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Entries(); got != 10 {
+		t.Fatalf("recovered %d entries, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := r.Read(int64(i))
+		if !ok || v != i*7 {
+			t.Fatalf("Read(%d) = %d, %v; want %d", i, v, ok, i*7)
+		}
+	}
+	if _, ok := r.Read(99); ok {
+		t.Fatal("truncated tail entry served")
+	}
+	// Recovered segments are sealed: the next append starts fresh and is
+	// readable alongside the recovered history.
+	if err := r.Append(10, 70); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if v, ok := r.Read(10); !ok || v != 70 {
+		t.Fatalf("Read(10) after recovery = %d, %v", v, ok)
+	}
+	if got := r.Segments(); got != 2 {
+		t.Fatalf("%d segments after post-recovery append, want 2", got)
+	}
+}
+
+// The same truncated-tail recovery across rotated segments: only the
+// final segment's partial line is lost; every sealed segment and the
+// final segment's earlier lines stay readable.
+func TestFileSpillCrashRecoveryRotated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileSpill[int](dir, SpillConfig{SegmentBytes: 64, RetainBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		if err := s.Append(int64(i), i); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := segFiles(t, dir)
+	if len(files) < 2 {
+		t.Fatalf("%d segment files, want rotation to have produced several", len(files))
+	}
+	last := files[len(files)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-line: the final entry loses its newline and tail bytes.
+	if err := os.Truncate(last, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewFileSpill[int](dir, SpillConfig{SegmentBytes: 64, RetainBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Entries(); got != 10 {
+		t.Fatalf("recovered %d entries, want 10 (final line truncated)", got)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := r.Read(int64(i))
+		if !ok || v != i {
+			t.Fatalf("Read(%d) = %d, %v; want %d", i, v, ok, i)
+		}
+	}
+	if _, ok := r.Read(10); ok {
+		t.Fatal("truncated entry 10 served")
+	}
+	if nxt, ok := r.NextRetained(10); ok {
+		t.Fatalf("NextRetained(10) = %d, want none", nxt)
+	}
+	if err := r.Append(11, 11); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if v, ok := r.Read(11); !ok || v != 11 {
+		t.Fatalf("Read(11) after recovery = %d, %v", v, ok)
+	}
+}
+
+// Rotation plus retention budget: with nothing pinned by the floor the
+// spill stays within RetainBytes by collecting whole old segments, and
+// the retained window stays contiguous.
+func TestFileSpillBudgetGC(t *testing.T) {
+	s, err := NewFileSpill[int](t.TempDir(), SpillConfig{SegmentBytes: 64, RetainBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetFloor(func() int64 { return 1 << 60 }) // nothing pinned
+	for i := 0; i < 32; i++ {
+		if err := s.Append(int64(i), i); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := s.SizeBytes(); got > 200 {
+		t.Fatalf("spill size %d exceeds 200-byte budget", got)
+	}
+	low, ok := s.FirstRetained()
+	if !ok || low <= 0 {
+		t.Fatalf("first retained %d ok=%v, want GC to have pruned a prefix", low, ok)
+	}
+	if _, ok := s.Read(low - 1); ok {
+		t.Fatalf("Read(%d) below the retained window succeeded", low-1)
+	}
+	if nxt, ok := s.NextRetained(0); !ok || nxt != low {
+		t.Fatalf("NextRetained(0) = %d, %v; want %d", nxt, ok, low)
+	}
+	for i := low; i < 32; i++ {
+		if v, ok := s.Read(i); !ok || int64(v) != i {
+			t.Fatalf("Read(%d) = %d, %v", i, v, ok)
+		}
+	}
+}
+
+// When the floor pins every sealed segment, an over-budget append is
+// refused with ErrSpillFull instead of discarding pinned history; once
+// the floor advances, appends resume and the refused sequence surfaces
+// as a hole NextRetained skips past.
+func TestFileSpillFullAndHoles(t *testing.T) {
+	s, err := NewFileSpill[int](t.TempDir(), SpillConfig{SegmentBytes: 64, RetainBytes: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var floor int64
+	s.SetFloor(func() int64 { return floor })
+	// Four 16-byte lines fill segment one; seq 4 rotates onto a second,
+	// bringing the directory to the 80-byte budget.
+	for i := 0; i < 5; i++ {
+		if err := s.Append(int64(i), i); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Append(5, 5); !errors.Is(err, ErrSpillFull) {
+		t.Fatalf("append over pinned budget: %v, want ErrSpillFull", err)
+	}
+	if got := s.Entries(); got != 5 {
+		t.Fatalf("refused append changed entries: %d", got)
+	}
+	// The consumer acks through 4: segment one (seqs 0..3) becomes
+	// collectable and a later sequence fits — seq 5 was already lost
+	// upstream, so 6 arrives next, leaving a hole.
+	floor = 5
+	if err := s.Append(6, 6); err != nil {
+		t.Fatalf("append after floor advance: %v", err)
+	}
+	if _, ok := s.Read(5); ok {
+		t.Fatal("hole sequence 5 served")
+	}
+	if nxt, ok := s.NextRetained(5); !ok || nxt != 6 {
+		t.Fatalf("NextRetained(5) = %d, %v; want 6", nxt, ok)
+	}
+	if v, ok := s.Read(4); !ok || v != 4 {
+		t.Fatalf("Read(4) = %d, %v", v, ok)
+	}
+	if v, ok := s.Read(6); !ok || v != 6 {
+		t.Fatalf("Read(6) = %d, %v", v, ok)
+	}
+}

@@ -14,44 +14,138 @@ import (
 	"vmq/internal/vql"
 )
 
-// Handler returns the server's HTTP API:
+// Handler returns the server's HTTP API. The canonical surface lives
+// under /v1:
 //
-//	POST   /queries              register a query (VQL text in, id out)
-//	GET    /queries              list registered queries
-//	GET    /queries/{id}/results stream results as NDJSON until the query ends
-//	                             (?from=<seq> resumes from a result-log
-//	                             sequence number; a gap event reports any
-//	                             range evicted before the consumer got there)
-//	DELETE /queries/{id}         unregister
-//	POST   /feeds                create a feed at runtime (push or sim source)
-//	GET    /feeds                list feeds with lifecycle state and ingest stats
-//	POST   /feeds/{name}/drain   drain gracefully (queries end with end events)
-//	DELETE /feeds/{name}         drain, wait for end events, remove
-//	POST   /feeds/{name}/frames  publish NDJSON frames into a push feed
-//	GET    /feeds/{name}/publish WebSocket publisher bridge (one frame per message)
-//	GET    /metrics              server telemetry snapshot
+//	POST   /v1/queries              register a query (VQL text in, id out)
+//	GET    /v1/queries              list registrations with delivery telemetry
+//	GET    /v1/queries/{id}         one registration's status row
+//	GET    /v1/queries/{id}/results stream results as NDJSON until the query
+//	                                ends (?from=<seq> resumes from a result-log
+//	                                sequence; ?ack=<seq> acknowledges processed
+//	                                events in the same request; a gap event
+//	                                reports any range evicted before the
+//	                                consumer got there). With a WebSocket
+//	                                upgrade the same endpoint streams events as
+//	                                text messages and reads {"ack":<seq>}
+//	                                messages back — in-band acknowledgement.
+//	POST   /v1/queries/{id}/ack     {"seq":N} acknowledge through sequence N
+//	GET    /v1/queries/{id}/history page spilled/retained history without a
+//	                                stream (?from=<seq>&limit=<n>, answers
+//	                                events plus next_from)
+//	DELETE /v1/queries/{id}         unregister
+//	POST   /v1/feeds                create a feed at runtime (push or sim)
+//	GET    /v1/feeds                list feeds with lifecycle state
+//	POST   /v1/feeds/{name}/drain   drain gracefully (queries end with events)
+//	DELETE /v1/feeds/{name}         drain, wait for end events, remove
+//	POST   /v1/feeds/{name}/frames  publish NDJSON frames into a push feed
+//	GET    /v1/feeds/{name}/publish WebSocket publisher bridge
+//	GET    /v1/metrics              server telemetry snapshot
 //
-// POST /queries accepts either a raw VQL statement (text/plain) or a JSON
-// body {"query": "...", "count_tolerance": n, "location_tolerance": n,
-// "max_frames": n, "samples": n, "seed": n, "policy": "block" |
-// "drop-oldest" | "sample-under-pressure", "result_buffer": n}.
+// Errors are a uniform JSON envelope {"error":{"code":"…","message":"…"}}
+// with stable codes (feed_busy, feed_draining, feed_not_found,
+// query_not_found, feed_exists, buffer_too_large, invalid_query,
+// unknown_policy, bad_request, not_push_feed, server_closed, internal).
+//
+// The original unversioned paths remain as deprecated aliases of their
+// /v1 successors: same handlers and bodies, plus a "Deprecation: true"
+// header and a Link to the successor. New endpoints exist only under
+// /v1.
+//
+// POST /v1/queries accepts either a raw VQL statement (text/plain) or a
+// JSON body {"query": "...", "count_tolerance": n, "location_tolerance":
+// n, "max_frames": n, "samples": n, "seed": n, "policy": "block" |
+// "drop-oldest" | "sample-under-pressure", "result_buffer": n, "spill":
+// bool}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /queries", s.handleRegister)
-	mux.HandleFunc("GET /queries", s.handleList)
-	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
-	mux.HandleFunc("DELETE /queries/{id}", s.handleUnregister)
-	mux.HandleFunc("POST /feeds", s.handleCreateFeed)
-	mux.HandleFunc("GET /feeds", s.handleListFeeds)
-	mux.HandleFunc("POST /feeds/{name}/drain", s.handleDrainFeed)
-	mux.HandleFunc("DELETE /feeds/{name}", s.handleRemoveFeed)
-	mux.HandleFunc("POST /feeds/{name}/frames", s.handlePublishFrames)
-	mux.HandleFunc("GET /feeds/{name}/publish", s.handlePublishWS)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	routes := []struct {
+		pattern string // method + path, without the version prefix
+		handler http.HandlerFunc
+		legacy  bool // also served unversioned, as a deprecated alias
+	}{
+		{"POST /queries", s.handleRegister, true},
+		{"GET /queries", s.handleList, true},
+		{"GET /queries/{id}", s.handleQueryStatus, false},
+		{"GET /queries/{id}/results", s.handleResults, true},
+		{"POST /queries/{id}/ack", s.handleAck, false},
+		{"GET /queries/{id}/history", s.handleHistory, false},
+		{"DELETE /queries/{id}", s.handleUnregister, true},
+		{"POST /feeds", s.handleCreateFeed, true},
+		{"GET /feeds", s.handleListFeeds, true},
+		{"POST /feeds/{name}/drain", s.handleDrainFeed, true},
+		{"DELETE /feeds/{name}", s.handleRemoveFeed, true},
+		{"POST /feeds/{name}/frames", s.handlePublishFrames, true},
+		{"GET /feeds/{name}/publish", s.handlePublishWS, true},
+		{"GET /metrics", s.handleMetrics, true},
+	}
+	for _, rt := range routes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, rt.handler)
+		if rt.legacy {
+			mux.HandleFunc(rt.pattern, deprecatedAlias(rt.handler))
+		}
+	}
 	return mux
 }
 
-// registerRequest is the JSON form of POST /queries.
+// deprecatedAlias serves a legacy unversioned route with the canonical
+// handler, marking the response so clients migrate: Deprecation (RFC
+// 9745) plus a Link to the /v1 successor, which serves the same bodies.
+func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
+}
+
+// apiError is the uniform error envelope every endpoint answers with.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	// Code is a stable, machine-matchable identifier; Message the
+	// human-readable detail (not stable).
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError writes the typed error envelope.
+func httpError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: apiErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// errorStatus maps the registry's typed errors onto stable status/code
+// pairs — the single place the API's error vocabulary is defined.
+func errorStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrQueryNotFound):
+		return http.StatusNotFound, "query_not_found"
+	case errors.Is(err, ErrFeedNotFound):
+		return http.StatusNotFound, "feed_not_found"
+	case errors.Is(err, ErrFeedBusy):
+		return http.StatusTooManyRequests, "feed_busy"
+	case errors.Is(err, ErrFeedDraining):
+		return http.StatusConflict, "feed_draining"
+	case errors.Is(err, ErrFeedExists):
+		return http.StatusConflict, "feed_exists"
+	case errors.Is(err, ErrBufferTooLarge):
+		return http.StatusUnprocessableEntity, "buffer_too_large"
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "server_closed"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// registerRequest is the JSON form of POST /v1/queries.
 type registerRequest struct {
 	Query             string `json:"query"`
 	CountTolerance    *int   `json:"count_tolerance,omitempty"`
@@ -64,9 +158,12 @@ type registerRequest struct {
 	Policy string `json:"policy,omitempty"`
 	// ResultBuffer overrides the result-log ring capacity (events).
 	ResultBuffer int `json:"result_buffer,omitempty"`
+	// Spill attaches a server-managed on-disk spill so history beyond
+	// the ring stays replayable (results resume, history paging).
+	Spill bool `json:"spill,omitempty"`
 }
 
-// registerResponse answers POST /queries.
+// registerResponse answers POST /v1/queries.
 type registerResponse struct {
 	ID     string `json:"id"`
 	Feed   string `json:"feed"`
@@ -74,41 +171,38 @@ type registerResponse struct {
 	Policy string `json:"policy"`
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_request", "read body: %v", err)
 		return
 	}
 	req := registerRequest{}
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
 		if err := json.Unmarshal(body, &req); err != nil {
-			httpError(w, http.StatusBadRequest, "decode request: %v", err)
+			httpError(w, http.StatusBadRequest, "bad_request", "decode request: %v", err)
 			return
 		}
 	} else {
 		req.Query = string(body)
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		httpError(w, http.StatusBadRequest, "empty query")
+		httpError(w, http.StatusBadRequest, "invalid_query", "empty query")
 		return
 	}
 	q, err := vql.Parse(req.Query)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		httpError(w, http.StatusBadRequest, "invalid_query", "parse: %v", err)
 		return
 	}
-	opt := Options{MaxFrames: req.MaxFrames, SampleSize: req.Samples, Seed: req.Seed, ResultBuffer: req.ResultBuffer}
+	opt := Options{
+		MaxFrames: req.MaxFrames, SampleSize: req.Samples, Seed: req.Seed,
+		ResultBuffer: req.ResultBuffer, Spill: req.Spill,
+	}
 	if req.Policy != "" {
 		pol, ok := rlog.ParsePolicy(req.Policy)
 		if !ok {
-			httpError(w, http.StatusBadRequest, "unknown delivery policy %q", req.Policy)
+			httpError(w, http.StatusBadRequest, "unknown_policy", "unknown delivery policy %q", req.Policy)
 			return
 		}
 		opt.Policy = pol
@@ -125,14 +219,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	reg, err := s.Register(q, opt)
 	if err != nil {
-		code := http.StatusUnprocessableEntity
-		if errors.Is(err, ErrFeedBusy) {
-			code = http.StatusTooManyRequests
+		status, code := errorStatus(err)
+		switch code {
+		case "internal":
+			// Register's untyped rejections are semantic query errors
+			// (window clauses, aggregate shapes): the server understood
+			// the request and cannot act on it.
+			status, code = http.StatusUnprocessableEntity, "invalid_query"
+		case "feed_not_found":
+			// A FROM clause naming an absent feed is the same class —
+			// 422 on registration, unlike feed lifecycle lookups.
+			status = http.StatusUnprocessableEntity
 		}
-		if errors.Is(err, ErrFeedDraining) {
-			code = http.StatusConflict
-		}
-		httpError(w, code, "%v", err)
+		httpError(w, status, code, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -143,23 +242,36 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// listedQuery is one row of GET /queries.
-type listedQuery struct {
-	ID    string `json:"id"`
-	Feed  string `json:"feed"`
-	Query string `json:"query"`
-}
-
+// handleList answers GET /v1/queries: every registration's status row —
+// feed, canonical query, delivery policy and the result-log telemetry
+// (sequence high-water mark, acked floor, lag, drops) a consumer needs
+// to decide where to resume.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	out := make([]listedQuery, 0, len(s.regs))
+	regs := make([]*Registration, 0, len(s.regs))
 	for _, reg := range s.regs {
-		out = append(out, listedQuery{ID: reg.id, Feed: reg.feed.name, Query: reg.qry.String()})
+		regs = append(regs, reg)
 	}
 	s.mu.Unlock()
+	out := make([]QueryMetrics, 0, len(regs))
+	for _, reg := range regs {
+		out = append(out, reg.metricsRow())
+	}
 	sort.Slice(out, func(a, b int) bool { return lessID(out[a].ID, out[b].ID) })
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleQueryStatus answers GET /v1/queries/{id} with the same row the
+// listing gives, for one registration.
+func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "query_not_found", "%v: %q", ErrQueryNotFound, r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reg.metricsRow())
 }
 
 func lessID(a, b string) bool {
@@ -169,33 +281,56 @@ func lessID(a, b string) bool {
 	return a < b
 }
 
-// handleResults streams the query's events as newline-delimited JSON
-// through its own cursor over the registration's result log. The
-// connection stays open until the query ends, is unregistered, or the
-// client goes away; each event is flushed as it happens, so a curl client
-// sees matches live.
+// queryParamSeq parses an optional int64 query parameter, answering the
+// error envelope itself on a malformed value.
+func queryParamSeq(w http.ResponseWriter, r *http.Request, name string, def int64) (int64, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "bad %s=%q: %v", name, raw, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// handleResults streams the query's events through its own cursor over
+// the registration's result log: newline-delimited JSON by default, or
+// — when the client asks for a WebSocket upgrade — one text message per
+// event with in-band {"ack":<seq>} messages read back from the client.
+// The connection stays open until the query ends, is unregistered, or
+// the client goes away; each event is flushed as it happens.
 //
 // ?from=<seq> resumes from a result-log sequence number (each event
 // carries its own as event_seq): a consumer that disconnected reconnects
 // with from set to one past the last event it processed and sees a
-// gap-free continuation — or, when the ring wrapped past that point, one
+// gap-free continuation — or, when retention moved past that point, one
 // gap event reporting exactly the dropped range. Without from the stream
-// replays from the oldest retained event. Multiple consumers may stream
-// one query concurrently, each on its own cursor.
+// replays from the oldest retained event. ?ack=<seq> acknowledges every
+// event through seq before the stream attaches — the reconnect path for
+// exactly-once consumers ("I durably processed through N, resume at
+// N+1"). Multiple consumers may stream one query concurrently, each on
+// its own cursor.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	reg, ok := s.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "%v: %q", ErrQueryNotFound, r.PathValue("id"))
+		httpError(w, http.StatusNotFound, "query_not_found", "%v: %q", ErrQueryNotFound, r.PathValue("id"))
 		return
 	}
-	from := int64(0)
-	if raw := r.URL.Query().Get("from"); raw != "" {
-		v, err := strconv.ParseInt(raw, 10, 64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad from=%q: %v", raw, err)
-			return
-		}
-		from = v
+	from, ok := queryParamSeq(w, r, "from", 0)
+	if !ok {
+		return
+	}
+	if ack, okAck := queryParamSeq(w, r, "ack", -1); !okAck {
+		return
+	} else if ack >= 0 {
+		reg.Ack(ack)
+	}
+	if isWSUpgrade(r) {
+		s.serveResultsWS(w, r, reg, from)
+		return
 	}
 	reader := reg.ResultsFrom(from)
 	defer reader.Detach()
@@ -218,14 +353,91 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ackRequest is the JSON body of POST /v1/queries/{id}/ack.
+type ackRequest struct {
+	Seq int64 `json:"seq"`
+}
+
+// handleAck records an out-of-band acknowledgement: the consumer
+// declares every event through seq durably processed, and the query's
+// retention floor follows. Answers the highest acknowledged sequence
+// (acks are monotone and clamped to assigned sequences, so a stale or
+// overshooting ack is safe).
+func (s *Server) handleAck(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "query_not_found", "%v: %q", ErrQueryNotFound, r.PathValue("id"))
+		return
+	}
+	var req ackRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "decode request: %v", err)
+		return
+	}
+	acked := reg.Ack(req.Seq)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"query_id": reg.ID(), "acked": acked})
+}
+
+// historyResponse is one page of GET /v1/queries/{id}/history.
+type historyResponse struct {
+	QueryID string `json:"query_id"`
+	From    int64  `json:"from"`
+	// NextFrom is the cursor for the next page: pass it back as ?from=.
+	// It equals From when nothing was readable at From (end of history).
+	NextFrom int64   `json:"next_from"`
+	Events   []Event `json:"events"`
+}
+
+// History paging bounds: the default and maximum events per page.
+const (
+	defaultHistoryLimit = 100
+	maxHistoryLimit     = 1000
+)
+
+// handleHistory pages through a query's retained result history —
+// spilled segments and the live ring — without holding a stream open or
+// moving the retention floor. Events are byte-identical to what a
+// streamed read over the same sequences delivers (gap events included),
+// so a consumer can mix paging and streaming freely.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	reg, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "query_not_found", "%v: %q", ErrQueryNotFound, r.PathValue("id"))
+		return
+	}
+	from, ok := queryParamSeq(w, r, "from", 0)
+	if !ok {
+		return
+	}
+	limit, ok := queryParamSeq(w, r, "limit", defaultHistoryLimit)
+	if !ok {
+		return
+	}
+	if limit <= 0 {
+		limit = defaultHistoryLimit
+	}
+	if limit > maxHistoryLimit {
+		limit = maxHistoryLimit
+	}
+	if from < 0 {
+		from = 0
+	}
+	events, next := reg.HistoryPage(from, int(limit))
+	if events == nil {
+		events = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(historyResponse{
+		QueryID: reg.ID(), From: from, NextFrom: next, Events: events,
+	})
+}
+
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.Unregister(id); err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, ErrQueryNotFound) {
-			code = http.StatusNotFound
-		}
-		httpError(w, code, "%v", err)
+		status, code := errorStatus(err)
+		httpError(w, status, code, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

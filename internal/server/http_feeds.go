@@ -83,16 +83,16 @@ func (f *feed) status() feedStatus {
 func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 	var req createFeedRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_request", "decode request: %v", err)
 		return
 	}
 	if req.Name == "" {
-		httpError(w, http.StatusBadRequest, "feed needs a name")
+		httpError(w, http.StatusBadRequest, "bad_request", "feed needs a name")
 		return
 	}
 	prof, ok := video.ProfileByName(req.Profile)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown profile %q", req.Profile)
+		httpError(w, http.StatusBadRequest, "bad_request", "unknown profile %q", req.Profile)
 		return
 	}
 	cfg := FeedConfig{Name: req.Name, Profile: prof, MaxFrames: req.MaxFrames}
@@ -103,12 +103,13 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 	case "", "push":
 		policy, err := stream.ParsePushPolicy(req.IngestPolicy)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, http.StatusBadRequest, "unknown_policy", "%v", err)
 			return
 		}
 		buffer := req.IngestBuffer
 		if buffer > MaxIngestBuffer {
-			httpError(w, http.StatusBadRequest, "ingest buffer %d exceeds limit %d", buffer, MaxIngestBuffer)
+			httpError(w, http.StatusUnprocessableEntity, "buffer_too_large",
+				"%v: ingest buffer %d (limit %d)", ErrBufferTooLarge, buffer, MaxIngestBuffer)
 			return
 		}
 		if buffer <= 0 {
@@ -122,20 +123,17 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Source = stream.FromStream(video.NewStream(prof, seed))
 	default:
-		httpError(w, http.StatusBadRequest, "unknown source %q (want push or sim)", req.Source)
+		httpError(w, http.StatusBadRequest, "bad_request", "unknown source %q (want push or sim)", req.Source)
 		return
 	}
 	if err := s.CreateFeed(cfg); err != nil {
-		code := http.StatusConflict // duplicate name
-		if errors.Is(err, ErrClosed) {
-			code = http.StatusServiceUnavailable
-		}
-		httpError(w, code, "%v", err)
+		status, code := errorStatus(err)
+		httpError(w, status, code, "%v", err)
 		return
 	}
 	f, err := s.feedByName(req.Name)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -159,16 +157,10 @@ func (s *Server) handleListFeeds(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(out)
 }
 
-// feedHTTPError maps lifecycle errors to status codes.
+// feedHTTPError maps lifecycle errors to the error envelope.
 func feedHTTPError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrFeedNotFound):
-		code = http.StatusNotFound
-	case errors.Is(err, ErrClosed):
-		code = http.StatusServiceUnavailable
-	}
-	httpError(w, code, "%v", err)
+	status, code := errorStatus(err)
+	httpError(w, status, code, "%v", err)
 }
 
 func (s *Server) handleDrainFeed(w http.ResponseWriter, r *http.Request) {
@@ -222,7 +214,7 @@ func (s *Server) handlePublishFrames(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f.push == nil {
-		httpError(w, http.StatusConflict, "feed %q is not a push feed", f.name)
+		httpError(w, http.StatusConflict, "not_push_feed", "feed %q is not a push feed", f.name)
 		return
 	}
 	var resp publishResponse
@@ -237,12 +229,12 @@ func (s *Server) handlePublishFrames(w http.ResponseWriter, r *http.Request) {
 		}
 		var wf wireFrame
 		if err := json.Unmarshal(raw, &wf); err != nil {
-			httpError(w, http.StatusBadRequest, "line %d: %v", line, err)
+			httpError(w, http.StatusBadRequest, "bad_request", "line %d: %v", line, err)
 			return
 		}
 		frame, err := wf.frame(f.profile)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "line %d: %v", line, err)
+			httpError(w, http.StatusBadRequest, "bad_request", "line %d: %v", line, err)
 			return
 		}
 		switch err := f.push.Publish(frame, r.Context().Done()); {
@@ -260,7 +252,7 @@ func (s *Server) handlePublishFrames(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := sc.Err(); err != nil && resp.Published == 0 {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		httpError(w, http.StatusBadRequest, "bad_request", "read body: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

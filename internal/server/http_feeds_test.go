@@ -66,7 +66,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	p := video.Jackson()
 	const n = 1200
 
-	st := decodeStatus(t, postJSON(t, ts.URL+"/feeds", createFeedRequest{
+	st := decodeStatus(t, postJSON(t, apiBase(ts)+"/feeds", createFeedRequest{
 		Name: "cam1", Profile: "jackson",
 	}), http.StatusCreated)
 	if st.State != string(FeedRunning) {
@@ -80,19 +80,19 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	}
 
 	// Duplicate names and unknown profiles are refused.
-	if resp := postJSON(t, ts.URL+"/feeds", createFeedRequest{Name: "cam1", Profile: "jackson"}); resp.StatusCode != http.StatusConflict {
+	if resp := postJSON(t, apiBase(ts)+"/feeds", createFeedRequest{Name: "cam1", Profile: "jackson"}); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("duplicate feed: status %d, want 409", resp.StatusCode)
 	} else {
 		resp.Body.Close()
 	}
-	if resp := postJSON(t, ts.URL+"/feeds", createFeedRequest{Name: "cam2", Profile: "nowhere"}); resp.StatusCode != http.StatusBadRequest {
+	if resp := postJSON(t, apiBase(ts)+"/feeds", createFeedRequest{Name: "cam2", Profile: "nowhere"}); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown profile: status %d, want 400", resp.StatusCode)
 	} else {
 		resp.Body.Close()
 	}
 
 	// Register a query on the runtime feed.
-	resp, err := http.Post(ts.URL+"/queries", "text/plain",
+	resp, err := http.Post(apiBase(ts)+"/queries", "text/plain",
 		strings.NewReader(`SELECT FRAMES FROM cam1 WHERE COUNT(car) = 1`))
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	go func() {
 		var tl tally
 		defer func() { results <- tl }()
-		resp, err := http.Get(ts.URL + "/queries/" + created.ID + "/results")
+		resp, err := http.Get(apiBase(ts) + "/queries/" + created.ID + "/results")
 		if err != nil {
 			t.Error(err)
 			return
@@ -147,7 +147,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := http.Post(ts.URL+"/feeds/cam1/frames", "application/x-ndjson", bytes.NewReader(body))
+		resp, err := http.Post(apiBase(ts)+"/feeds/cam1/frames", "application/x-ndjson", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	}
 
 	// The listing shows the feed running with every frame admitted.
-	resp, err = http.Get(ts.URL + "/feeds")
+	resp, err = http.Get(apiBase(ts) + "/feeds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	}
 
 	// Drain: the query ends with the typed reason; nothing in flight lost.
-	st = decodeStatus(t, postJSON(t, ts.URL+"/feeds/cam1/drain", struct{}{}), http.StatusOK)
+	st = decodeStatus(t, postJSON(t, apiBase(ts)+"/feeds/cam1/drain", struct{}{}), http.StatusOK)
 	if st.State != string(FeedDraining) && st.State != string(FeedClosed) {
 		t.Fatalf("state after drain = %q", st.State)
 	}
@@ -196,7 +196,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err = http.Post(ts.URL+"/feeds/cam1/frames", "application/x-ndjson", bytes.NewReader(line))
+	resp, err = http.Post(apiBase(ts)+"/feeds/cam1/frames", "application/x-ndjson", bytes.NewReader(line))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	}
 
 	// Delete; a 200 means teardown completed and the name is free.
-	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/feeds/cam1", nil)
+	req, err := http.NewRequest(http.MethodDelete, apiBase(ts)+"/feeds/cam1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("DELETE status = %d", resp.StatusCode)
 	}
-	resp, err = http.Get(ts.URL + "/feeds")
+	resp, err = http.Get(apiBase(ts) + "/feeds")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestHTTPFeedLifecycleAndPublish(t *testing.T) {
 	if len(listed) != 0 {
 		t.Fatalf("feed still listed after delete: %+v", listed)
 	}
-	if resp := postJSON(t, ts.URL+"/feeds/gone/drain", struct{}{}); resp.StatusCode != http.StatusNotFound {
+	if resp := postJSON(t, apiBase(ts)+"/feeds/gone/drain", struct{}{}); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("drain of unknown feed: status %d, want 404", resp.StatusCode)
 	} else {
 		resp.Body.Close()
@@ -255,10 +255,10 @@ func TestHTTPPublishAdmissionPolicies(t *testing.T) {
 
 	// No query subscribes, so the pump never drains the ring: admission is
 	// exactly the ring capacity.
-	decodeStatus(t, postJSON(t, ts.URL+"/feeds", createFeedRequest{
+	decodeStatus(t, postJSON(t, apiBase(ts)+"/feeds", createFeedRequest{
 		Name: "rej", Profile: "jackson", IngestBuffer: 8, IngestPolicy: "reject",
 	}), http.StatusCreated)
-	resp, err := http.Post(ts.URL+"/feeds/rej/frames", "application/x-ndjson", bytes.NewReader(body))
+	resp, err := http.Post(apiBase(ts)+"/feeds/rej/frames", "application/x-ndjson", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,10 +271,10 @@ func TestHTTPPublishAdmissionPolicies(t *testing.T) {
 		t.Fatalf("reject policy: %+v, want 8 published / 12 rejected", pub)
 	}
 
-	decodeStatus(t, postJSON(t, ts.URL+"/feeds", createFeedRequest{
+	decodeStatus(t, postJSON(t, apiBase(ts)+"/feeds", createFeedRequest{
 		Name: "drop", Profile: "jackson", IngestBuffer: 8, IngestPolicy: "drop-oldest",
 	}), http.StatusCreated)
-	resp, err = http.Post(ts.URL+"/feeds/drop/frames", "application/x-ndjson", bytes.NewReader(body))
+	resp, err = http.Post(apiBase(ts)+"/feeds/drop/frames", "application/x-ndjson", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestHTTPPublishAdmissionPolicies(t *testing.T) {
 	if pub.Published != 20 || pub.Rejected != 0 {
 		t.Fatalf("drop-oldest policy: %+v, want all 20 published", pub)
 	}
-	m, err := http.Get(ts.URL + "/metrics")
+	m, err := http.Get(apiBase(ts) + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,12 +308,17 @@ func TestHTTPPublishAdmissionPolicies(t *testing.T) {
 		}
 	}
 
-	// An oversized ring request is refused before allocation.
-	if resp := postJSON(t, ts.URL+"/feeds", createFeedRequest{
+	// An oversized ring request is refused before allocation, with the
+	// cap-rejection code.
+	if resp := postJSON(t, apiBase(ts)+"/feeds", createFeedRequest{
 		Name: "huge", Profile: "jackson", IngestBuffer: MaxIngestBuffer + 1,
-	}); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized ingest buffer: status %d, want 400", resp.StatusCode)
+	}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized ingest buffer: status %d, want 422", resp.StatusCode)
 	} else {
+		var env apiError
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code != "buffer_too_large" {
+			t.Fatalf("oversized ingest buffer envelope = %+v, %v", env, err)
+		}
 		resp.Body.Close()
 	}
 }
@@ -341,8 +346,8 @@ func wsClientFrame(op byte, fin bool, payload []byte) []byte {
 	return out
 }
 
-// wsReadServerFrame reads one unmasked server frame (pong/close are tiny,
-// so only 7-bit lengths are handled).
+// wsReadServerFrame reads one unmasked server frame (7- and 16-bit
+// lengths; result events exceed the 125-byte short form).
 func wsReadServerFrame(t *testing.T, br *bufio.Reader) (op byte, payload []byte) {
 	t.Helper()
 	b0, err := br.ReadByte()
@@ -356,7 +361,15 @@ func wsReadServerFrame(t *testing.T, br *bufio.Reader) (op byte, payload []byte)
 	if b1&0x80 != 0 {
 		t.Fatal("server frame is masked")
 	}
-	payload = make([]byte, b1&0x7F)
+	n := int(b1 & 0x7F)
+	if n == 126 {
+		var ext [2]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			t.Fatal(err)
+		}
+		n = int(ext[0])<<8 | int(ext[1])
+	}
+	payload = make([]byte, n)
 	if _, err := io.ReadFull(br, payload); err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +388,7 @@ func wsDial(t *testing.T, tsURL, path string) (net.Conn, *bufio.Reader) {
 	t.Cleanup(func() { conn.Close() })
 	const key = "dGhlIHNhbXBsZSBub25jZQ=="
 	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n",
-		path, addr, key)
+		apiPrefix()+path, addr, key)
 	br := bufio.NewReader(conn)
 	resp, err := http.ReadResponse(br, nil)
 	if err != nil {
@@ -396,7 +409,7 @@ func wsDial(t *testing.T, tsURL, path string) (net.Conn, *bufio.Reader) {
 // published frame admitted to the feed.
 func TestHTTPFeedWebSocketPublish(t *testing.T) {
 	srv, ts := newFeedAPIServer(t)
-	decodeStatus(t, postJSON(t, ts.URL+"/feeds", createFeedRequest{
+	decodeStatus(t, postJSON(t, apiBase(ts)+"/feeds", createFeedRequest{
 		Name: "wscam", Profile: "jackson", IngestBuffer: 128,
 	}), http.StatusCreated)
 	f, err := srv.feedByName("wscam")

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,6 +16,19 @@ import (
 	"vmq/internal/stream"
 	"vmq/internal/video"
 )
+
+// apiPrefix is the path prefix the HTTP suites exercise: the canonical
+// /v1 surface by default, or — when VMQ_HTTP_LEGACY=1, the CI
+// compatibility leg — the deprecated unversioned aliases, pinning that
+// both serve identical bodies.
+func apiPrefix() string {
+	if os.Getenv("VMQ_HTTP_LEGACY") == "1" {
+		return ""
+	}
+	return "/v1"
+}
+
+func apiBase(ts *httptest.Server) string { return ts.URL + apiPrefix() }
 
 func newHTTPServer(t *testing.T, n int) (*Server, *httptest.Server) {
 	t.Helper()
@@ -40,7 +54,7 @@ func TestHTTPQueryLifecycle(t *testing.T) {
 	_, ts := newHTTPServer(t, 300)
 
 	// Register with a raw VQL body.
-	resp, err := http.Post(ts.URL+"/queries", "text/plain",
+	resp, err := http.Post(apiBase(ts)+"/queries", "text/plain",
 		strings.NewReader(`SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`))
 	if err != nil {
 		t.Fatal(err)
@@ -58,11 +72,11 @@ func TestHTTPQueryLifecycle(t *testing.T) {
 	}
 
 	// The query shows up in the listing.
-	resp, err = http.Get(ts.URL + "/queries")
+	resp, err = http.Get(apiBase(ts) + "/queries")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var listed []listedQuery
+	var listed []QueryMetrics
 	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +84,13 @@ func TestHTTPQueryLifecycle(t *testing.T) {
 	if len(listed) != 1 || listed[0].ID != created.ID {
 		t.Fatalf("listing = %+v", listed)
 	}
+	if listed[0].Feed != "jackson" || listed[0].Policy != "block" || listed[0].Acked != -1 {
+		t.Fatalf("listing row = %+v, want feed/policy/acked telemetry", listed[0])
+	}
 
 	// Stream results: NDJSON events ending with an "end" event carrying
 	// totals for the whole 300-frame clip.
-	resp, err = http.Get(ts.URL + "/queries/" + created.ID + "/results")
+	resp, err = http.Get(apiBase(ts) + "/queries/" + created.ID + "/results")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +124,7 @@ func TestHTTPQueryLifecycle(t *testing.T) {
 	}
 
 	// Metrics report the feed and the (finished) query.
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = http.Get(apiBase(ts) + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +141,7 @@ func TestHTTPQueryLifecycle(t *testing.T) {
 	}
 
 	// Unregister; the listing empties and a second delete 404s.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/"+created.ID, nil)
+	req, _ := http.NewRequest(http.MethodDelete, apiBase(ts)+"/queries/"+created.ID, nil)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +165,7 @@ func TestHTTPQueryLifecycle(t *testing.T) {
 func TestHTTPRegisterJSONOptions(t *testing.T) {
 	_, ts := newHTTPServer(t, 200)
 	body := `{"query": "SELECT FRAMES FROM jackson WHERE COUNT(car) = 1", "count_tolerance": 0, "location_tolerance": 0, "max_frames": 120}`
-	resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(body))
+	resp, err := http.Post(apiBase(ts)+"/queries", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +174,7 @@ func TestHTTPRegisterJSONOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	resp, err = http.Get(ts.URL + "/queries/" + created.ID + "/results")
+	resp, err = http.Get(apiBase(ts) + "/queries/" + created.ID + "/results")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +219,7 @@ func TestHTTPResumeAfterDisconnect(t *testing.T) {
 
 	// Every frame matches, so event_seq and frame seq advance in lockstep
 	// and any loss is visible.
-	resp, err := http.Post(ts.URL+"/queries", "text/plain",
+	resp, err := http.Post(apiBase(ts)+"/queries", "text/plain",
 		strings.NewReader(`SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`))
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +232,7 @@ func TestHTTPResumeAfterDisconnect(t *testing.T) {
 
 	// First consumer: read a prefix, then die mid-stream.
 	ctx, cancel := context.WithCancel(context.Background())
-	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/queries/"+created.ID+"/results", nil)
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, apiBase(ts)+"/queries/"+created.ID+"/results", nil)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +260,7 @@ func TestHTTPResumeAfterDisconnect(t *testing.T) {
 
 	// Reconnect one past the last processed event and read to the end.
 	last := got[len(got)-1].EventSeq
-	resp, err = http.Get(ts.URL + "/queries/" + created.ID + "/results?from=" + itoa(last+1))
+	resp, err = http.Get(apiBase(ts) + "/queries/" + created.ID + "/results?from=" + itoa(last+1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +311,7 @@ func TestHTTPResumeWrappedRingReportsGap(t *testing.T) {
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 
 	body := `{"query": "SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0", "policy": "drop-oldest", "result_buffer": 16}`
-	resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(body))
+	resp, err := http.Post(apiBase(ts)+"/queries", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +332,7 @@ func TestHTTPResumeWrappedRingReportsGap(t *testing.T) {
 	}
 	<-reg.Done()
 
-	resp, err = http.Get(ts.URL + "/queries/" + created.ID + "/results?from=0")
+	resp, err = http.Get(apiBase(ts) + "/queries/" + created.ID + "/results?from=0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +378,7 @@ func TestHTTPConcurrentConsumers(t *testing.T) {
 	srv.Start()
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { ts.Close(); srv.Close() })
-	resp, err := http.Post(ts.URL+"/queries", "text/plain",
+	resp, err := http.Post(apiBase(ts)+"/queries", "text/plain",
 		strings.NewReader(`SELECT FRAMES FROM jackson WHERE COUNT(car) = 1`))
 	if err != nil {
 		t.Fatal(err)
@@ -373,7 +390,7 @@ func TestHTTPConcurrentConsumers(t *testing.T) {
 	resp.Body.Close()
 
 	read := func() []Event {
-		resp, err := http.Get(ts.URL + "/queries/" + created.ID + "/results")
+		resp, err := http.Get(apiBase(ts) + "/queries/" + created.ID + "/results")
 		if err != nil {
 			t.Error(err)
 			return nil
@@ -424,7 +441,7 @@ func TestHTTPErrors(t *testing.T) {
 		{"PUT", "/queries", "", http.StatusMethodNotAllowed},
 	}
 	for _, tc := range cases {
-		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		req, _ := http.NewRequest(tc.method, apiBase(ts)+tc.path, strings.NewReader(tc.body))
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)

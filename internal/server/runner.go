@@ -2,6 +2,7 @@ package server
 
 import (
 	"math"
+	"os"
 	"sync"
 	"time"
 
@@ -44,11 +45,21 @@ type Options struct {
 	// consumer), rlog.DropOldest (bounded lag, slow consumers see gaps)
 	// or rlog.Sample (decimate under backlog pressure).
 	Policy rlog.Policy
-	// SpillPath, when non-empty, attaches a file-backed spill at that
-	// path: events evicted from the ring are appended there and served
-	// back to consumers resuming from far behind, extending the
-	// resumable window beyond the ring.
+	// Spill attaches a server-managed file-backed spill: events evicted
+	// from the ring are appended to rotating segment files under
+	// Config.SpillDir/<query-id> and served back to consumers resuming
+	// from far behind, extending the resumable window beyond the ring.
+	// The directory is removed when the registration leaves the registry.
+	Spill bool
+	// SpillPath, when non-empty, attaches the spill at this directory
+	// instead of a server-managed one; the caller owns the directory and
+	// its files survive the registration (a later registration may replay
+	// them by spilling to the same path).
 	SpillPath string
+	// SpillConfig tunes the attached spill's segment rotation and
+	// retention budget; the zero value takes Config.Spill (and then the
+	// rlog defaults).
+	SpillConfig rlog.SpillConfig
 }
 
 // EventKind distinguishes the entries of a registration's result stream.
@@ -123,9 +134,10 @@ type Registration struct {
 
 	// log is the registration's result log: the runner appends, any
 	// number of consumers read through cursors (Results, ResultsFrom).
-	log   *rlog.Log[Event]
-	spill *rlog.FileSpill[Event] // non-nil when Options.SpillPath was set
-	done  chan struct{}
+	log        *rlog.Log[Event]
+	spill      *rlog.FileSpill[Event] // non-nil when a spill is attached
+	spillOwned string                 // server-managed spill dir, removed on closeSpill
+	done       chan struct{}
 
 	resultsOnce sync.Once
 	resultsCh   chan Event
@@ -198,6 +210,46 @@ func (r *Registration) ResultsFrom(seq int64) *rlog.Reader[Event] {
 	return r.log.ReaderFrom(seq)
 }
 
+// Ack records out of band that the consuming side durably processed
+// every event through seq — the path for acknowledgements that arrive
+// between streaming reads (POST /v1/queries/{id}/ack) or while no
+// consumer is attached. The result log's retention floor follows the
+// acknowledged position from then on. Returns the highest acked
+// sequence.
+func (r *Registration) Ack(seq int64) int64 { return r.log.Ack(seq) }
+
+// neverBlock is a pre-closed abort channel: a log read given it returns
+// immediately instead of waiting for the writer — how history paging
+// reads whatever is already there.
+var neverBlock = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// HistoryPage reads up to limit events starting at sequence from,
+// without attaching a streaming consumer or waiting for new events: gaps
+// and spilled history are served exactly as a streaming read would see
+// them, and the page's transient cursor does not move the retention
+// floor. The second return is the sequence to pass as the next page's
+// from (equal to from when nothing was readable).
+func (r *Registration) HistoryPage(from int64, limit int) ([]Event, int64) {
+	if from < 0 {
+		from = 0
+	}
+	p := r.log.PagerFrom(from)
+	defer p.Detach()
+	out := make([]Event, 0, limit)
+	for len(out) < limit {
+		it, ok := p.Next(neverBlock)
+		if !ok {
+			break
+		}
+		out = append(out, r.itemEvent(it))
+	}
+	return out, p.Cursor()
+}
+
 // itemEvent converts one log item to its wire event: either the stored
 // event or a synthesised gap notice.
 func (r *Registration) itemEvent(it rlog.Item[Event]) Event {
@@ -254,11 +306,17 @@ func (r *Registration) finish() {
 	close(r.done)
 }
 
-// closeSpill releases the registration's spill file, if any. Called when
-// the registration is removed from the server's registry.
+// closeSpill releases the registration's spill, if any. Called when the
+// registration is removed from the server's registry. A server-managed
+// spill directory (Options.Spill) is deleted with it; a caller-provided
+// SpillPath survives for the caller to reuse or clean up.
 func (r *Registration) closeSpill() {
-	if r.spill != nil {
-		_ = r.spill.Close()
+	if r.spill == nil {
+		return
+	}
+	_ = r.spill.Close()
+	if r.spillOwned != "" {
+		_ = os.RemoveAll(r.spillOwned)
 	}
 }
 

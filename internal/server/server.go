@@ -21,6 +21,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -47,6 +49,13 @@ var (
 	// draining: its ingestion is cut and its queries are winding down, so
 	// no new query may join.
 	ErrFeedDraining = errors.New("server: feed is draining")
+	// ErrFeedExists reports a CreateFeed/AddFeed against a name already
+	// in use.
+	ErrFeedExists = errors.New("server: feed already exists")
+	// ErrBufferTooLarge reports a client-requested buffer capacity
+	// beyond its cap (MaxResultBuffer, MaxIngestBuffer) — the rings are
+	// allocated eagerly, so unauthenticated input must not size them.
+	ErrBufferTooLarge = errors.New("server: buffer exceeds limit")
 	// ErrClosed reports an operation on a closed server.
 	ErrClosed = errors.New("server: closed")
 )
@@ -122,6 +131,15 @@ type Config struct {
 	// the coalescing analogue of ScanFlush, preserving the per-feed
 	// latency contract.
 	CoalesceFlush time.Duration
+	// SpillDir is the root directory for server-managed result spills
+	// (Options.Spill): each spilling registration gets
+	// SpillDir/<query-id>, removed when the registration leaves the
+	// registry. Default: "vmq-spill" under the OS temp directory.
+	SpillDir string
+	// Spill is the default segment-rotation and retention-budget tuning
+	// for attached spills; a registration's Options.SpillConfig
+	// overrides it, and the zero value selects the rlog defaults.
+	Spill rlog.SpillConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +169,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceFlush <= 0 {
 		c.CoalesceFlush = 2 * time.Millisecond
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = filepath.Join(os.TempDir(), "vmq-spill")
 	}
 	return c
 }
@@ -208,7 +229,7 @@ func (s *Server) AddFeed(cfg FeedConfig) error {
 		return ErrClosed
 	}
 	if _, dup := s.feeds[f.name]; dup {
-		return fmt.Errorf("server: feed %q already exists", f.name)
+		return fmt.Errorf("%w: %q", ErrFeedExists, f.name)
 	}
 	s.feeds[f.name] = f
 	if s.started {
@@ -378,7 +399,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	f, ok := s.feeds[q.Source]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("server: no feed %q (have %v)", q.Source, s.feedNamesLocked())
+		return nil, fmt.Errorf("%w: no feed %q (have %v)", ErrFeedNotFound, q.Source, s.feedNamesLocked())
 	}
 	if f.State() == FeedDraining {
 		s.mu.Unlock()
@@ -415,18 +436,30 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	}
 	buffer := opt.ResultBuffer
 	if buffer > MaxResultBuffer {
-		return nil, fmt.Errorf("server: result buffer %d exceeds limit %d", buffer, MaxResultBuffer)
+		return nil, fmt.Errorf("%w: result buffer %d (limit %d)", ErrBufferTooLarge, buffer, MaxResultBuffer)
 	}
 	if buffer <= 0 {
 		buffer = s.cfg.ResultBuffer
 	}
 	log := rlog.New[Event](buffer, policy)
+	spillCfg := opt.SpillConfig
+	if spillCfg == (rlog.SpillConfig{}) {
+		spillCfg = s.cfg.Spill
+	}
 	var spill *rlog.FileSpill[Event]
-	if opt.SpillPath != "" {
-		spill, err = rlog.NewFileSpill[Event](opt.SpillPath, 0)
-		if err != nil {
-			return nil, err
-		}
+	var spillOwned string
+	switch {
+	case opt.SpillPath != "":
+		spill, err = rlog.NewFileSpill[Event](opt.SpillPath, spillCfg)
+	case opt.Spill:
+		dir := filepath.Join(s.cfg.SpillDir, id)
+		spill, err = rlog.NewFileSpill[Event](dir, spillCfg)
+		spillOwned = dir
+	}
+	if err != nil {
+		return nil, err
+	}
+	if spill != nil {
 		log.SetSpill(spill)
 	}
 
@@ -437,14 +470,15 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	}
 
 	r := &Registration{
-		id:    id,
-		feed:  f,
-		qry:   q,
-		plan:  plan,
-		sub:   f.fanout.Subscribe(),
-		log:   log,
-		spill: spill,
-		done:  make(chan struct{}),
+		id:         id,
+		feed:       f,
+		qry:        q,
+		plan:       plan,
+		sub:        f.fanout.Subscribe(),
+		log:        log,
+		spill:      spill,
+		spillOwned: spillOwned,
+		done:       make(chan struct{}),
 	}
 	r.stats.detectCost = det.Cost().PerCall
 	r.stats.windowed = isWindowed
@@ -755,6 +789,15 @@ type QueryMetrics struct {
 	Dropped       int64  `json:"dropped"`
 	Readers       int    `json:"readers"`
 	ConsumerLag   int64  `json:"consumer_lag"`
+	// Acked is the highest event sequence the consuming side has
+	// acknowledged as durably processed, -1 when nothing has ever been
+	// acked (the floor then follows read positions, the pre-ack
+	// contract).
+	Acked int64 `json:"acked"`
+	// Spill telemetry, present when the registration spills: on-disk
+	// footprint and segment count of its result history.
+	SpillBytes    int64 `json:"spill_bytes,omitempty"`
+	SpillSegments int   `json:"spill_segments,omitempty"`
 }
 
 // Metrics snapshots the server.
@@ -841,41 +884,53 @@ func (s *Server) Metrics() Metrics {
 	sort.Slice(m.Feeds, func(a, b int) bool { return m.Feeds[a].Name < m.Feeds[b].Name })
 
 	for _, r := range regs {
-		r.stats.mu.Lock()
-		qm := QueryMetrics{
-			ID:            r.id,
-			Feed:          r.feed.name,
-			Query:         r.qry.String(),
-			Done:          r.stats.finished,
-			Frames:        r.stats.frames,
-			FilterPassed:  r.stats.passed,
-			DetectorCalls: r.stats.passed,
-			Matches:       r.stats.matches,
-			Windows:       r.stats.windows,
-			Recall:        r.stats.acc.Recall(),
-			Precision:     r.stats.acc.Precision(),
-			QueueDepth:    r.sub.Depth(),
-			Policy:        string(r.log.Policy()),
-			EventSeq:      r.log.NextSeq(),
-			FirstRetained: r.log.FirstRetained(),
-			Dropped:       r.log.Dropped(),
-			Readers:       r.log.Readers(),
-			ConsumerLag:   r.log.Lag(),
-		}
-		if r.stats.frames > 0 {
-			qm.Selectivity = float64(r.stats.passed) / float64(r.stats.frames)
-		}
-		// Window runners pay per sampled frame (virtualExtra), monitor
-		// runners per frame filtered plus per confirmation.
-		virtual := r.stats.virtualExtra
-		if !r.stats.windowed {
-			virtual += r.stats.filterCost*time.Duration(r.stats.frames) +
-				r.stats.detectCost*time.Duration(r.stats.passed)
-		}
-		qm.VirtualTimeMs = float64(virtual) / float64(time.Millisecond)
-		r.stats.mu.Unlock()
-		m.Queries = append(m.Queries, qm)
+		m.Queries = append(m.Queries, r.metricsRow())
 	}
 	sort.Slice(m.Queries, func(a, b int) bool { return lessID(m.Queries[a].ID, m.Queries[b].ID) })
 	return m
+}
+
+// metricsRow snapshots one registration's telemetry — the QueryMetrics
+// entry of the /metrics payload, reused by the query listing and
+// single-query status endpoints.
+func (r *Registration) metricsRow() QueryMetrics {
+	r.stats.mu.Lock()
+	qm := QueryMetrics{
+		ID:            r.id,
+		Feed:          r.feed.name,
+		Query:         r.qry.String(),
+		Done:          r.stats.finished,
+		Frames:        r.stats.frames,
+		FilterPassed:  r.stats.passed,
+		DetectorCalls: r.stats.passed,
+		Matches:       r.stats.matches,
+		Windows:       r.stats.windows,
+		Recall:        r.stats.acc.Recall(),
+		Precision:     r.stats.acc.Precision(),
+		QueueDepth:    r.sub.Depth(),
+		Policy:        string(r.log.Policy()),
+		EventSeq:      r.log.NextSeq(),
+		FirstRetained: r.log.FirstRetained(),
+		Dropped:       r.log.Dropped(),
+		Readers:       r.log.Readers(),
+		ConsumerLag:   r.log.Lag(),
+		Acked:         r.log.AckedSeq(),
+	}
+	if r.stats.frames > 0 {
+		qm.Selectivity = float64(r.stats.passed) / float64(r.stats.frames)
+	}
+	// Window runners pay per sampled frame (virtualExtra), monitor
+	// runners per frame filtered plus per confirmation.
+	virtual := r.stats.virtualExtra
+	if !r.stats.windowed {
+		virtual += r.stats.filterCost*time.Duration(r.stats.frames) +
+			r.stats.detectCost*time.Duration(r.stats.passed)
+	}
+	qm.VirtualTimeMs = float64(virtual) / float64(time.Millisecond)
+	r.stats.mu.Unlock()
+	if r.spill != nil {
+		qm.SpillBytes = r.spill.SizeBytes()
+		qm.SpillSegments = r.spill.Segments()
+	}
+	return qm
 }

@@ -23,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 
 	"vmq/internal/stream"
 )
@@ -51,6 +52,52 @@ func wsAcceptKey(key string) string {
 	return base64.StdEncoding.EncodeToString(h[:])
 }
 
+// isWSUpgrade reports whether the request asks for a WebSocket upgrade
+// — how GET /v1/queries/{id}/results chooses between NDJSON and the
+// message bridge.
+func isWSUpgrade(r *http.Request) bool {
+	return strings.EqualFold(r.Header.Get("Upgrade"), "websocket") &&
+		headerContainsToken(r.Header.Get("Connection"), "upgrade")
+}
+
+// wsUpgrade performs the server side of the RFC 6455 handshake,
+// hijacking the connection. On failure it has already answered the
+// request with the error envelope and returns ok=false.
+func wsUpgrade(w http.ResponseWriter, r *http.Request) (net.Conn, *bufio.Reader, bool) {
+	if !isWSUpgrade(r) {
+		httpError(w, http.StatusBadRequest, "bad_request", "websocket upgrade required")
+		return nil, nil, false
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "bad_request", "missing Sec-WebSocket-Key")
+		return nil, nil, false
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "internal", "connection cannot be hijacked")
+		return nil, nil, false
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "internal", "hijack: %v", err)
+		return nil, nil, false
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, nil, false
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil, false
+	}
+	return conn, rw.Reader, true
+}
+
 // handlePublishWS upgrades GET /feeds/{name}/publish and ingests one
 // wire frame per text (or binary) message until the publisher closes,
 // the feed drains, or a protocol error ends the connection.
@@ -61,41 +108,102 @@ func (s *Server) handlePublishWS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f.push == nil {
-		httpError(w, http.StatusConflict, "feed %q is not a push feed", f.name)
+		httpError(w, http.StatusConflict, "not_push_feed", "feed %q is not a push feed", f.name)
 		return
 	}
-	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
-		!headerContainsToken(r.Header.Get("Connection"), "upgrade") {
-		httpError(w, http.StatusBadRequest, "websocket upgrade required")
-		return
-	}
-	key := r.Header.Get("Sec-WebSocket-Key")
-	if key == "" {
-		httpError(w, http.StatusBadRequest, "missing Sec-WebSocket-Key")
-		return
-	}
-	hj, ok := w.(http.Hijacker)
+	conn, br, ok := wsUpgrade(w, r)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "connection cannot be hijacked")
-		return
-	}
-	conn, rw, err := hj.Hijack()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "hijack: %v", err)
 		return
 	}
 	defer conn.Close()
-	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
-		"Upgrade: websocket\r\n" +
-		"Connection: Upgrade\r\n" +
-		"Sec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"
-	if _, err := rw.WriteString(resp); err != nil {
+	s.servePublisher(conn, br, f)
+}
+
+// serveResultsWS is the WebSocket form of the results stream: each
+// event goes out as one text message, and the client sends
+// {"ack":<seq>} messages back on the same connection — in-band
+// acknowledgement with no extra round-trip endpoint. The stream ends
+// with a close frame when the query's log closes, or when the client
+// closes first.
+func (s *Server) serveResultsWS(w http.ResponseWriter, r *http.Request, reg *Registration, from int64) {
+	conn, br, ok := wsUpgrade(w, r)
+	if !ok {
 		return
 	}
-	if err := rw.Flush(); err != nil {
-		return
+	defer conn.Close()
+	reader := reg.ResultsFrom(from)
+	defer reader.Detach()
+	// Events and control replies (pongs, closes) come from different
+	// goroutines; frame writes must not interleave.
+	var wmu sync.Mutex
+	writeFrame := func(op byte, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return wsWriteFrame(conn, op, payload)
 	}
-	s.servePublisher(conn, rw.Reader, f)
+	// The client loop owns the read side: acks advance the cursor's
+	// acknowledged position, pings are answered, and a close (or peer
+	// loss) aborts the event loop's blocking read via done.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wr := &wsReader{br: br}
+		for {
+			op, payload, err := wr.next()
+			if err != nil {
+				return
+			}
+			switch op {
+			case wsOpText, wsOpBinary:
+				var msg struct {
+					Ack *int64 `json:"ack"`
+				}
+				if err := json.Unmarshal(payload, &msg); err != nil || msg.Ack == nil {
+					wmu.Lock()
+					wsWriteClose(conn, 1007, `expected {"ack":<seq>}`)
+					wmu.Unlock()
+					return
+				}
+				reader.Ack(*msg.Ack)
+			case wsOpPing:
+				if writeFrame(wsOpPong, payload) != nil {
+					return
+				}
+			case wsOpPong:
+				// Unsolicited pong: ignore.
+			case wsOpClose:
+				if len(payload) > 125 {
+					payload = payload[:125]
+				}
+				wmu.Lock()
+				_ = wsWriteFrame(conn, wsOpClose, payload)
+				wmu.Unlock()
+				return
+			}
+		}
+	}()
+	for {
+		it, ok := reader.Next(done)
+		if !ok {
+			break
+		}
+		payload, err := json.Marshal(reg.itemEvent(it))
+		if err != nil {
+			break
+		}
+		if writeFrame(wsOpText, payload) != nil {
+			break
+		}
+	}
+	select {
+	case <-done:
+		// The client ended the conversation; its close was already
+		// echoed.
+	default:
+		wmu.Lock()
+		wsWriteClose(conn, 1000, "end of stream")
+		wmu.Unlock()
+	}
 }
 
 // headerContainsToken reports whether a comma-separated header value

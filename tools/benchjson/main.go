@@ -232,7 +232,14 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) error {
 			if !strings.Contains(unit, "dropped") {
 				continue
 			}
-			ov := r.ob.Metrics[unit]
+			ov, ok := r.ob.Metrics[unit]
+			if !ok {
+				// The metric itself is new on this (shared) benchmark: there
+				// is no previous value to regress from, so report it without
+				// warning — only metrics both runs recorded can regress.
+				line += fmt.Sprintf(" %s %.4g (new metric)", unit, nv)
+				continue
+			}
 			line += fmt.Sprintf(" %s %.4g -> %.4g", unit, ov, nv)
 			// Delivery benchmarks record per-query dropped events; more
 			// drops than the previous run at the same workload means the

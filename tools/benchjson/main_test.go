@@ -198,6 +198,39 @@ func TestCompareIngestDropped(t *testing.T) {
 	}
 }
 
+// A dropped-style metric that only the new run records — a benchmark
+// that just started reporting it — is announced, not warned: there is
+// no previous value to regress from.
+func TestCompareNewDroppedMetricDoesNotWarn(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", &Report{
+		Benchmarks: []Benchmark{
+			{Pkg: "vmq", Name: "BenchmarkServerDeliveryDrained", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000}},
+		},
+	})
+	newPath := writeArtifact(t, dir, "new.json", &Report{
+		Benchmarks: []Benchmark{
+			{Pkg: "vmq", Name: "BenchmarkServerDeliveryDrained", Procs: 8,
+				Metrics: map[string]float64{"ns/op": 1000, "dropped-events": 40}},
+		},
+	})
+	var buf bytes.Buffer
+	if err := runCompare(&buf, oldPath, newPath, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "::warning::") {
+		t.Fatalf("newly-recorded metric warned:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped-events 40 (new metric)") {
+		t.Fatalf("new metric not announced:\n%s", out)
+	}
+	if !strings.Contains(out, "1 benchmarks compared, 0 regression warning(s)") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+}
+
 func TestCompareMissingFile(t *testing.T) {
 	if err := runCompare(&bytes.Buffer{}, "/does/not/exist.json", "/nor/this.json", 0.2); err == nil {
 		t.Fatal("want error for missing artifact")

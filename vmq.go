@@ -93,6 +93,12 @@ type (
 	// DeliveryPolicy selects how a query's bounded result log treats a
 	// slow or absent consumer (block, drop-oldest, sample-under-pressure).
 	DeliveryPolicy = rlog.Policy
+	// SpillConfig tunes a registration's on-disk result spill: segment
+	// rotation size/age and the total retention budget.
+	SpillConfig = rlog.SpillConfig
+	// QueryMetrics is one registration's telemetry row within
+	// ServerMetrics (sequences, lag, acked position, spill footprint).
+	QueryMetrics = server.QueryMetrics
 )
 
 // Continuous-query event kinds.
@@ -133,6 +139,11 @@ var (
 	ErrFeedNotFound = server.ErrFeedNotFound
 	// ErrFeedDraining reports a Register on a feed being drained.
 	ErrFeedDraining = server.ErrFeedDraining
+	// ErrFeedExists reports an AddFeed under a name already in use.
+	ErrFeedExists = server.ErrFeedExists
+	// ErrBufferTooLarge reports a Register or ingest request asking for a
+	// ring beyond the server's cap.
+	ErrBufferTooLarge = server.ErrBufferTooLarge
 )
 
 // FeedState is a feed's lifecycle phase (Server.Metrics reports it per
