@@ -52,6 +52,7 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	maxQueries := fs.Int("max-queries", 0, "registration limit per feed (0 = unlimited)")
 	spillDir := fs.String("spill-dir", "", "directory for server-managed result spills requested per query (default: under the OS temp dir)")
 	spillRetain := fs.Int64("spill-retain", 0, "per-query on-disk spill retention budget in bytes (0 = default 64MiB, -1 = unbounded)")
+	stateDir := fs.String("state-dir", "", "durable state directory: feeds and queries are journalled and recovered across restarts (empty = in-memory only)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for draining feeds and flushing results")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,7 +60,7 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	srv, err := buildServer(serveConfig{
 		feeds: *feeds, seed: *seed, fps: *fps, frames: *frames,
 		policy: *policy, resultLog: *resultLog, maxQueries: *maxQueries,
-		spillDir: *spillDir, spillRetain: *spillRetain,
+		spillDir: *spillDir, spillRetain: *spillRetain, stateDir: *stateDir,
 	})
 	if err != nil {
 		return err
@@ -82,7 +83,15 @@ func runServe(ctx context.Context, srv *vmq.Server, ln net.Listener, feeds strin
 	srv.Start()
 	fmt.Fprintf(out, "vmq serve: feeds [%s] on http://%s (try: curl -N -d 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' http://%s/queries)\n",
 		feeds, ln.Addr(), ln.Addr())
-	hs := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds how long an idle connection may sit in a
+	// half-sent request (slowloris); IdleTimeout reclaims keep-alive
+	// connections. No WriteTimeout: result streams are long-lived by
+	// design and must not be severed by a wall clock.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -121,6 +130,7 @@ type serveConfig struct {
 	maxQueries  int
 	spillDir    string
 	spillRetain int64
+	stateDir    string
 }
 
 // buildServer assembles a server over the named synthetic feeds — split
@@ -131,17 +141,45 @@ func buildServer(sc serveConfig) (*vmq.Server, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown -policy %q (try: block, drop-oldest, sample-under-pressure)", sc.policy)
 	}
-	srv := vmq.NewServer(vmq.ServerConfig{
+	cfg := vmq.ServerConfig{
 		DefaultPolicy:     pol,
 		ResultBuffer:      sc.resultLog,
 		MaxQueriesPerFeed: sc.maxQueries,
 		SpillDir:          sc.spillDir,
 		Spill:             vmq.SpillConfig{RetainBytes: sc.spillRetain},
-	})
+		StateDir:          sc.stateDir,
+	}
 	names := strings.Split(sc.feeds, ",")
 	if len(names) == 0 || sc.feeds == "" {
 		return nil, fmt.Errorf("serve: -feeds must name at least one dataset")
 	}
+	if sc.stateDir != "" {
+		// Durable mode: recover whatever the manifest holds, then ensure
+		// the flag-named feeds exist (journalled as specs, so the next
+		// restart re-creates them too). A feed already recovered from the
+		// manifest keeps its journalled definition.
+		srv, err := vmq.RecoverServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if _, ok := video.ProfileByName(name); !ok {
+				srv.Close()
+				return nil, fmt.Errorf("serve: unknown dataset %q (try: coral, jackson, detrac)", name)
+			}
+			spec := vmq.FeedSpec{
+				Name: name, Profile: name, Source: "sim",
+				Seed: sc.seed, FPS: sc.fps, MaxFrames: sc.frames,
+			}
+			if err := srv.CreateFeedSpec(spec); err != nil && !errors.Is(err, vmq.ErrFeedExists) {
+				srv.Close()
+				return nil, err
+			}
+		}
+		return srv, nil
+	}
+	srv := vmq.NewServer(cfg)
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		p, ok := video.ProfileByName(name)

@@ -55,10 +55,14 @@ type Memo struct {
 }
 
 // memoEntry latches one frame's detections: the creator fills dets and
-// closes ready; other callers wait and share.
+// closes ready; other callers wait and share. A panicking inner
+// detector poisons the entry (waiters re-panic with the same value
+// instead of blocking forever) and the entry leaves the cache so a
+// later confirmation retries rather than replaying the latched fault.
 type memoEntry struct {
-	ready chan struct{}
-	dets  []Detection
+	ready  chan struct{}
+	dets   []Detection
+	poison any
 }
 
 // NewMemo wraps inner with a detection cache of the given capacity
@@ -118,10 +122,31 @@ func (m *Memo) Detect(f *video.Frame) []Detection {
 	if ok {
 		m.hits.Add(1)
 		<-e.ready
+		if e.poison != nil {
+			panic(e.poison)
+		}
 		return e.dets
 	}
 	m.misses.Add(1)
-	e.dets = m.inner.Detect(f)
+	dets, pval := func() (d []Detection, p any) {
+		defer func() {
+			if r := recover(); r != nil {
+				d, p = nil, r
+			}
+		}()
+		return m.inner.Detect(f), nil
+	}()
+	if pval != nil {
+		e.poison = pval
+		close(e.ready)
+		m.mu.Lock()
+		if cur, exists := m.entries[f]; exists && cur == e {
+			delete(m.entries, f)
+		}
+		m.mu.Unlock()
+		panic(pval)
+	}
+	e.dets = dets
 	close(e.ready)
 	return e.dets
 }

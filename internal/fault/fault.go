@@ -1,0 +1,231 @@
+//go:build !vmq_nofault
+
+// Package fault provides env/config-armed failpoints for crash and
+// chaos testing. Production code paths that matter for durability —
+// spill writes, manifest appends, backend evaluation — call
+// Hit("point.name") at their fault site; with nothing armed the call is
+// a single atomic load and returns nil. Tests (or an operator running a
+// chaos drill) arm failpoints either programmatically with Arm or
+// through the VMQ_FAULT environment variable, and the armed mode turns
+// the Hit into an injected error, a short write, a panic, a stall, or a
+// hard process exit.
+//
+// Spec grammar (VMQ_FAULT and Arm share it):
+//
+//	point=mode[:key=value]...[,point=mode...]
+//
+// Modes:
+//
+//	error   Hit returns ErrInjected
+//	short   Hit returns ErrShort — callers that support it write a
+//	        deliberately truncated record (exercising torn-line
+//	        recovery); callers that don't treat it as an error
+//	panic   Hit panics with "fault: injected panic at <point>"
+//	stall   Hit sleeps (key delay=<duration>, default 50ms) and returns nil
+//	crash   Hit calls os.Exit(3) — the faithful kill -9 image, for
+//	        subprocess chaos harnesses only
+//
+// Trigger keys:
+//
+//	after=N  skip the first N calls to the point
+//	every=N  then fire on every Nth eligible call (default: every call)
+//	times=N  disarm after N fires (default: unlimited)
+//	delay=D  stall duration (stall mode only)
+//
+// Example: VMQ_FAULT='rlog.spill.append=error:after=100:every=13,query.filter=panic:times=1'
+//
+// Building with -tags vmq_nofault swaps in no-op stubs so the fault
+// sites compile to a trivial call returning nil.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether this build carries the live fault registry
+// (false under -tags vmq_nofault).
+const Enabled = true
+
+// ErrInjected is the error returned by a point armed in "error" mode.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrShort is returned by a point armed in "short" mode. Callers that
+// can simulate a torn write (partial record on disk) should do so and
+// surface io.ErrShortWrite; callers without that ability treat it like
+// ErrInjected.
+var ErrShort = errors.New("fault: injected short write")
+
+// EnvVar names the environment variable parsed at init (and by Reset).
+const EnvVar = "VMQ_FAULT"
+
+type failpoint struct {
+	mode  string
+	delay time.Duration
+	after int64
+	every int64
+	times int64
+
+	calls atomic.Int64
+	fired atomic.Int64
+}
+
+var (
+	armed  atomic.Int32 // number of armed points; 0 short-circuits Hit
+	mu     sync.Mutex
+	points = map[string]*failpoint{}
+)
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := Arm(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "vmq: ignoring malformed %s: %v\n", EnvVar, err)
+		}
+	}
+}
+
+// Arm installs the failpoints described by spec (see the package grammar)
+// on top of whatever is already armed. It returns an error without
+// arming anything if the spec does not parse.
+func Arm(spec string) error {
+	parsed := map[string]*failpoint{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("fault: clause %q is not point=mode", clause)
+		}
+		parts := strings.Split(rest, ":")
+		fp := &failpoint{mode: parts[0], every: 1, delay: 50 * time.Millisecond}
+		switch fp.mode {
+		case "error", "short", "panic", "stall", "crash":
+		default:
+			return fmt.Errorf("fault: point %q: unknown mode %q", name, fp.mode)
+		}
+		for _, kv := range parts[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("fault: point %q: option %q is not key=value", name, kv)
+			}
+			switch k {
+			case "after", "every", "times":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return fmt.Errorf("fault: point %q: bad %s=%q", name, k, v)
+				}
+				switch k {
+				case "after":
+					fp.after = n
+				case "every":
+					if n == 0 {
+						n = 1
+					}
+					fp.every = n
+				case "times":
+					fp.times = n
+				}
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return fmt.Errorf("fault: point %q: bad delay=%q", name, v)
+				}
+				fp.delay = d
+			default:
+				return fmt.Errorf("fault: point %q: unknown option %q", name, k)
+			}
+		}
+		parsed[name] = fp
+	}
+	mu.Lock()
+	for name, fp := range parsed {
+		if _, exists := points[name]; !exists {
+			armed.Add(1)
+		}
+		points[name] = fp
+	}
+	mu.Unlock()
+	return nil
+}
+
+// Disarm removes one failpoint.
+func Disarm(point string) {
+	mu.Lock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every programmatically armed failpoint and restores the
+// VMQ_FAULT environment baseline, so tests that Arm points do not
+// disturb an env-armed chaos run sharing the binary.
+func Reset() {
+	mu.Lock()
+	armed.Add(int32(-len(points)))
+	points = map[string]*failpoint{}
+	mu.Unlock()
+	if spec := os.Getenv(EnvVar); spec != "" {
+		_ = Arm(spec)
+	}
+}
+
+// Fired reports how many times the named point has injected its fault.
+func Fired(point string) int64 {
+	mu.Lock()
+	fp := points[point]
+	mu.Unlock()
+	if fp == nil {
+		return 0
+	}
+	return fp.fired.Load()
+}
+
+// Hit evaluates the named fault site. With nothing armed it is one
+// atomic load. An armed point fires per its trigger keys: error and
+// short modes return their sentinel, panic panics, stall sleeps, crash
+// exits the process.
+func Hit(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fp := points[point]
+	mu.Unlock()
+	if fp == nil {
+		return nil
+	}
+	n := fp.calls.Add(1)
+	if n <= fp.after {
+		return nil
+	}
+	if fp.every > 1 && (n-fp.after-1)%fp.every != 0 {
+		return nil
+	}
+	if fp.times > 0 && fp.fired.Load() >= fp.times {
+		return nil
+	}
+	fp.fired.Add(1)
+	switch fp.mode {
+	case "error":
+		return fmt.Errorf("%w at %s", ErrInjected, point)
+	case "short":
+		return fmt.Errorf("%w at %s", ErrShort, point)
+	case "panic":
+		panic(fmt.Sprintf("fault: injected panic at %s", point))
+	case "stall":
+		time.Sleep(fp.delay)
+	case "crash":
+		os.Exit(3)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+//go:build vmq_nofault
+
+// No-op fault registry: building with -tags vmq_nofault compiles every
+// fault site down to a trivial call returning nil, for deployments that
+// want the failpoint surface provably inert.
+package fault
+
+import "errors"
+
+// Enabled reports whether this build carries the live fault registry.
+const Enabled = false
+
+// ErrInjected mirrors the live registry's sentinel; nothing returns it
+// in this build.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrShort mirrors the live registry's sentinel; nothing returns it in
+// this build.
+var ErrShort = errors.New("fault: injected short write")
+
+// EnvVar names the environment variable the live registry parses; this
+// build ignores it.
+const EnvVar = "VMQ_FAULT"
+
+// Arm is a no-op in this build.
+func Arm(string) error { return nil }
+
+// Disarm is a no-op in this build.
+func Disarm(string) {}
+
+// Reset is a no-op in this build.
+func Reset() {}
+
+// Fired always reports zero in this build.
+func Fired(string) int64 { return 0 }
+
+// Hit never fires in this build.
+func Hit(string) error { return nil }

@@ -1,0 +1,122 @@
+//go:build !vmq_nofault
+
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nothing.armed"); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+}
+
+func TestArmErrorMode(t *testing.T) {
+	defer Reset()
+	if err := Arm("p.err=error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("p.err"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+	if err := Hit("p.other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if got := Fired("p.err"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestShortMode(t *testing.T) {
+	defer Reset()
+	if err := Arm("p.short=short"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("p.short"); !errors.Is(err, ErrShort) {
+		t.Fatalf("Hit = %v, want ErrShort", err)
+	}
+}
+
+func TestAfterEveryTimes(t *testing.T) {
+	defer Reset()
+	if err := Arm("p.trig=error:after=2:every=3:times=2"); err != nil {
+		t.Fatal(err)
+	}
+	var fires []int
+	for i := 1; i <= 12; i++ {
+		if Hit("p.trig") != nil {
+			fires = append(fires, i)
+		}
+	}
+	// Skip calls 1-2; then every 3rd eligible call (3, 6, 9, ...) capped
+	// at 2 fires.
+	want := []int{3, 6}
+	if len(fires) != len(want) {
+		t.Fatalf("fired on calls %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired on calls %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	if err := Arm("p.boom=panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("Hit did not panic")
+		}
+	}()
+	_ = Hit("p.boom")
+}
+
+func TestStallMode(t *testing.T) {
+	defer Reset()
+	if err := Arm("p.slow=stall:delay=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("p.slow"); err != nil {
+		t.Fatalf("stall Hit = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stall slept %v, want >= 30ms", d)
+	}
+}
+
+func TestMalformedSpecs(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"nomode",
+		"p=badmode",
+		"p=error:after=x",
+		"p=error:junk",
+		"p=stall:delay=zzz",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted a malformed spec", spec)
+		}
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("malformed Arm left a point armed: %v", err)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	defer Reset()
+	if err := Arm("p.gone=error"); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("p.gone")
+	if err := Hit("p.gone"); err != nil {
+		t.Fatalf("Hit after Disarm = %v, want nil", err)
+	}
+}

@@ -45,10 +45,17 @@ type Shared struct {
 // sharedEntry latches one frame's output. The caller that created the
 // entry owns filling it: it evaluates the inner backend, sets out and
 // closes ready; every other caller blocks on ready and shares the output.
-// Batch claims latch many entries with one inner evaluation.
+// Batch claims latch many entries with one inner evaluation. If the
+// owner's inner evaluation panics, it sets poison (the panic value)
+// before closing ready and removes the entry from the cache: waiters
+// re-panic with the same value instead of blocking forever on a channel
+// nobody will close, and each query's pipeline barrier converts that
+// into its own typed failure — one poisoned backend call fails every
+// query that needed the frame, never the process.
 type sharedEntry struct {
-	ready chan struct{}
-	out   *Output
+	ready  chan struct{}
+	out    *Output
+	poison any
 }
 
 // NewShared wraps inner with a cache of the given capacity (frames).
@@ -124,18 +131,67 @@ func (s *Shared) Evaluate(f *video.Frame) *Output {
 	if !owned {
 		s.hits.Add(1)
 		<-e.ready
+		if e.poison != nil {
+			panic(e.poison)
+		}
 		return e.out
 	}
 	s.misses.Add(1)
-	if s.serial {
-		s.evalMu.Lock()
-		e.out = s.inner.Evaluate(f)
-		s.evalMu.Unlock()
-	} else {
-		e.out = s.inner.Evaluate(f)
+	out, pval := s.evalOne(f)
+	if pval != nil {
+		s.poisonEntries([]*video.Frame{f}, []*sharedEntry{e}, pval)
+		panic(pval)
 	}
+	e.out = out
 	close(e.ready)
 	return e.out
+}
+
+// evalOne runs the inner backend on one frame, converting a panic into
+// a returned value so evalMu is always released and the caller can
+// poison the entry before re-panicking.
+func (s *Shared) evalOne(f *video.Frame) (out *Output, pval any) {
+	defer func() {
+		if p := recover(); p != nil {
+			pval = p
+		}
+	}()
+	if s.serial {
+		s.evalMu.Lock()
+		defer s.evalMu.Unlock()
+	}
+	return s.inner.Evaluate(f), nil
+}
+
+// evalBatch is evalOne's batch counterpart.
+func (s *Shared) evalBatch(frames []*video.Frame) (outs []*Output, pval any) {
+	defer func() {
+		if p := recover(); p != nil {
+			outs, pval = nil, p
+		}
+	}()
+	if s.serial {
+		s.evalMu.Lock()
+		defer s.evalMu.Unlock()
+	}
+	return EvaluateBatchInto(s.inner, frames, nil), nil
+}
+
+// poisonEntries marks entries whose fill panicked: waiters re-panic
+// with the same value, and the entries leave the cache so a later claim
+// retries the backend instead of serving a latched failure forever.
+func (s *Shared) poisonEntries(frames []*video.Frame, entries []*sharedEntry, pval any) {
+	for _, e := range entries {
+		e.poison = pval
+		close(e.ready)
+	}
+	s.mu.Lock()
+	for i, f := range frames {
+		if cur, ok := s.entries[f]; ok && cur == entries[i] {
+			delete(s.entries, f)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // EvaluateBatch implements BatchBackend: uncached frames are claimed in
@@ -167,13 +223,10 @@ func (s *Shared) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output {
 		// Fill owned entries before waiting on anyone else's: claim order
 		// guarantees another batch can only be waiting on entries we own,
 		// never the reverse cyclically, so this cannot deadlock.
-		var outs []*Output
-		if s.serial {
-			s.evalMu.Lock()
-			outs = EvaluateBatchInto(s.inner, ownedFrames, nil)
-			s.evalMu.Unlock()
-		} else {
-			outs = EvaluateBatchInto(s.inner, ownedFrames, nil)
+		outs, pval := s.evalBatch(ownedFrames)
+		if pval != nil {
+			s.poisonEntries(ownedFrames, ownedEntries, pval)
+			panic(pval)
 		}
 		for i, e := range ownedEntries {
 			e.out = outs[i]
@@ -182,6 +235,9 @@ func (s *Shared) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output {
 	}
 	for _, e := range entries {
 		<-e.ready
+		if e.poison != nil {
+			panic(e.poison)
+		}
 		dst = append(dst, e.out)
 	}
 	return dst

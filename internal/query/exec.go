@@ -84,6 +84,23 @@ type Result struct {
 	// VirtualTime is the simulated pipeline latency: filter cost on every
 	// frame plus detector cost on passed frames (Table III's columns).
 	VirtualTime time.Duration
+	// Failure is set when the execution ended because a backend or
+	// detector panicked instead of running the stream to completion.
+	// The counters above cover the frames processed before the fault;
+	// nothing after it is evaluated.
+	Failure *Failure `json:"failure,omitempty"`
+}
+
+// Failure captures a panic recovered inside the execution pipeline —
+// the typed form a crashing backend degrades to instead of taking the
+// process down. Stage names the pipeline stage that faulted ("filter",
+// "detect", or "runner" for faults outside the engine), Panic is the
+// panic value's string form, and Stack the goroutine stack at the
+// recovery point.
+type Failure struct {
+	Stage string `json:"stage"`
+	Panic string `json:"panic"`
+	Stack string `json:"stack,omitempty"`
 }
 
 // Selectivity returns the fraction of frames that reached the detector.

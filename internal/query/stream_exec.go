@@ -1,10 +1,14 @@
 package query
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vmq/internal/fault"
 	"vmq/internal/filters"
 	"vmq/internal/stream"
 	"vmq/internal/video"
@@ -83,11 +87,29 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 	maxInflight := 3*workers + 2
 	tokens := make(chan struct{}, maxInflight)
 
+	// failure latches the first panic recovered in any stage. Once set,
+	// the source stops pulling, filter workers pass chunks through
+	// unevaluated, and the confirmation stage drains without confirming —
+	// the pipeline unwinds cleanly and the caller gets a Result carrying
+	// the Failure instead of a crashed process. One poisoned backend must
+	// cost one query, never the server hosting it.
+	var failure atomic.Pointer[Failure]
+	fail := func(stage string, p any) {
+		failure.CompareAndSwap(nil, &Failure{
+			Stage: stage,
+			Panic: fmt.Sprint(p),
+			Stack: string(debug.Stack()),
+		})
+	}
+
 	// Stage 1: pull frames from the source and chunk them.
 	jobs := make(chan *streamChunk, workers)
 	go func() {
 		defer close(jobs)
 		for start := 0; start < n; start += chunkSize {
+			if failure.Load() != nil {
+				return // a stage faulted: stop feeding the pipeline
+			}
 			want := chunkSize
 			if rem := n - start; rem < want {
 				want = rem
@@ -128,13 +150,34 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 				if gate != nil {
 					gate.Acquire()
 				}
-				outs = filters.EvaluateBatchInto(e.Backend, c.frames, outs[:0])
-				for i, f := range c.frames {
-					c.pass[i] = plan.Where.EvalFilter(outs[i], f.Bounds, e.Tol)
-				}
-				if gate != nil {
-					gate.Release()
-				}
+				func() {
+					defer func() {
+						if gate != nil {
+							gate.Release()
+						}
+						if p := recover(); p != nil {
+							// A panicking backend poisons this query, not the
+							// process: latch the failure, void the verdicts,
+							// and keep the chunk moving so reassembly never
+							// stalls on a missing sequence number.
+							fail("filter", p)
+							outs = nil
+							for i := range c.pass {
+								c.pass[i] = false
+							}
+						}
+					}()
+					if failure.Load() != nil {
+						return // already failed: forward unevaluated
+					}
+					if err := fault.Hit("query.filter"); err != nil {
+						panic(err)
+					}
+					outs = filters.EvaluateBatchInto(e.Backend, c.frames, outs[:0])
+					for i, f := range c.frames {
+						c.pass[i] = plan.Where.EvalFilter(outs[i], f.Bounds, e.Tol)
+					}
+				}()
 				filtered <- c
 			}
 		}()
@@ -176,26 +219,40 @@ func (e *Engine) RunStream(plan *Plan, src stream.Source, n int) *Result {
 	}
 	detectCost := e.Detector.Cost().PerCall
 	for c := range ordered {
-		for i, f := range c.frames {
-			res.FramesTotal++
-			if filtering {
-				res.VirtualTime += filterCost
-			}
-			matched := false
-			if c.pass[i] {
-				res.FilterPassed++
-				dets := e.Detector.Detect(f)
-				res.DetectorCalls++
-				res.VirtualTime += detectCost
-				if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
-					res.Matched = append(res.Matched, c.start+i)
-					matched = true
+		if failure.Load() != nil {
+			continue // drain so the pipeline unwinds; nothing more confirms
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					fail("detect", p)
+				}
+			}()
+			for i, f := range c.frames {
+				res.FramesTotal++
+				if filtering {
+					res.VirtualTime += filterCost
+				}
+				matched := false
+				if c.pass[i] {
+					res.FilterPassed++
+					if err := fault.Hit("query.detect"); err != nil {
+						panic(err)
+					}
+					dets := e.Detector.Detect(f)
+					res.DetectorCalls++
+					res.VirtualTime += detectCost
+					if plan.Where == nil || plan.Where.EvalExact(dets, f.Bounds) {
+						res.Matched = append(res.Matched, c.start+i)
+						matched = true
+					}
+				}
+				if e.Observe != nil {
+					e.Observe(FrameObservation{Index: c.start + i, Frame: f, Passed: c.pass[i], Matched: matched})
 				}
 			}
-			if e.Observe != nil {
-				e.Observe(FrameObservation{Index: c.start + i, Frame: f, Passed: c.pass[i], Matched: matched})
-			}
-		}
+		}()
 	}
+	res.Failure = failure.Load()
 	return res
 }

@@ -45,8 +45,10 @@
 package rlog
 
 import (
+	"errors"
 	"math/bits"
 	"sync"
+	"time"
 )
 
 // Policy selects what the writer does when appending would overwrite an
@@ -132,6 +134,8 @@ type Log[T any] struct {
 	dropped  int64
 	decim    int64 // sample-policy decimation counter
 	closed   bool
+	wt       bool   // write-through: spill at append time, not eviction
+	wtOnDisk []bool // per-ring-slot: entry already spilled (write-through)
 
 	// dataCh is closed and replaced to wake readers blocked on the tail;
 	// spaceCh likewise to wake a writer blocked on the retention floor.
@@ -185,6 +189,47 @@ func (l *Log[T]) SetSpill(s Spill[T]) {
 	l.mu.Unlock()
 	if f, ok := s.(interface{ SetFloor(func() int64) }); ok {
 		f.SetFloor(l.gcFloor)
+	}
+}
+
+// SetWriteThrough switches the log to write-ahead spilling: every
+// append persists its entry to the attached spill *before* publishing
+// it in the ring, instead of spilling lazily at ring eviction. With a
+// Durable spill this is the crash-safe mode — an event a consumer was
+// promised exists on disk by the time any reader can observe it, so a
+// process kill loses nothing and a recovered log (Resume) continues the
+// stream gap-free. Must be called before the first append, after
+// SetSpill.
+func (l *Log[T]) SetWriteThrough() {
+	l.mu.Lock()
+	l.wt = true
+	if l.wtOnDisk == nil {
+		l.wtOnDisk = make([]bool, len(l.ring))
+	}
+	l.mu.Unlock()
+}
+
+// Resume positions an empty log to continue a recovered stream: the
+// next append takes sequence next, and acked seeds the acknowledgement
+// floor (-1 = never acked — everything the spill retains stays
+// retained). Sequences below next are served from the attached spill
+// exactly as if the ring had evicted them. Must be called on a fresh
+// log before any append or reader attaches, after SetSpill.
+func (l *Log[T]) Resume(next, acked int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if next < 0 {
+		next = 0
+	}
+	l.next = next
+	l.first = next
+	l.ackFloor = -1
+	if acked >= 0 {
+		a := acked + 1
+		if a > next {
+			a = next
+		}
+		l.ackFloor = a
 	}
 }
 
@@ -349,6 +394,81 @@ func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
 			}
 		}
 	}
+	// Write-through: persist the entry before it becomes observable in
+	// the ring. Block keeps its lossless promise across failures — a
+	// full spill waits for the retention floor (an ack or a reader
+	// advancing frees segments), a transient I/O error is retried — so
+	// by the time the event publishes it is already on disk and a crash
+	// at any later instant cannot lose it.
+	wtStored := false
+	if l.wt && l.spill != nil {
+		seq, spill := l.next, l.spill
+		retries := 0
+		for {
+			l.mu.Unlock()
+			err := spill.Append(seq, v)
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return false
+			}
+			if err == nil {
+				wtStored = true
+				break
+			}
+			if l.policy != Block {
+				break // lossy policies take the ring-only entry as-is
+			}
+			if errors.Is(err, ErrSpillFull) {
+				if !droppable {
+					break // terminal events must land now; ring carries them
+				}
+				l.spaceWaiters++
+				ch := l.spaceCh
+				l.mu.Unlock()
+				if abort == nil {
+					<-ch
+				} else {
+					select {
+					case <-ch:
+					case <-abort:
+						l.mu.Lock()
+						l.dropped++
+						l.mu.Unlock()
+						return false
+					}
+				}
+				l.mu.Lock()
+				if l.closed {
+					l.mu.Unlock()
+					return false
+				}
+				continue
+			}
+			if retries >= 50 {
+				break // persistently failing device: degrade to ring-only
+			}
+			retries++
+			l.mu.Unlock()
+			if abort == nil {
+				time.Sleep(2 * time.Millisecond)
+			} else {
+				select {
+				case <-abort:
+					l.mu.Lock()
+					l.dropped++
+					l.mu.Unlock()
+					return false
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return false
+			}
+		}
+	}
 	for l.next-l.first >= int64(len(l.ring)) {
 		// Full ring. Spill the evictee first — with a spill attached the
 		// resumable window is ring plus spill, so the policy only acts
@@ -358,9 +478,12 @@ func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
 		// nothing else advances first while we are unlocked, and writing
 		// the spill entry before first moves means a reader can never
 		// see cursor < first without the spill already holding the
-		// entry.
+		// entry. In write-through mode the evictee was (dis)spilled at
+		// its own append; re-appending it here would be out of order.
 		spilled := false
-		if l.spill != nil {
+		if l.spill != nil && l.wt {
+			spilled = l.wtOnDisk[l.first&l.mask]
+		} else if l.spill != nil {
 			seq, v := l.first, l.ring[l.first&l.mask]
 			spill := l.spill
 			l.mu.Unlock()
@@ -407,6 +530,9 @@ func (l *Log[T]) Append(v T, droppable bool, abort <-chan struct{}) bool {
 		l.first++
 	}
 	l.ring[l.next&l.mask] = v
+	if l.wt {
+		l.wtOnDisk[l.next&l.mask] = wtStored
+	}
 	l.next++
 	var wake chan struct{}
 	if l.dataWaiters > 0 {

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"vmq/internal/fault"
 )
 
 // ErrSpillFull reports that appending would exceed the spill's
@@ -37,6 +39,14 @@ type SpillConfig struct {
 	// oldest-first; if nothing below the floor can go, the append is
 	// refused with ErrSpillFull.
 	RetainBytes int64
+	// Durable flushes the active segment's buffered writer after every
+	// append, so an entry acknowledged to the Log survives a process
+	// kill (the bytes are in the OS page cache, beyond the dying
+	// process's reach). Segment seals additionally fsync, covering
+	// power loss at rotation boundaries. The crash-safe server arms
+	// this for every spill under its StateDir; ad-hoc spills keep the
+	// cheaper buffered default.
+	Durable bool
 }
 
 func (c SpillConfig) withDefaults() SpillConfig {
@@ -80,6 +90,7 @@ type spillSegment struct {
 	size  int64
 	first int64 // lowest indexed seq, -1 when empty
 	last  int64 // highest indexed seq, -1 when empty
+	torn  bool  // a failed write may have left a partial line
 	index []spillEntry
 	birth time.Time
 }
@@ -203,6 +214,16 @@ func (s *FileSpill[T]) Append(seq int64, v T) error {
 	if n := len(s.segs); n > 0 && s.segs[n-1].last >= seq {
 		return fmt.Errorf("rlog: spill append out of order: seq %d not after %d", seq, s.segs[n-1].last)
 	}
+	// Fault site for chaos tests: "error" refuses cleanly before any
+	// bytes move; "short" falls through and deliberately truncates the
+	// write, exercising the torn-line recovery below.
+	var tornInject bool
+	if ferr := fault.Hit("rlog.spill.append"); ferr != nil {
+		if !errors.Is(ferr, fault.ErrShort) {
+			return ferr
+		}
+		tornInject = true
+	}
 	active := s.activeLocked()
 	if active != nil && s.rotateDueLocked(active, int64(len(line))) {
 		if err := sealSegment(active); err != nil {
@@ -228,14 +249,40 @@ func (s *FileSpill[T]) Append(seq int64, v T) error {
 	// error. size still advances by the partial count so later entries'
 	// offsets stay correct past any truncated line (which is simply not
 	// indexed — exactly what recovery does for a crash-truncated tail).
+	if active.torn {
+		// A failed write may have left a partial line: terminate it so
+		// the garbage parses as one skippable line instead of fusing
+		// with (and swallowing) the next good entry on recovery.
+		if _, err := active.w.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+		active.size++
+		active.torn = false
+	}
 	off := active.size
+	if tornInject {
+		n, _ := active.w.Write(line[:len(line)/2])
+		active.size += int64(n)
+		active.torn = true
+		if s.cfg.Durable {
+			_ = active.w.Flush()
+		}
+		return io.ErrShortWrite
+	}
 	n, err := active.w.Write(line)
 	active.size += int64(n)
 	if err == nil && n < len(line) {
 		err = io.ErrShortWrite
 	}
 	if err != nil {
+		active.torn = true
 		return err
+	}
+	if s.cfg.Durable {
+		if err := active.w.Flush(); err != nil {
+			active.torn = true
+			return err
+		}
 	}
 	if active.first < 0 {
 		active.first = seq
@@ -263,8 +310,10 @@ func (s *FileSpill[T]) rotateDueLocked(seg *spillSegment, add int64) bool {
 	return s.cfg.SegmentAge > 0 && time.Since(seg.birth) >= s.cfg.SegmentAge
 }
 
-// sealSegment flushes and freezes the active segment; its file stays
-// open for reads until GC or Close.
+// sealSegment flushes, fsyncs, and freezes the active segment; its
+// file stays open for reads until GC or Close. The fsync makes sealed
+// history survive power loss, not just process death — once a segment
+// rotates out of the write path its bytes are on stable storage.
 func sealSegment(seg *spillSegment) error {
 	if seg.w == nil {
 		return nil
@@ -273,7 +322,7 @@ func sealSegment(seg *spillSegment) error {
 		return err
 	}
 	seg.w = nil
-	return nil
+	return seg.f.Sync()
 }
 
 // gcOldestLocked removes the oldest segment when it is sealed and lies
@@ -297,7 +346,20 @@ func (s *FileSpill[T]) gcOldestLocked() bool {
 	}
 	_ = seg.f.Close()
 	s.segs = s.segs[1:]
+	syncDir(s.dir)
 	return true
+}
+
+// syncDir fsyncs a directory so a just-created or just-removed file's
+// directory entry survives power loss. Best-effort: the segment data
+// itself is already crash-consistent, this only pins the namespace.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
 }
 
 func (s *FileSpill[T]) totalLocked() int64 {
@@ -316,6 +378,7 @@ func (s *FileSpill[T]) newSegmentLocked(first int64) (*spillSegment, error) {
 	}
 	seg := &spillSegment{path: path, f: f, w: bufio.NewWriter(f), first: -1, last: -1, birth: time.Now()}
 	s.segs = append(s.segs, seg)
+	syncDir(s.dir)
 	return seg, nil
 }
 
@@ -388,6 +451,23 @@ func (s *FileSpill[T]) NextRetained(seq int64) (int64, bool) {
 	return 0, false
 }
 
+// LastRetained returns the newest sequence the spill holds (false when
+// empty or closed) — the recovery high-water mark: a log resuming over
+// this spill restarts its sequence numbering one past it.
+func (s *FileSpill[T]) LastRetained() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, false
+	}
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		if s.segs[i].last >= 0 {
+			return s.segs[i].last, true
+		}
+	}
+	return 0, false
+}
+
 // FirstRetained returns the oldest sequence the spill still holds
 // (false when empty or closed).
 func (s *FileSpill[T]) FirstRetained() (int64, bool) {
@@ -445,6 +525,11 @@ func (s *FileSpill[T]) Close() error {
 				err = ferr
 			}
 			seg.w = nil
+			if s.cfg.Durable {
+				if serr := seg.f.Sync(); err == nil {
+					err = serr
+				}
+			}
 		}
 		if cerr := seg.f.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,196 @@
+package rlog
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vmq/internal/fault"
+)
+
+// TestWriteThroughSpillsEveryEvent pins the crash-safety invariant of
+// write-through mode: an event observable in the ring is already on
+// disk, so the spill holds the full prefix — ring-resident tail
+// included — not just what eviction pushed out.
+func TestWriteThroughSpillsEveryEvent(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := NewFileSpill[int](filepath.Join(dir, "q"), SpillConfig{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New[int](8, Block)
+	l.SetSpill(sp)
+	l.SetWriteThrough()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if !l.Append(i, true, nil) {
+			t.Fatalf("append %d refused", i)
+		}
+	}
+	if got := sp.Entries(); got != n {
+		t.Fatalf("spill holds %d entries, want %d (write-through must not wait for eviction)", got, n)
+	}
+	last, ok := sp.LastRetained()
+	if !ok || last != n-1 {
+		t.Fatalf("LastRetained = %d, %v; want %d, true", last, ok, n-1)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable mode flushed per append: a reopen (the crash image) sees
+	// every entry without any close-time flush having run.
+	sp2, err := NewFileSpill[int](filepath.Join(dir, "q"), SpillConfig{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	if got := sp2.Entries(); got != n {
+		t.Fatalf("reopened spill holds %d entries, want %d", got, n)
+	}
+}
+
+// TestResumeContinuesSequencing pins Resume: a recovered log hands out
+// sequence numbers from the spill high-water mark, serves history from
+// the spill, and seeds the ack floor.
+func TestResumeContinuesSequencing(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := NewFileSpill[int](filepath.Join(dir, "q"), SpillConfig{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New[int](8, Block)
+	l.SetSpill(sp)
+	l.SetWriteThrough()
+	for i := 0; i < 10; i++ {
+		l.Append(100+i, true, nil)
+	}
+	l.Ack(4)
+	l.Close()
+	sp.Close()
+
+	sp2, err := NewFileSpill[int](filepath.Join(dir, "q"), SpillConfig{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	last, ok := sp2.LastRetained()
+	if !ok {
+		t.Fatal("recovered spill is empty")
+	}
+	l2 := New[int](8, Block)
+	l2.SetSpill(sp2)
+	l2.SetWriteThrough()
+	l2.Resume(last+1, 4)
+	if got := l2.NextSeq(); got != 10 {
+		t.Fatalf("NextSeq after resume = %d, want 10", got)
+	}
+	if got := l2.AckedSeq(); got != 4 {
+		t.Fatalf("AckedSeq after resume = %d, want 4", got)
+	}
+	l2.Append(200, true, nil) // seq 10
+
+	// A consumer resuming one past its ack replays 5..9 from the spill,
+	// then crosses into the live ring at 10 with no gap.
+	r := l2.ReaderFrom(5)
+	defer r.Detach()
+	for want := 5; want <= 10; want++ {
+		it, ok := r.Next(nil)
+		if !ok {
+			t.Fatalf("Next at %d: log drained early", want)
+		}
+		if it.Gap != nil {
+			t.Fatalf("gap [%d,%d) on resumed read, want none", it.Gap.From, it.Gap.To)
+		}
+		if it.Seq != int64(want) {
+			t.Fatalf("resumed read seq = %d, want %d", it.Seq, want)
+		}
+		wantV := 100 + want
+		if want == 10 {
+			wantV = 200
+		}
+		if it.Value != wantV {
+			t.Fatalf("seq %d value = %d, want %d", it.Seq, it.Value, wantV)
+		}
+	}
+}
+
+// TestWriteThroughRetriesInjectedErrors arms the spill-append failpoint
+// and checks a Block-policy write-through append rides out transient
+// I/O errors without losing or reordering anything.
+func TestWriteThroughRetriesInjectedErrors(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Arm("rlog.spill.append=error:every=3"); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewFileSpill[int](filepath.Join(t.TempDir(), "q"), SpillConfig{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	l := New[int](8, Block)
+	l.SetSpill(sp)
+	l.SetWriteThrough()
+	const n = 30
+	for i := 0; i < n; i++ {
+		if !l.Append(i, true, nil) {
+			t.Fatalf("append %d refused under injected errors", i)
+		}
+	}
+	if got := sp.Entries(); got != n {
+		t.Fatalf("spill holds %d entries, want %d", got, n)
+	}
+	if fault.Fired("rlog.spill.append") == 0 {
+		t.Fatal("failpoint never fired — test exercised nothing")
+	}
+}
+
+// TestShortWriteTornLineRecovery injects a short write and checks both
+// the in-process self-healing (the next append terminates the partial
+// line) and that a reopen skips the garbage without losing neighbours.
+func TestShortWriteTornLineRecovery(t *testing.T) {
+	defer fault.Reset()
+	// This test appends directly to the spill (no retry loop above it),
+	// so an env-armed chaos baseline on the same point would misfire into
+	// its success assertions. Pin the point to exactly what the test arms.
+	fault.Disarm("rlog.spill.append")
+	dir := filepath.Join(t.TempDir(), "q")
+	sp, err := NewFileSpill[int](dir, SpillConfig{Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Append(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("rlog.spill.append=short:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Append(1, 1001); err == nil {
+		t.Fatal("short-injected append reported success")
+	}
+	fault.Disarm("rlog.spill.append")
+	// Retry the same sequence (what a write-through Block log does), then
+	// continue.
+	if err := sp.Append(1, 1001); err != nil {
+		t.Fatalf("retry after torn write: %v", err)
+	}
+	if err := sp.Append(2, 1002); err != nil {
+		t.Fatal(err)
+	}
+	for seq, want := range map[int64]int{0: 1000, 1: 1001, 2: 1002} {
+		if v, ok := sp.Read(seq); !ok || v != want {
+			t.Fatalf("in-process Read(%d) = %d, %v; want %d, true", seq, v, ok, want)
+		}
+	}
+	sp.Close()
+
+	sp2, err := NewFileSpill[int](dir, SpillConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	for seq, want := range map[int64]int{0: 1000, 1: 1001, 2: 1002} {
+		if v, ok := sp2.Read(seq); !ok || v != want {
+			t.Fatalf("recovered Read(%d) = %d, %v; want %d, true (torn line swallowed a neighbour)", seq, v, ok, want)
+		}
+	}
+}

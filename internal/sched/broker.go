@@ -218,6 +218,7 @@ type request struct {
 	from   *proxy // submitter, for counting distinct members per window
 	frames []*video.Frame
 	outs   []*filters.Output // filled by the flusher before done closes
+	pval   any               // panic value when this request's evaluation faulted
 	done   chan struct{}
 }
 
@@ -262,6 +263,9 @@ func (g *group) submit(from *proxy, frames []*video.Frame) []*filters.Output {
 		// synchronously (still serialised on the group evaluator).
 		g.mu.Unlock()
 		g.run([]*request{r})
+		if r.pval != nil {
+			panic(r.pval)
+		}
 		return r.outs
 	}
 	// Count distinct submitters: one member may park several submissions
@@ -308,6 +312,13 @@ func (g *group) submit(from *proxy, frames []*video.Frame) []*filters.Output {
 		g.mu.Unlock()
 	}
 	<-r.done
+	if r.pval != nil {
+		// This submission's evaluation panicked: re-panic on the
+		// submitter's goroutine, where the query's own pipeline barrier
+		// (or the feed's warm-scan barrier) turns it into that query's
+		// typed failure. The flusher goroutine itself never unwinds.
+		panic(r.pval)
+	}
 	return r.outs
 }
 
@@ -328,6 +339,15 @@ func (g *group) take() []*request {
 
 // run evaluates one claimed pending set through the group evaluator and
 // scatters the outputs back to the submitters in claim order.
+//
+// run never panics, whichever goroutine carries it (a submitter, the
+// deadline timer, a departing member's flush): a fault in the merged
+// evaluation is contained by re-running each request alone on its own
+// submitter's inner backend — equal coalescing keys make members
+// interchangeable, so healthy group-mates still get their outputs and
+// only the request whose evaluation faults carries the panic value back
+// to its submitter. One poisoned query must not take down its feed's
+// coalesce group, let alone the process hosting it.
 func (g *group) run(reqs []*request) {
 	if len(reqs) == 0 {
 		return
@@ -337,19 +357,38 @@ func (g *group) run(reqs []*request) {
 	for _, r := range reqs {
 		all = append(all, r.frames...)
 	}
-	outs := filters.EvaluateBatchInto(g.eval, all, g.scratch[:0])
-	off := 0
-	for _, r := range reqs {
-		r.outs = append(r.outs, outs[off:off+len(r.frames)]...)
-		off += len(r.frames)
-		close(r.done)
+	outs, pval := evalGuarded(g.eval, all, g.scratch[:0])
+	if pval == nil {
+		off := 0
+		for _, r := range reqs {
+			r.outs = append(r.outs, outs[off:off+len(r.frames)]...)
+			off += len(r.frames)
+			close(r.done)
+		}
+		// Clear the recycled backing arrays: their slots would otherwise
+		// pin the batch's frames and outputs until the group's next
+		// flush, which on a quiet group may never come.
+		clear(all)
+		clear(outs)
+		g.all, g.scratch = all[:0], outs[:0]
+	} else {
+		// Merged batch poisoned: isolate per submitter.
+		for _, r := range reqs {
+			solo, p := evalGuarded(r.from.inner, r.frames, nil)
+			if p != nil {
+				r.pval = p
+			} else {
+				r.outs = append(r.outs, solo...)
+			}
+			close(r.done)
+		}
+		clear(all)
+		g.all = all[:0]
+		// The panicking evaluation may have appended into the scratch
+		// backing array before unwinding; drop it rather than recycle
+		// slots holding unknown state.
+		g.scratch = nil
 	}
-	// Clear the recycled backing arrays: their slots would otherwise pin
-	// the batch's frames and outputs until the group's next flush, which
-	// on a quiet group may never come.
-	clear(all)
-	clear(outs)
-	g.all, g.scratch = all[:0], outs[:0]
 	g.evalMu.Unlock()
 
 	g.mu.Lock()
@@ -362,6 +401,18 @@ func (g *group) run(reqs []*request) {
 		g.merged++
 	}
 	g.mu.Unlock()
+}
+
+// evalGuarded runs one batch evaluation, converting a panic into a
+// returned value so group state and locks stay consistent on the
+// flusher's goroutine.
+func evalGuarded(b filters.Backend, frames []*video.Frame, dst []*filters.Output) (outs []*filters.Output, pval any) {
+	defer func() {
+		if p := recover(); p != nil {
+			outs, pval = nil, p
+		}
+	}()
+	return filters.EvaluateBatchInto(b, frames, dst), nil
 }
 
 // snapshotLocked captures the group's counters (caller holds g.mu).

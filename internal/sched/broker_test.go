@@ -329,3 +329,90 @@ func TestBrokerRetiresAbandonedGroups(t *testing.T) {
 		t.Fatalf("rotated key should accumulate 3 members/frames/batches: %+v", submitted)
 	}
 }
+
+// armedPanicBackend panics on every evaluation while armed — the
+// crashing-model stand-in for the isolation test. Unarmed it delegates,
+// so warm-up submissions establish group membership normally.
+type armedPanicBackend struct {
+	filters.Coalescable
+	armed atomic.Bool
+}
+
+func (b *armedPanicBackend) EvaluateBatch(frames []*video.Frame, dst []*filters.Output) []*filters.Output {
+	if b.armed.Load() {
+		panic("injected batch fault")
+	}
+	return b.Coalescable.EvaluateBatch(frames, dst)
+}
+
+func (b *armedPanicBackend) Evaluate(f *video.Frame) *filters.Output {
+	var out [1]*filters.Output
+	return b.EvaluateBatch([]*video.Frame{f}, out[:0])[0]
+}
+
+// A member whose evaluation panics mid-batch must not take down its
+// coalesce group: the healthy group-mate still gets outputs bit-identical
+// to a standalone evaluation, only the faulting submitter observes the
+// panic, and the group keeps serving afterwards.
+func TestBrokerIsolatesPanickingMember(t *testing.T) {
+	p := video.Jackson()
+	bad := &armedPanicBackend{Coalescable: newTrained(t, 7)}
+	br := New(Config{Batch: 1 << 20, Flush: 30 * time.Millisecond})
+	// Wrapped first: the faulting backend becomes the group evaluator, so
+	// the merged batch itself panics and the broker must fall back to
+	// per-submitter isolation.
+	badProxy := br.Wrap(bad)
+	goodProxy := br.Wrap(newTrained(t, 7))
+
+	clipBad := video.NewStream(p, 11).Take(4)
+	clipGood := video.NewStream(p, 12).Take(4)
+	want := filters.EvaluateBatch(newTrained(t, 7), clipGood)
+
+	// Warm-up, unarmed: both proxies take membership so the armed round
+	// coalesces instead of running the lone-member fast path.
+	filters.EvaluateBatchInto(badProxy, clipBad[:1], nil)
+	filters.EvaluateBatchInto(goodProxy, clipGood[:1], nil)
+
+	bad.armed.Store(true)
+	var (
+		wg          sync.WaitGroup
+		badPanicked atomic.Bool
+		got         []*filters.Output
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() != nil {
+				badPanicked.Store(true)
+			}
+		}()
+		filters.EvaluateBatchInto(badProxy, clipBad, nil)
+	}()
+	go func() {
+		defer wg.Done()
+		got = filters.EvaluateBatchInto(goodProxy, clipGood, nil)
+	}()
+	wg.Wait()
+
+	if !badPanicked.Load() {
+		t.Fatal("faulting member's submitter never observed its panic")
+	}
+	if len(got) != len(clipGood) {
+		t.Fatalf("healthy member got %d outputs, want %d", len(got), len(clipGood))
+	}
+	for j := range got {
+		requireSameOutput(t, 1, j, got[j], want[j])
+	}
+
+	// The group survives the fault: the healthy member keeps evaluating
+	// (through the disarmed group evaluator) with identical results.
+	bad.armed.Store(false)
+	again := filters.EvaluateBatchInto(goodProxy, clipGood, nil)
+	if len(again) != len(want) {
+		t.Fatalf("post-fault evaluation got %d outputs, want %d", len(again), len(want))
+	}
+	for j := range again {
+		requireSameOutput(t, 1, j, again[j], want[j])
+	}
+}

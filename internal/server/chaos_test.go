@@ -1,0 +1,94 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vmq/internal/fault"
+)
+
+// The chaos loop: kill the server mid-stream and recover it, over and
+// over, with sporadic spill write errors injected underneath, while one
+// consumer verifies exactly-once delivery across every restart — strictly
+// contiguous sequence numbers, no gap events, every event acked as it is
+// processed, and the stream's end event eventually observed.
+func TestChaosKillRecoverLoop(t *testing.T) {
+	if fault.Enabled {
+		// Sporadic transient spill write errors: the write-through retry
+		// path must absorb them without dropping or duplicating an event.
+		if err := fault.Arm("rlog.spill.append=error:after=25:every=31"); err != nil {
+			t.Fatal(err)
+		}
+		defer fault.Reset()
+	}
+
+	dir := t.TempDir()
+	spec := FeedSpec{Name: "jackson", Profile: "jackson", Source: "sim", MaxFrames: 300}
+	src := `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`
+	const rounds = 4
+
+	var (
+		id     string
+		expect int64
+		sawEnd bool
+	)
+	for round := 0; round < rounds && !sawEnd; round++ {
+		srv := recoverAt(t, dir, Config{})
+		if err := srv.CreateFeedSpec(spec); err != nil && !errors.Is(err, ErrFeedExists) {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		var reg *Registration
+		if id == "" {
+			var err error
+			reg, err = srv.Register(parse(t, src), Options{Spill: true})
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			id = reg.ID()
+		} else {
+			r, ok := srv.Get(id)
+			if !ok {
+				t.Fatalf("round %d: query %q lost across restart", round, id)
+			}
+			reg = r
+		}
+		srv.Start()
+
+		reader := reg.ResultsFrom(expect)
+		limit := 60
+		if round == rounds-1 {
+			limit = 1 << 20 // final round: read to the end event
+		}
+		for k := 0; k < limit; k++ {
+			ev, ok := readEvent(t, reg, reader, 20*time.Second)
+			if !ok {
+				t.Fatalf("round %d: stream ended at seq %d without an end event", round, expect)
+			}
+			if ev.Kind == EventGap {
+				t.Fatalf("round %d: gap %+v — delivery not exactly-once across restarts", round, ev)
+			}
+			if ev.EventSeq != expect {
+				t.Fatalf("round %d: seq %d, want %d", round, ev.EventSeq, expect)
+			}
+			reg.Ack(ev.EventSeq)
+			expect++
+			if ev.Kind == EventEnd {
+				sawEnd = true
+				break
+			}
+		}
+		reader.Detach()
+		if sawEnd {
+			srv.Close()
+		} else {
+			srv.crash()
+		}
+	}
+	if !sawEnd {
+		t.Fatalf("chaos loop never reached the end event (%d events verified)", expect)
+	}
+	if fault.Enabled && fault.Fired("rlog.spill.append") == 0 {
+		t.Fatal("spill failpoint never fired — the loop did not exercise the fault path")
+	}
+}

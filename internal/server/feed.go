@@ -109,6 +109,10 @@ type feed struct {
 	// scan batcher only warms the memo while someone will read it.
 	defaultUsers atomic.Int64
 
+	// lastFrame is the wall-clock UnixMilli of the last frame the pump
+	// dispatched (0 until the first frame) — the stall watchdog's input.
+	lastFrame atomic.Int64
+
 	mu      sync.Mutex
 	shared  map[filters.Backend]*sharedEntry
 	started time.Time
@@ -133,6 +137,28 @@ func (f *feed) endedReason() string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.endReason
+}
+
+// stalledNow reports the feed's last-frame timestamp (UnixMilli, 0
+// until the first frame) and whether the watchdog flags the feed as
+// stalled: running, with subscribers waiting on it, yet no frame pumped
+// within the window. A non-positive window disables the check. A feed
+// nobody subscribes to is idle by design (the pull-driven pump never
+// reads its source), not stalled.
+func (f *feed) stalledNow(window time.Duration) (int64, bool) {
+	last := f.lastFrame.Load()
+	f.mu.Lock()
+	running := f.running && f.state == FeedRunning
+	started := f.started
+	f.mu.Unlock()
+	if !running || window <= 0 || f.fanout.Subscribers() == 0 {
+		return last, false
+	}
+	ref := started
+	if last > 0 {
+		ref = time.UnixMilli(last)
+	}
+	return last, time.Since(ref) > window
 }
 
 // drain cuts the feed's ingestion while letting everything already in
@@ -286,6 +312,9 @@ func newFeed(cfg FeedConfig, srv Config, broker *sched.Broker) (*feed, error) {
 		f.gate = &drainGate{src: src}
 		src = f.gate
 	}
+	// Stamp every pumped frame for the stall watchdog before the EOF
+	// notifier (a feed that ended is closed, not stalled).
+	src = &stampSource{src: src, last: &f.lastFrame}
 	// A bounded feed that drains releases its broker memberships the
 	// moment its source ends, so feeds still running stop spending the
 	// coalesce deadline waiting for submissions it will never make.
@@ -535,6 +564,11 @@ collect:
 			s.warmWG.Add(1)
 			go func() {
 				defer func() {
+					// A panicking backend must not take the process down
+					// from a fire-and-forget warm-up; queries that claim
+					// the frames themselves hit the same panic behind the
+					// executor's own barrier and fail individually.
+					_ = recover()
 					<-s.warmSem
 					s.warmWG.Done()
 				}()
@@ -579,6 +613,21 @@ func (s *scanBatcher) shutdown() { s.stopO.Do(func() { close(s.stop) }) }
 // the raw channel flush downstream as the final (possibly partial) batch;
 // idempotent.
 func (s *scanBatcher) drainInput() { s.drainO.Do(func() { close(s.drainC) }) }
+
+// stampSource records the wall-clock instant of every frame the wrapped
+// source yields, feeding the feed's stall watchdog.
+type stampSource struct {
+	src  stream.Source
+	last *atomic.Int64
+}
+
+func (s *stampSource) Next() (*video.Frame, bool) {
+	f, ok := s.src.Next()
+	if ok {
+		s.last.Store(time.Now().UnixMilli())
+	}
+	return f, ok
+}
 
 // eofNotifySource fires a callback once when the wrapped source ends.
 type eofNotifySource struct {

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+	"time"
+)
+
+// The stall watchdog: a running feed with subscribers waiting but no
+// frame dispatched within Config.StallAfter flags stalled on its status
+// row and in /metrics, and /healthz degrades to 503 naming it. Draining
+// the feed clears the verdict.
+func TestServerHealthzStallWatchdog(t *testing.T) {
+	srv := New(Config{StallAfter: 50 * time.Millisecond})
+	if err := srv.CreateFeedSpec(FeedSpec{Name: "cam", Profile: "jackson"}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	getHealth := func() (int, healthResponse) {
+		t.Helper()
+		resp, err := http.Get(apiBase(ts) + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, hr
+	}
+
+	// An idle push feed with no subscribers is merely quiet, not stalled.
+	if code, hr := getHealth(); code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthz with no subscribers = %d %+v, want 200 ok", code, hr)
+	}
+
+	// A query parks a subscriber on the feed; no publisher ever sends a
+	// frame, so the watchdog must trip once the window passes.
+	reg, err := srv.Register(parse(t, `SELECT FRAMES FROM cam WHERE COUNT(car) >= 0`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go drain(reg)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, hr := getHealth()
+		if code == http.StatusServiceUnavailable && hr.Status == "degraded" && slices.Contains(hr.Stalled, "cam") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never degraded: last %d %+v", code, hr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The feed listing and metrics agree with the watchdog.
+	resp, err := http.Get(apiBase(ts) + "/feeds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []feedStatus
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rows) != 1 || !rows[0].Stalled {
+		t.Fatalf("feed listing = %+v, want cam stalled", rows)
+	}
+	var checked bool
+	for _, fm := range srv.Metrics().Feeds {
+		if fm.Name != "cam" {
+			continue
+		}
+		checked = true
+		if !fm.Stalled || fm.LastFrameUnixMs != 0 {
+			t.Fatalf("feed metrics = %+v, want stalled with no frame ever dispatched", fm)
+		}
+	}
+	if !checked {
+		t.Fatal("cam missing from metrics")
+	}
+
+	// Draining ends the feed (and the parked query): no longer stalled.
+	if err := srv.DrainFeed("cam"); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		code, hr := getHealth()
+		if code == http.StatusOK && hr.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz stuck degraded after drain: %d %+v", code, hr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -78,6 +78,7 @@ func (s *Server) Handler() http.Handler {
 		{"POST /feeds/{name}/frames", s.handlePublishFrames, true},
 		{"GET /feeds/{name}/publish", s.handlePublishWS, true},
 		{"GET /metrics", s.handleMetrics, true},
+		{"GET /healthz", s.handleHealthz, false},
 	}
 	for _, rt := range routes {
 		method, path, _ := strings.Cut(rt.pattern, " ")
@@ -143,6 +144,43 @@ func errorStatus(err error) (int, string) {
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// healthResponse answers GET /v1/healthz.
+type healthResponse struct {
+	// Status is "ok" while every running feed with subscribers pumped a
+	// frame within the watchdog window, "degraded" otherwise.
+	Status string `json:"status"`
+	// Stalled names the feeds the watchdog flagged.
+	Stalled []string `json:"stalled,omitempty"`
+}
+
+// handleHealthz is the liveness/readiness probe: 200 {"status":"ok"}
+// while no feed is stalled, 503 {"status":"degraded","stalled":[...]}
+// when the watchdog flags one — a feed running with subscribers waiting
+// yet pumping no frames within Config.StallAfter.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	feeds := make([]*feed, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		feeds = append(feeds, f)
+	}
+	s.mu.Unlock()
+	resp := healthResponse{Status: "ok"}
+	for _, f := range feeds {
+		if _, stalled := f.stalledNow(s.cfg.StallAfter); stalled {
+			resp.Stalled = append(resp.Stalled, f.name)
+		}
+	}
+	status := http.StatusOK
+	if len(resp.Stalled) > 0 {
+		sort.Strings(resp.Stalled)
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // registerRequest is the JSON form of POST /v1/queries.

@@ -52,15 +52,18 @@ type createFeedRequest struct {
 
 // feedStatus is one feed's row in POST/GET /feeds responses.
 type feedStatus struct {
-	Name    string         `json:"name"`
-	Profile string         `json:"profile"`
-	State   string         `json:"state"`
-	Frames  int64          `json:"frames"`
-	Queries int            `json:"queries"`
+	Name    string `json:"name"`
+	Profile string `json:"profile"`
+	State   string `json:"state"`
+	Frames  int64  `json:"frames"`
+	Queries int    `json:"queries"`
+	// Stalled is the watchdog's verdict: the feed is running with
+	// subscribers waiting, yet pumped no frame within Config.StallAfter.
+	Stalled bool           `json:"stalled,omitempty"`
 	Ingest  *IngestMetrics `json:"ingest,omitempty"`
 }
 
-func (f *feed) status() feedStatus {
+func (f *feed) status(stallAfter time.Duration) feedStatus {
 	st := feedStatus{
 		Name:    f.name,
 		Profile: f.dataset,
@@ -68,6 +71,7 @@ func (f *feed) status() feedStatus {
 		Frames:  f.fanout.Frames(),
 		Queries: f.fanout.Subscribers(),
 	}
+	_, st.Stalled = f.stalledNow(stallAfter)
 	if f.push != nil {
 		st.Ingest = &IngestMetrics{
 			Policy:    string(f.push.Policy()),
@@ -86,47 +90,25 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad_request", "decode request: %v", err)
 		return
 	}
-	if req.Name == "" {
-		httpError(w, http.StatusBadRequest, "bad_request", "feed needs a name")
-		return
+	// The wire request is exactly a FeedSpec: build the spec and route
+	// through CreateFeedSpec, so on a journaling server the feed is
+	// recorded durably and survives a restart.
+	spec := FeedSpec{
+		Name:         req.Name,
+		Profile:      req.Profile,
+		Source:       req.Source,
+		Seed:         req.Seed,
+		FPS:          float64(req.FPS),
+		MaxFrames:    req.MaxFrames,
+		IngestBuffer: req.IngestBuffer,
+		IngestPolicy: req.IngestPolicy,
 	}
-	prof, ok := video.ProfileByName(req.Profile)
-	if !ok {
-		httpError(w, http.StatusBadRequest, "bad_request", "unknown profile %q", req.Profile)
-		return
-	}
-	cfg := FeedConfig{Name: req.Name, Profile: prof, MaxFrames: req.MaxFrames}
-	if req.FPS > 0 {
-		cfg.FrameInterval = time.Second / time.Duration(req.FPS)
-	}
-	switch req.Source {
-	case "", "push":
-		policy, err := stream.ParsePushPolicy(req.IngestPolicy)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "unknown_policy", "%v", err)
+	if err := s.CreateFeedSpec(spec); err != nil {
+		var se *specError
+		if errors.As(err, &se) {
+			httpError(w, se.status, se.code, "%v", se.err)
 			return
 		}
-		buffer := req.IngestBuffer
-		if buffer > MaxIngestBuffer {
-			httpError(w, http.StatusUnprocessableEntity, "buffer_too_large",
-				"%v: ingest buffer %d (limit %d)", ErrBufferTooLarge, buffer, MaxIngestBuffer)
-			return
-		}
-		if buffer <= 0 {
-			buffer = defaultIngestBuffer
-		}
-		cfg.Source = stream.NewPushSource(buffer, policy)
-	case "sim":
-		seed := req.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		cfg.Source = stream.FromStream(video.NewStream(prof, seed))
-	default:
-		httpError(w, http.StatusBadRequest, "bad_request", "unknown source %q (want push or sim)", req.Source)
-		return
-	}
-	if err := s.CreateFeed(cfg); err != nil {
 		status, code := errorStatus(err)
 		httpError(w, status, code, "%v", err)
 		return
@@ -138,7 +120,7 @@ func (s *Server) handleCreateFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
-	_ = json.NewEncoder(w).Encode(f.status())
+	_ = json.NewEncoder(w).Encode(f.status(s.cfg.StallAfter))
 }
 
 func (s *Server) handleListFeeds(w http.ResponseWriter, r *http.Request) {
@@ -150,7 +132,7 @@ func (s *Server) handleListFeeds(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	out := make([]feedStatus, 0, len(feeds))
 	for _, f := range feeds {
-		out = append(out, f.status())
+		out = append(out, f.status(s.cfg.StallAfter))
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
 	w.Header().Set("Content-Type", "application/json")
@@ -175,7 +157,7 @@ func (s *Server) handleDrainFeed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(f.status())
+	_ = json.NewEncoder(w).Encode(f.status(s.cfg.StallAfter))
 }
 
 // handleRemoveFeed implements DELETE /feeds/{name}. It responds once

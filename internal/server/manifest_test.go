@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmq/internal/fault"
+)
+
+// manifestLines parses every complete line of the journal, failing the
+// test on any line that is not valid JSON — what a compacted journal
+// must guarantee.
+func manifestLines(t *testing.T, dir string) []manifestRecord {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []manifestRecord
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			if len(line) != 0 {
+				t.Fatalf("compacted journal ends in a partial line: %q", line)
+			}
+			return out
+		}
+		var rec manifestRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("compacted journal holds an unparsable line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// A record torn mid-write by a crash — the final line has no newline —
+// must be dropped on replay without costing any record before it, and
+// the reopening compaction must leave a fully parsable journal.
+func TestManifestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	m, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FeedSpec{Name: "cam", Profile: "jackson", Source: "sim", Seed: 7}
+	if err := m.feedCreated(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.queryRegistered(QueryRecord{ID: "q1", Query: "SELECT FRAMES FROM cam WHERE COUNT(car) >= 0", Feed: "cam", Spill: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.queryAcked("q1", 41); err != nil {
+		t.Fatal(err)
+	}
+	m.closeAbrupt()
+
+	// The crash lands halfway through the next record: valid JSON up to
+	// the cut, no terminating newline.
+	path := filepath.Join(dir, manifestFile)
+	torn := `{"type":"query_ack","id":"q1","seq":99`
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.closeAbrupt()
+	fm, ok := m2.state.feeds["cam"]
+	if !ok || fm.spec != spec {
+		t.Fatalf("feed lost across torn-tail replay: %+v", m2.state.feeds)
+	}
+	if q, ok := m2.state.queries["q1"]; !ok || !q.Spill {
+		t.Fatalf("query lost across torn-tail replay: %+v", m2.state.queries)
+	}
+	if got := m2.state.acks["q1"]; got != 41 {
+		t.Fatalf("acked = %d after torn-tail replay, want 41 (the torn 99 must not count)", got)
+	}
+	// The open compacted: every surviving line parses, and the journal
+	// accepts appends again.
+	manifestLines(t, dir)
+	if err := m2.queryAcked("q1", 50); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+}
+
+// Replay is idempotent over duplicated and reordered-looking journals: a
+// retried append that actually landed twice, an ack that regressed, an
+// id reservation below the high-water mark — all replay to the state the
+// callers were promised.
+func TestManifestReplayIdempotentDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	recs := []manifestRecord{
+		{Type: recFeedCreate, Feed: &FeedSpec{Name: "cam", Profile: "jackson", Source: "sim", Seed: 1}},
+		// Duplicate create with a different seed: last write wins.
+		{Type: recFeedCreate, Feed: &FeedSpec{Name: "cam", Profile: "jackson", Source: "sim", Seed: 9}},
+		{Type: recQueryRegister, Query: &QueryRecord{ID: "q2", Query: "SELECT FRAMES FROM cam WHERE COUNT(car) >= 0", Feed: "cam"}},
+		// Duplicate register (a retried append that landed twice).
+		{Type: recQueryRegister, Query: &QueryRecord{ID: "q2", Query: "SELECT FRAMES FROM cam WHERE COUNT(car) >= 0", Feed: "cam"}},
+		{Type: recQueryAck, ID: "q2", Seq: 5},
+		// A stale ack must not regress the position.
+		{Type: recQueryAck, ID: "q2", Seq: 3},
+		{Type: recNextID, Next: 7},
+		{Type: recNextID, Next: 4},
+		// Register-then-unregister, unregister repeated: the query is gone.
+		{Type: recQueryRegister, Query: &QueryRecord{ID: "q3", Query: "SELECT FRAMES FROM cam WHERE COUNT(car) = 1", Feed: "cam"}},
+		{Type: recQueryUnregister, ID: "q3"},
+		{Type: recQueryUnregister, ID: "q3"},
+		// An ack for an unknown query is dropped, not resurrected.
+		{Type: recQueryAck, ID: "q3", Seq: 12},
+	}
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.closeAbrupt()
+	if fm := m.state.feeds["cam"]; fm == nil || fm.spec.Seed != 9 {
+		t.Fatalf("duplicate feed_create: want the later spec (seed 9), got %+v", fm)
+	}
+	if _, ok := m.state.queries["q2"]; !ok {
+		t.Fatal("q2 lost on duplicated register")
+	}
+	if got := m.state.acks["q2"]; got != 5 {
+		t.Fatalf("ack replay = %d, want max-merge 5", got)
+	}
+	if m.state.nextID != 7 {
+		t.Fatalf("nextID = %d, want high-water 7", m.state.nextID)
+	}
+	if _, ok := m.state.queries["q3"]; ok {
+		t.Fatal("unregistered q3 resurrected on replay")
+	}
+	if _, ok := m.state.acks["q3"]; ok {
+		t.Fatal("ack for unregistered q3 survived replay")
+	}
+}
+
+// The manifest.append failpoint in short mode tears the write exactly as
+// the journal's crash model expects: the caller sees an error, the state
+// is unchanged, and a reopen drops the half-written record.
+func TestManifestTornWriteFaultInjection(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("fault registry compiled out (vmq_nofault)")
+	}
+	fault.Reset()
+	dir := t.TempDir()
+	m, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.feedCreated(FeedSpec{Name: "cam", Profile: "jackson", Source: "sim"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("manifest.append=short:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	err = m.queryRegistered(QueryRecord{ID: "q1", Query: "SELECT FRAMES FROM cam WHERE COUNT(car) >= 0", Feed: "cam"})
+	if !errors.Is(err, fault.ErrShort) {
+		t.Fatalf("append under short fault = %v, want fault.ErrShort", err)
+	}
+	if _, ok := m.state.queries["q1"]; ok {
+		t.Fatal("failed append mutated the in-memory state")
+	}
+	if got := fault.Fired("manifest.append"); got != 1 {
+		t.Fatalf("failpoint fired %d times, want 1", got)
+	}
+	// The file now ends mid-record without a newline — the torn write.
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[len(raw)-1] == '\n' {
+		t.Fatalf("expected a torn (newline-less) tail, file ends %q", raw[max(0, len(raw)-20):])
+	}
+	m.closeAbrupt()
+
+	m2, err := openManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.closeAbrupt()
+	if _, ok := m2.state.queries["q1"]; ok {
+		t.Fatal("torn record replayed as if committed")
+	}
+	if _, ok := m2.state.feeds["cam"]; !ok {
+		t.Fatal("records before the torn write were lost")
+	}
+	manifestLines(t, dir)
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vmq/internal/fault"
+	"vmq/internal/filters"
+	"vmq/internal/video"
+)
+
+// panicFilterBackend delegates to a real backend until its Nth
+// evaluation, then panics — a crashing model. It deliberately implements
+// only the base Backend interface (no embedding), so no BatchBackend or
+// ConcurrentBackend promotion kicks in and the executor takes the
+// serial per-frame path: the panic lands deterministically.
+type panicFilterBackend struct {
+	inner filters.Backend
+	calls atomic.Int64
+	at    int64
+}
+
+func (b *panicFilterBackend) Technique() filters.Technique { return b.inner.Technique() }
+func (b *panicFilterBackend) Grid() int                    { return b.inner.Grid() }
+func (b *panicFilterBackend) Evaluate(f *video.Frame) *filters.Output {
+	if b.calls.Add(1) == b.at {
+		panic("injected backend panic")
+	}
+	return b.inner.Evaluate(f)
+}
+
+// A backend that panics mid-stream ends exactly that query with a typed
+// query_failed event — panic value in the event, stage and stack in the
+// status row — while a sibling query on the same feed streams to
+// completion untouched.
+func TestServerPanicIsolatesQuery(t *testing.T) {
+	p := video.Jackson()
+	const n = 160
+	cfg, _ := clipFeed(p, 42, n)
+	srv := New(Config{})
+	if err := srv.AddFeed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	src := `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`
+	victim, err := srv.Register(parse(t, src), Options{
+		Backend: &panicFilterBackend{inner: filters.NewODFilter(p, 42, nil), at: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling, err := srv.Register(parse(t, src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+
+	var (
+		wg             sync.WaitGroup
+		vFinal, sFinal Event
+		vEnd, sEnd     bool
+		sEvents        []Event
+	)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, vFinal, vEnd = drain(victim) }()
+	go func() { defer wg.Done(); sEvents, sFinal, sEnd = drain(sibling) }()
+	wg.Wait()
+
+	if !vEnd {
+		t.Fatal("victim never delivered its end event")
+	}
+	if vFinal.Reason != EndReasonQueryFailed {
+		t.Fatalf("victim end reason = %q, want %q", vFinal.Reason, EndReasonQueryFailed)
+	}
+	if !strings.Contains(vFinal.Error, "injected backend panic") {
+		t.Fatalf("victim end error = %q, want the panic value", vFinal.Error)
+	}
+	if vFinal.Final == nil || vFinal.Final.Failure == nil || vFinal.Final.Failure.Stage != "filter" {
+		t.Fatalf("victim final = %+v, want a filter-stage failure", vFinal.Final)
+	}
+
+	if !sEnd || sFinal.Reason != "" {
+		t.Fatalf("sibling end=%v reason=%q — the panic leaked across queries", sEnd, sFinal.Reason)
+	}
+	if sFinal.Final == nil || sFinal.Final.FramesTotal != n {
+		t.Fatalf("sibling final = %+v, want all %d frames", sFinal.Final, n)
+	}
+	if len(sEvents) != n {
+		t.Fatalf("sibling saw %d events, want %d", len(sEvents), n)
+	}
+
+	// The status row keeps the fault for post-mortem.
+	var found bool
+	for _, qm := range srv.Metrics().Queries {
+		if qm.ID != victim.ID() {
+			continue
+		}
+		found = true
+		if qm.Failure == nil || qm.Failure.Stage != "filter" || qm.Failure.Stack == "" {
+			t.Fatalf("victim status row failure = %+v, want filter stage with stack", qm.Failure)
+		}
+	}
+	if !found {
+		t.Fatal("victim missing from metrics")
+	}
+}
+
+// The query.detect failpoint drives a panic through the confirmation
+// stage: the stream ends query_failed with the detect stage latched.
+func TestServerFaultInjectedDetectPanic(t *testing.T) {
+	if !fault.Enabled {
+		t.Skip("fault registry compiled out (vmq_nofault)")
+	}
+	fault.Reset()
+	if err := fault.Arm("query.detect=panic:after=5:times=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	p := video.Jackson()
+	cfg, _ := clipFeed(p, 42, 80)
+	srv := New(Config{})
+	if err := srv.AddFeed(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg, err := srv.Register(parse(t, `SELECT FRAMES FROM jackson WHERE COUNT(car) >= 0`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	_, final, sawEnd := drain(reg)
+	if !sawEnd {
+		t.Fatal("no end event")
+	}
+	if final.Reason != EndReasonQueryFailed {
+		t.Fatalf("end reason = %q, want %q", final.Reason, EndReasonQueryFailed)
+	}
+	if final.Final == nil || final.Final.Failure == nil || final.Final.Failure.Stage != "detect" {
+		t.Fatalf("final = %+v, want a detect-stage failure", final.Final)
+	}
+	if got := fault.Fired("query.detect"); got != 1 {
+		t.Fatalf("failpoint fired %d times, want 1", got)
+	}
+}

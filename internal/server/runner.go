@@ -1,9 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"math"
 	"os"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmq/internal/detect"
@@ -111,10 +114,13 @@ type Event struct {
 	Window      *query.AggregateResult `json:"window,omitempty"`
 
 	// End events. Reason says why the stream ended when an operator
-	// action ended it ("feed_drained", "feed_removed"); empty when the
-	// source ran out or the query hit its own frame budget.
+	// action ended it ("feed_drained", "feed_removed") or a fault did
+	// ("query_failed"); empty when the source ran out or the query hit
+	// its own frame budget. Error carries the panic value's string form
+	// on a query_failed end.
 	Final  *query.Result `json:"final,omitempty"`
 	Reason string        `json:"reason,omitempty"`
+	Error  string        `json:"error,omitempty"`
 
 	// Gap events: the half-open dropped range. DroppedFrom has no
 	// omitempty — 0 is its most common legitimate value (a resume from
@@ -126,11 +132,16 @@ type Event struct {
 
 // Registration is one continuous query registered against a feed.
 type Registration struct {
-	id   string
-	feed *feed
-	qry  *vql.Query
-	plan *query.Plan
-	sub  *stream.Subscription
+	id string
+	// feed is nil for a registration recovered in its finished form (the
+	// feed may no longer exist); feedName always carries the name.
+	feed     *feed
+	feedName string
+	qry      *vql.Query
+	plan     *query.Plan
+	// sub is nil for a finished-form recovery (no runner, no fan-out
+	// slot); every use outside the runner goroutine must tolerate that.
+	sub *stream.Subscription
 
 	// log is the registration's result log: the runner appends, any
 	// number of consumers read through cursors (Results, ResultsFrom).
@@ -138,6 +149,19 @@ type Registration struct {
 	spill      *rlog.FileSpill[Event] // non-nil when a spill is attached
 	spillOwned string                 // server-managed spill dir, removed on closeSpill
 	done       chan struct{}
+
+	// killed marks a simulated process kill (tests): the runner's
+	// unwinding emits are dropped so the log holds exactly what a real
+	// kill would have persisted.
+	killed atomic.Bool
+	// endOnce guards the final end event: the runner's orderly end and
+	// the panic barrier's forced end must not both land.
+	endOnce sync.Once
+	// onAck, when set, journals acknowledged positions durably (the
+	// manifest's query_ack records).
+	onAck func(int64)
+	// recovered marks a registration re-created from the manifest.
+	recovered bool
 
 	resultsOnce sync.Once
 	resultsCh   chan Event
@@ -159,13 +183,14 @@ type regStats struct {
 	detectCost   time.Duration // per-confirmation detector charge
 	virtualExtra time.Duration // window runners: per-sample cost actually paid
 	finished     bool
+	failure      *query.Failure // the recovered panic when the query failed
 }
 
 // ID returns the registration id the HTTP API addresses.
 func (r *Registration) ID() string { return r.id }
 
 // Feed returns the feed name the query runs on.
-func (r *Registration) Feed() string { return r.feed.name }
+func (r *Registration) Feed() string { return r.feedName }
 
 // Query returns the registered query.
 func (r *Registration) Query() *vql.Query { return r.qry }
@@ -216,7 +241,21 @@ func (r *Registration) ResultsFrom(seq int64) *rlog.Reader[Event] {
 // consumer is attached. The result log's retention floor follows the
 // acknowledged position from then on. Returns the highest acked
 // sequence.
-func (r *Registration) Ack(seq int64) int64 { return r.log.Ack(seq) }
+func (r *Registration) Ack(seq int64) int64 {
+	acked := r.log.Ack(seq)
+	r.noteAck(acked)
+	return acked
+}
+
+// noteAck journals an acknowledged position when the registration is
+// journalled. Streaming paths that ack through their own reader call
+// this with the reader's result so durable cursors follow every ack
+// route.
+func (r *Registration) noteAck(acked int64) {
+	if r.onAck != nil && acked >= 0 {
+		r.onAck(acked)
+	}
+}
 
 // neverBlock is a pre-closed abort channel: a log read given it returns
 // immediately instead of waiting for the writer — how history paging
@@ -259,7 +298,7 @@ func (r *Registration) itemEvent(it rlog.Item[Event]) Event {
 	return Event{
 		Kind:        EventGap,
 		QueryID:     r.id,
-		Feed:        r.feed.name,
+		Feed:        r.feedName,
 		EventSeq:    it.Gap.From,
 		DroppedFrom: it.Gap.From,
 		DroppedTo:   it.Gap.To,
@@ -282,7 +321,10 @@ func (r *Registration) Done() <-chan struct{} { return r.done }
 // registration is cancelled.
 func (r *Registration) emit(ev Event, droppable bool) {
 	ev.QueryID = r.id
-	ev.Feed = r.feed.name
+	ev.Feed = r.feedName
+	if r.killed.Load() {
+		return // simulated process kill: nothing lands after the cut
+	}
 	select {
 	case <-r.sub.Cancelled():
 		return
@@ -292,6 +334,68 @@ func (r *Registration) emit(ev Event, droppable bool) {
 	// so the stored event carries its own resume cursor.
 	ev.EventSeq = r.log.NextSeq()
 	r.log.Append(ev, droppable, r.sub.Cancelled())
+}
+
+// emitFinal appends the stream's single end event. endOnce keeps the
+// orderly end and the panic barrier's forced end from both landing.
+// force bypasses the cancellation drop: the barrier runs after the
+// runner's deferred sub.Cancel, yet its query_failed notice must reach
+// consumers; a normal end keeps the long-standing drop-on-unregister
+// semantics.
+func (r *Registration) emitFinal(ev Event, force bool) {
+	r.endOnce.Do(func() {
+		if r.killed.Load() {
+			return
+		}
+		if !force {
+			select {
+			case <-r.sub.Cancelled():
+				return
+			default:
+			}
+		}
+		ev.QueryID = r.id
+		ev.Feed = r.feedName
+		ev.EventSeq = r.log.NextSeq()
+		r.log.Append(ev, false, nil)
+	})
+}
+
+// guard runs one runner goroutine body under a panic barrier: a
+// panicking backend or detector ends that query with a typed
+// query_failed event — panic value and stack preserved in the status
+// row — instead of tearing the process down with every other query on
+// it.
+func (r *Registration) guard(run func()) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		fail := &query.Failure{
+			Stage: "runner",
+			Panic: fmt.Sprint(p),
+			Stack: string(debug.Stack()),
+		}
+		r.stats.mu.Lock()
+		r.stats.failure = fail
+		r.stats.finished = true
+		r.stats.mu.Unlock()
+		r.emitFinal(Event{
+			Kind:   EventEnd,
+			Reason: EndReasonQueryFailed,
+			Error:  fail.Panic,
+		}, true)
+	}()
+	run()
+}
+
+// cancelSub cancels the registration's subscription when it has one
+// (finished-form recoveries never do).
+func (r *Registration) cancelSub() {
+	if r.sub != nil {
+		r.sub.Cancel()
+	}
 }
 
 // finish closes the result log (consumers drain and end) and signals
@@ -317,6 +421,15 @@ func (r *Registration) closeSpill() {
 	_ = r.spill.Close()
 	if r.spillOwned != "" {
 		_ = os.RemoveAll(r.spillOwned)
+	}
+}
+
+// closeSpillKeep closes the spill's descriptors but leaves its files in
+// place — the shutdown path of a journaling server, whose restart
+// replays history from those segments.
+func (r *Registration) closeSpillKeep() {
+	if r.spill != nil {
+		_ = r.spill.Close()
 	}
 }
 
@@ -349,13 +462,21 @@ func (r *Registration) runMonitor(eng *query.Engine, n int) {
 		}
 	}
 	res := eng.RunStream(r.plan, r.sub, n)
+	ev := Event{Kind: EventEnd, Final: res, Reason: r.feed.endedReason()}
 	r.stats.mu.Lock()
 	r.stats.finished = true
+	if res != nil && res.Failure != nil {
+		// The executor latched a backend/detector panic and drained: the
+		// stream ends failed, not exhausted.
+		r.stats.failure = res.Failure
+		ev.Reason = EndReasonQueryFailed
+		ev.Error = res.Failure.Panic
+	}
 	r.stats.mu.Unlock()
 	// The end event is not droppable: however hard the policy shed load,
 	// the stream's totals always land (overwriting the oldest retained
 	// event if it must).
-	r.emit(Event{Kind: EventEnd, Final: res, Reason: r.feed.endedReason()}, false)
+	r.emitFinal(ev, false)
 }
 
 // runWindows executes a windowed aggregate query continuously: it builds
@@ -430,5 +551,5 @@ func (r *Registration) finishWindows() {
 	r.stats.mu.Lock()
 	r.stats.finished = true
 	r.stats.mu.Unlock()
-	r.emit(Event{Kind: EventEnd, Reason: r.feed.endedReason()}, false)
+	r.emitFinal(Event{Kind: EventEnd, Reason: r.feed.endedReason()}, false)
 }

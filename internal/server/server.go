@@ -69,6 +69,10 @@ const (
 	// EndReasonFeedDrained marks end events from a graceful DrainFeed (or
 	// server Shutdown).
 	EndReasonFeedDrained = "feed_drained"
+	// EndReasonQueryFailed marks end events from a query whose backend or
+	// detector panicked: the panic was isolated to the query, its final
+	// event carries the fault, and its siblings keep streaming.
+	EndReasonQueryFailed = "query_failed"
 )
 
 // MaxResultBuffer caps a registration's requested result-log ring
@@ -140,6 +144,16 @@ type Config struct {
 	// for attached spills; a registration's Options.SpillConfig
 	// overrides it, and the zero value selects the rlog defaults.
 	Spill rlog.SpillConfig
+	// StateDir, when set, is where Recover keeps the durable control-plane
+	// manifest (and, unless SpillDir overrides it, result spills under
+	// StateDir/spill). New ignores it — journaling is enabled by building
+	// the server with Recover.
+	StateDir string
+	// StallAfter is the watchdog window: a running feed with subscribers
+	// that has not dispatched a frame for longer is flagged stalled in
+	// /metrics, feed listings and /healthz. Default 10s; negative
+	// disables the watchdog.
+	StallAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -171,7 +185,14 @@ func (c Config) withDefaults() Config {
 		c.CoalesceFlush = 2 * time.Millisecond
 	}
 	if c.SpillDir == "" {
-		c.SpillDir = filepath.Join(os.TempDir(), "vmq-spill")
+		if c.StateDir != "" {
+			c.SpillDir = filepath.Join(c.StateDir, "spill")
+		} else {
+			c.SpillDir = filepath.Join(os.TempDir(), "vmq-spill")
+		}
+	}
+	if c.StallAfter == 0 {
+		c.StallAfter = 10 * time.Second
 	}
 	return c
 }
@@ -182,6 +203,7 @@ type Server struct {
 	birth    time.Time
 	broker   *sched.Broker // cross-feed inference coalescing (nil when disabled)
 	budget   *budgeter     // server-wide filter worker budget
+	manifest *manifest     // durable control-plane journal (nil unless built with Recover)
 	mu       sync.Mutex
 	feeds    map[string]*feed
 	regs     map[string]*Registration
@@ -255,7 +277,11 @@ func (s *Server) DrainFeed(name string) error {
 	if err != nil {
 		return err
 	}
-	f.drain(EndReasonFeedDrained)
+	if f.drain(EndReasonFeedDrained) && s.manifest != nil {
+		// Journal only the initiating call: replaying duplicate drains is
+		// harmless but pointless.
+		_ = s.manifest.feedDrained(name)
+	}
 	return nil
 }
 
@@ -290,10 +316,14 @@ func (s *Server) RemoveFeed(name string) error {
 	f.close()
 	f.start() // a never-started pump must still observe Stop and close its subscriptions
 	s.mu.Lock()
-	if s.feeds[name] == f {
+	removed := s.feeds[name] == f
+	if removed {
 		delete(s.feeds, name)
 	}
 	s.mu.Unlock()
+	if removed && s.manifest != nil {
+		_ = s.manifest.feedRemoved(name)
+	}
 	return nil
 }
 
@@ -383,12 +413,29 @@ func (s *Server) Start() {
 // Registering before Start is how a batch of queries is guaranteed to see
 // the feed's very first frame; registering later joins mid-stream.
 func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
+	return s.register(q, opt, nil)
+}
+
+// register is Register plus the recovery path: a non-nil pin re-creates
+// a journalled registration under its original id with its result log
+// already resumed over the existing spill segments, instead of minting
+// fresh ones.
+func (s *Server) register(q *vql.Query, opt Options, pin *recoveredQuery) (*Registration, error) {
 	policy := opt.Policy
 	if policy == "" {
 		policy = s.cfg.DefaultPolicy
 	}
 	if _, ok := rlog.ParsePolicy(string(policy)); !ok {
 		return nil, fmt.Errorf("server: unknown delivery policy %q", policy)
+	}
+	// Only registrations expressible over the wire are journalled: a
+	// programmatic backend, detector or caller-owned spill cannot be
+	// re-created from a record, so those queries stay session-scoped
+	// exactly as on a server without a manifest.
+	journaled := s.manifest != nil && opt.Backend == nil && opt.Detector == nil &&
+		opt.SpillPath == "" && opt.SpillConfig == (rlog.SpillConfig{})
+	if pin != nil {
+		journaled = s.manifest != nil
 	}
 
 	s.mu.Lock()
@@ -410,9 +457,25 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		return nil, fmt.Errorf("%w: feed %q serves %d queries (limit %d)",
 			ErrFeedBusy, f.name, lim, lim)
 	}
-	s.nextID++
-	id := fmt.Sprintf("q%d", s.nextID)
-	s.mu.Unlock()
+	var id string
+	if pin != nil {
+		id = pin.id
+		s.mu.Unlock()
+	} else {
+		s.nextID++
+		id = fmt.Sprintf("q%d", s.nextID)
+		reserved := s.nextID
+		s.mu.Unlock()
+		if journaled {
+			// Reserve the id durably before its spill directory exists: a
+			// crash right after the spill is created must not let a restart
+			// hand the id to a new query whose consumers would then replay
+			// the dead registration's stale segments.
+			if err := s.manifest.reserveID(reserved); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	plan, err := query.Bind(q, f.profile)
 	if err != nil {
@@ -441,26 +504,42 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	if buffer <= 0 {
 		buffer = s.cfg.ResultBuffer
 	}
-	log := rlog.New[Event](buffer, policy)
-	spillCfg := opt.SpillConfig
-	if spillCfg == (rlog.SpillConfig{}) {
-		spillCfg = s.cfg.Spill
-	}
-	var spill *rlog.FileSpill[Event]
-	var spillOwned string
-	switch {
-	case opt.SpillPath != "":
-		spill, err = rlog.NewFileSpill[Event](opt.SpillPath, spillCfg)
-	case opt.Spill:
-		dir := filepath.Join(s.cfg.SpillDir, id)
-		spill, err = rlog.NewFileSpill[Event](dir, spillCfg)
-		spillOwned = dir
-	}
-	if err != nil {
-		return nil, err
-	}
-	if spill != nil {
-		log.SetSpill(spill)
+	var (
+		log        *rlog.Log[Event]
+		spill      *rlog.FileSpill[Event]
+		spillOwned string
+	)
+	if pin != nil {
+		log, spill, spillOwned = pin.log, pin.spill, pin.spillOwned
+	} else {
+		log = rlog.New[Event](buffer, policy)
+		spillCfg := opt.SpillConfig
+		if spillCfg == (rlog.SpillConfig{}) {
+			spillCfg = s.cfg.Spill
+		}
+		if journaled {
+			// Journalled spills are the recovery substrate: durable (each
+			// append flushed, segments fsynced on seal) and write-ahead, so
+			// any event a consumer was promised survives a kill.
+			spillCfg.Durable = true
+		}
+		switch {
+		case opt.SpillPath != "":
+			spill, err = rlog.NewFileSpill[Event](opt.SpillPath, spillCfg)
+		case opt.Spill:
+			dir := filepath.Join(s.cfg.SpillDir, id)
+			spill, err = rlog.NewFileSpill[Event](dir, spillCfg)
+			spillOwned = dir
+		}
+		if err != nil {
+			return nil, err
+		}
+		if spill != nil {
+			log.SetSpill(spill)
+			if journaled {
+				log.SetWriteThrough()
+			}
+		}
 	}
 
 	backend := f.sharedFor(opt.Backend, s.cfg.SharedCacheCap)
@@ -472,6 +551,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 	r := &Registration{
 		id:         id,
 		feed:       f,
+		feedName:   f.name,
 		qry:        q,
 		plan:       plan,
 		sub:        f.fanout.Subscribe(),
@@ -479,11 +559,37 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		spill:      spill,
 		spillOwned: spillOwned,
 		done:       make(chan struct{}),
+		recovered:  pin != nil,
 	}
 	r.stats.detectCost = det.Cost().PerCall
 	r.stats.windowed = isWindowed
 	if plan.Where != nil && !isWindowed {
 		r.stats.filterCost = backend.Technique().Cost().PerCall
+	}
+	if journaled {
+		m := s.manifest
+		r.onAck = func(seq int64) { _ = m.queryAcked(id, seq) }
+		if pin == nil {
+			// Journal before the commit: a record for a registration that
+			// then fails to commit is compensated below; the reverse — a
+			// committed registration with no record — would silently vanish
+			// on restart.
+			rec := QueryRecord{
+				ID: id, Query: q.String(), Feed: f.name,
+				MaxFrames: opt.MaxFrames, SampleSize: opt.SampleSize, Seed: opt.Seed,
+				ResultBuffer: opt.ResultBuffer, Policy: string(policy), Spill: opt.Spill,
+			}
+			if opt.Tol != nil {
+				ct, lt := opt.Tol.Count, opt.Tol.Location
+				rec.CountTol, rec.LocationTol = &ct, &lt
+			}
+			if jerr := s.manifest.queryRegistered(rec); jerr != nil {
+				r.sub.Cancel()
+				r.closeSpill()
+				f.release(usesDefault, opt.Backend)
+				return nil, jerr
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -510,6 +616,9 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		r.sub.Cancel()
 		r.closeSpill()
 		f.release(usesDefault, opt.Backend)
+		if journaled && pin == nil {
+			_ = s.manifest.queryUnregistered(id)
+		}
 		return nil, err
 	}
 	s.regs[id] = r
@@ -542,10 +651,11 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		}
 		go func() {
 			defer s.wg.Done()
-			r.runWindows(backend, det, cfg, opt.MaxFrames)
+			r.guard(func() { r.runWindows(backend, det, cfg, opt.MaxFrames) })
 			release()
 			r.finish()
 			s.retire(id)
+			s.journalFinished(r, journaled)
 		}()
 	} else {
 		// ChunkSize 1: a monitoring server exists to surface matches the
@@ -564,7 +674,7 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 		}
 		go func() {
 			defer s.wg.Done()
-			r.runMonitor(eng, opt.MaxFrames)
+			r.guard(func() { r.runMonitor(eng, opt.MaxFrames) })
 			// Release before signalling Done: whoever waited on the
 			// unregister sees the worker budget already rebalanced and
 			// the admission slot already free.
@@ -574,9 +684,22 @@ func (s *Server) Register(q *vql.Query, opt Options) (*Registration, error) {
 			release()
 			r.finish()
 			s.retire(id)
+			s.journalFinished(r, journaled)
 		}()
 	}
 	return r, nil
+}
+
+// journalFinished settles a finished runner's manifest record. A spilled
+// query keeps its record — its spill ends with the end event, so a
+// restart recovers it as a finished row with its history replayable. A
+// ring-only query has nothing durable to replay; its record is removed
+// so a restart does not re-run a query that already completed.
+func (s *Server) journalFinished(r *Registration, journaled bool) {
+	if !journaled || r.spill != nil || r.killed.Load() {
+		return
+	}
+	_ = s.manifest.queryUnregistered(r.id)
 }
 
 // retire records that a registration's runner finished on its own,
@@ -599,6 +722,13 @@ func (s *Server) retire(id string) {
 	}
 	s.mu.Unlock()
 	for _, r := range evicted {
+		// Eviction removes the query from the registry for good, so the
+		// manifest record (and with it the spill directory) goes too —
+		// otherwise a restart would resurrect rows the living server
+		// already forgot.
+		if s.manifest != nil {
+			_ = s.manifest.queryUnregistered(r.id)
+		}
 		r.closeSpill()
 	}
 }
@@ -637,9 +767,12 @@ func (s *Server) Unregister(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrQueryNotFound, id)
 	}
-	r.sub.Cancel()
+	r.cancelSub()
 	<-r.done
 	r.closeSpill()
+	if s.manifest != nil {
+		_ = s.manifest.queryUnregistered(id)
+	}
 	return nil
 }
 
@@ -663,7 +796,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	for _, r := range regs {
-		r.sub.Cancel()
+		r.cancelSub()
 	}
 	for _, f := range feeds {
 		f.close()
@@ -673,9 +806,18 @@ func (s *Server) Close() {
 	s.budget.stop()
 	// Flush and close live registrations' spills (retire/Unregister cover
 	// their own paths); FileSpill buffers writes, so skipping this would
-	// drop buffered entries and leak the descriptor.
+	// drop buffered entries and leak the descriptor. A journaling server
+	// keeps the directories: the manifest still records these queries,
+	// and a restart replays their history from exactly these segments.
 	for _, r := range regs {
-		r.closeSpill()
+		if s.manifest != nil {
+			r.closeSpillKeep()
+		} else {
+			r.closeSpill()
+		}
+	}
+	if s.manifest != nil {
+		_ = s.manifest.close()
 	}
 }
 
@@ -724,6 +866,13 @@ type FeedMetrics struct {
 	// Workers is the feed's current share of the server-wide filter
 	// worker budget (0 while no monitoring query runs on it).
 	Workers int `json:"workers"`
+	// LastFrameUnixMs is when the pump last dispatched a frame (Unix
+	// milliseconds; 0 before the first frame) — the watchdog's input.
+	LastFrameUnixMs int64 `json:"last_frame_unix_ms,omitempty"`
+	// Stalled reports the watchdog verdict: the feed is running with
+	// subscribers but has not dispatched a frame within
+	// Config.StallAfter.
+	Stalled bool `json:"stalled,omitempty"`
 	// ScanBatches is how many micro-batches the shared scan has flushed;
 	// ScanAvgBatch is their mean size in frames.
 	ScanBatches  int64   `json:"scan_batches,omitempty"`
@@ -798,6 +947,12 @@ type QueryMetrics struct {
 	// footprint and segment count of its result history.
 	SpillBytes    int64 `json:"spill_bytes,omitempty"`
 	SpillSegments int   `json:"spill_segments,omitempty"`
+	// Recovered marks a registration re-created from the durable
+	// manifest after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+	// Failure carries the recovered panic when the query ended because
+	// its backend or detector panicked (end reason "query_failed").
+	Failure *query.Failure `json:"failure,omitempty"`
 }
 
 // Metrics snapshots the server.
@@ -834,6 +989,7 @@ func (s *Server) Metrics() Metrics {
 			Queries: f.fanout.Subscribers(),
 			Workers: shares[f.name],
 		}
+		fm.LastFrameUnixMs, fm.Stalled = f.stalledNow(s.cfg.StallAfter)
 		if f.push != nil {
 			fm.Ingest = &IngestMetrics{
 				Policy:    string(f.push.Policy()),
@@ -897,7 +1053,7 @@ func (r *Registration) metricsRow() QueryMetrics {
 	r.stats.mu.Lock()
 	qm := QueryMetrics{
 		ID:            r.id,
-		Feed:          r.feed.name,
+		Feed:          r.feedName,
 		Query:         r.qry.String(),
 		Done:          r.stats.finished,
 		Frames:        r.stats.frames,
@@ -907,7 +1063,6 @@ func (r *Registration) metricsRow() QueryMetrics {
 		Windows:       r.stats.windows,
 		Recall:        r.stats.acc.Recall(),
 		Precision:     r.stats.acc.Precision(),
-		QueueDepth:    r.sub.Depth(),
 		Policy:        string(r.log.Policy()),
 		EventSeq:      r.log.NextSeq(),
 		FirstRetained: r.log.FirstRetained(),
@@ -915,6 +1070,11 @@ func (r *Registration) metricsRow() QueryMetrics {
 		Readers:       r.log.Readers(),
 		ConsumerLag:   r.log.Lag(),
 		Acked:         r.log.AckedSeq(),
+		Recovered:     r.recovered,
+		Failure:       r.stats.failure,
+	}
+	if r.sub != nil {
+		qm.QueueDepth = r.sub.Depth()
 	}
 	if r.stats.frames > 0 {
 		qm.Selectivity = float64(r.stats.passed) / float64(r.stats.frames)

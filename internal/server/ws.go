@@ -164,7 +164,7 @@ func (s *Server) serveResultsWS(w http.ResponseWriter, r *http.Request, reg *Reg
 					wmu.Unlock()
 					return
 				}
-				reader.Ack(*msg.Ack)
+				reg.noteAck(reader.Ack(*msg.Ack))
 			case wsOpPing:
 				if writeFrame(wsOpPong, payload) != nil {
 					return

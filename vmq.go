@@ -79,6 +79,13 @@ type (
 	ServerConfig = server.Config
 	// FeedConfig describes one named live feed.
 	FeedConfig = server.FeedConfig
+	// FeedSpec is a feed's serialisable description (the POST /v1/feeds
+	// wire shape): feeds created from a spec on a journaling server are
+	// recorded durably and re-created on restart.
+	FeedSpec = server.FeedSpec
+	// QueryFailure captures a panic recovered inside a query's execution
+	// pipeline — the evidence behind a query_failed end event.
+	QueryFailure = query.Failure
 	// Registration is one continuous query registered on a Server.
 	Registration = server.Registration
 	// RegistrationOptions tunes one query registration.
@@ -163,6 +170,10 @@ const (
 const (
 	EndReasonFeedDrained = server.EndReasonFeedDrained
 	EndReasonFeedRemoved = server.EndReasonFeedRemoved
+	// EndReasonQueryFailed marks a stream ended by a recovered panic in
+	// the query's backend or detector; Event.Error carries the panic
+	// value and the status row the full QueryFailure.
+	EndReasonQueryFailed = server.EndReasonQueryFailed
 )
 
 // PushSource is a bounded ingest ring feeds frames are published into at
@@ -206,6 +217,17 @@ func EncodeFrames(frames []*Frame) ([]byte, error) { return server.EncodeFrames(
 // estimates until the feed ends or the query is unregistered. Server
 // .Handler() exposes the same lifecycle over HTTP (see cmd/vmq serve).
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// RecoverServer builds a server from the durable manifest under
+// ServerConfig.StateDir, re-creating journalled feeds and queries with
+// their original ids and resuming their result logs from the on-disk
+// spill segments — consumers reconnect with ?from= and continue
+// gap-free across the restart. It is also how journaling is enabled:
+// servers built with NewServer never journal, servers built with
+// RecoverServer journal every wire-expressible feed and query from then
+// on. A StateDir with no manifest yet recovers an empty server and
+// starts the journal.
+func RecoverServer(cfg ServerConfig) (*Server, error) { return server.Recover(cfg) }
 
 // LiveFeed is the standard synthetic live feed over a profile: an
 // unbounded simulator stream with OD filtering and oracle confirmation,
