@@ -8,6 +8,7 @@
 //	vmq aggregate -q 'SELECT COUNT(FRAMES) FROM jackson WHERE car LEFT OF person' [-window N] [-samples K]
 //	vmq windows -q 'SELECT COUNT(FRAMES) FROM jackson WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 1000, ADVANCE BY 1000)' [-n N] [-samples K]
 //	vmq serve   [-addr :8372] [-feeds jackson,detrac] [-fps 30] [-seed 42] [-policy block|drop-oldest|sample-under-pressure] [-result-log N] [-max-queries N]
+//	vmq route   [-addr :8473] -shard http://a:8372 -shard http://b:8372 [-vnodes N] [-probe-interval D] [-breaker-failures N] [-breaker-cooldown D]
 //	vmq experiment -name tableII|fig7|fig11|fig15|tableIII|tableIV|constraint|branch|anomaly|all [-frames N] [-reps N]
 //	vmq train   [-dataset jackson] [-frames N] [-epochs N]
 package main
@@ -52,6 +53,8 @@ func run(argv []string, out, errw io.Writer) int {
 		err = cmdWindows(argv[1:], out, errw)
 	case "serve":
 		err = cmdServe(argv[1:], out, errw)
+	case "route":
+		err = cmdRoute(argv[1:], out, errw)
 	case "experiment":
 		err = cmdExperiment(argv[1:], out, errw)
 	case "train":
@@ -82,6 +85,8 @@ commands:
   aggregate    run a windowed aggregate with control variates
   windows      run a windowed aggregate over n consecutive windows
   serve        host continuous queries over live feeds (HTTP API)
+  route        front a fleet of serve shards with one query surface
+               (consistent-hash feed routing, merged result streams)
   experiment   regenerate a paper table/figure (tableII, fig7, fig11,
                fig15, tableIII, tableIV, constraint, branch, anomaly, all)
   train        train a real CNN filter and report its accuracy`)

@@ -186,7 +186,8 @@ func TestServeGracefulShutdown(t *testing.T) {
 	defer cancel()
 	var out strings.Builder
 	done := make(chan error, 1)
-	go func() { done <- runServe(ctx, srv, ln, "jackson", 10*time.Second, &out) }()
+	hs, errc := serveHolding(ln)
+	go func() { done <- runServe(ctx, srv, hs, errc, ln.Addr().String(), "jackson", 10*time.Second, &out) }()
 	base := "http://" + ln.Addr().String()
 
 	// Wait for the listener to serve.

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vmq/internal/fleet"
+)
+
+// cmdRoute fronts a fleet of vmq serve shards with one query surface:
+// feed names consistent-hash onto shards, POST /v1/queries routes to
+// the FROM clause's owner, GET /v1/stream fans per-shard result relays
+// into one merged shard-attributed NDJSON stream, and acks route back
+// to the owning shard so exactly-once consumption holds fleet-wide.
+// Each shard link is supervised: health probes feed a circuit breaker,
+// dead shards back off with jitter, and relays resume streams from
+// their last relayed event_seq when a shard restarts.
+func cmdRoute(args []string, out, errw io.Writer) error {
+	fs := newFlagSet("route", errw)
+	addr := fs.String("addr", ":8473", "listen address")
+	var shardFlags []string
+	fs.Func("shard", "shard base URL, repeatable: [name=]http://host:port (unnamed shards get s0, s1, ...)", func(v string) error {
+		shardFlags = append(shardFlags, v)
+		return nil
+	})
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default 64)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "per-shard health probe cadence")
+	breakerFailures := fs.Int("breaker-failures", 3, "consecutive failures that open a shard's circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe")
+	dialTimeout := fs.Duration("dial-timeout", 2*time.Second, "shard connection timeout")
+	requestTimeout := fs.Duration("request-timeout", 5*time.Second, "bounded shard call timeout (streams are never bounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shards, err := parseShardFlags(shardFlags)
+	if err != nil {
+		return err
+	}
+	rt, err := fleet.New(fleet.Config{
+		Shards:          shards,
+		VNodes:          *vnodes,
+		ProbeInterval:   *probeInterval,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		DialTimeout:     *dialTimeout,
+		RequestTimeout:  *requestTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(shards))
+	for i, s := range shards {
+		names[i] = s.Name + "=" + s.URL
+	}
+	fmt.Fprintf(out, "vmq route: %d shard(s) [%s] on http://%s\n", len(shards), strings.Join(names, " "), ln.Addr())
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "vmq route: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// parseShardFlags turns repeated -shard values into named shards:
+// "name=url" keeps the name, a bare URL gets s<index>.
+func parseShardFlags(flags []string) ([]fleet.ShardInfo, error) {
+	if len(flags) == 0 {
+		return nil, fmt.Errorf("route: at least one -shard is required")
+	}
+	shards := make([]fleet.ShardInfo, 0, len(flags))
+	for i, v := range flags {
+		name, rawURL := fmt.Sprintf("s%d", i), v
+		if eq := strings.Index(v, "="); eq > 0 && !strings.Contains(v[:eq], "/") {
+			name, rawURL = v[:eq], v[eq+1:]
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("route: -shard %q: want [name=]http://host:port", v)
+		}
+		shards = append(shards, fleet.ShardInfo{Name: name, URL: rawURL})
+	}
+	return shards, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRouteShardFlagParsing(t *testing.T) {
+	shards, err := parseShardFlags([]string{
+		"alpha=http://10.0.0.1:8372",
+		"http://10.0.0.2:8372",
+		"beta=https://shard-b.example:443",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ name, url string }{
+		{"alpha", "http://10.0.0.1:8372"},
+		{"s1", "http://10.0.0.2:8372"}, // bare URLs are named by position
+		{"beta", "https://shard-b.example:443"},
+	}
+	if len(shards) != len(want) {
+		t.Fatalf("parsed %d shards, want %d", len(shards), len(want))
+	}
+	for i, w := range want {
+		if shards[i].Name != w.name || shards[i].URL != w.url {
+			t.Fatalf("shard %d = %s=%s, want %s=%s", i, shards[i].Name, shards[i].URL, w.name, w.url)
+		}
+	}
+}
+
+func TestRouteShardFlagErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		flags []string
+	}{
+		{"no shards", nil},
+		{"bad scheme", []string{"ftp://host:1"}},
+		{"no host", []string{"http://"}},
+		{"garbage", []string{"alpha=not a url"}},
+	}
+	for _, tc := range cases {
+		if _, err := parseShardFlags(tc.flags); err == nil {
+			t.Errorf("%s: parseShardFlags(%v) accepted, want error", tc.name, tc.flags)
+		}
+	}
+}
+
+// cmdRoute refuses duplicate shard names before binding a port: the
+// router's constructor validates the fleet.
+func TestRouteRejectsDuplicateShards(t *testing.T) {
+	err := cmdRoute([]string{
+		"-shard", "a=http://127.0.0.1:1",
+		"-shard", "a=http://127.0.0.1:2",
+	}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("cmdRoute with duplicate names: err = %v, want duplicate-shard error", err)
+	}
+}
+
+// The holding handler cmd serve installs before recovery: 503 with the
+// recovering status on healthz paths and the error envelope elsewhere.
+func TestServeHoldingHandler(t *testing.T) {
+	sw := newSwapHandler()
+	for path, wantBody := range map[string]string{
+		"/v1/healthz": `"status":"recovering"`,
+		"/v1/queries": `"code":"recovering"`,
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		sw.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while holding: HTTP %d, want 503", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), wantBody) {
+			t.Fatalf("%s while holding: body %q, want %q", path, rec.Body.String(), wantBody)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -57,43 +58,90 @@ func cmdServe(args []string, out, errw io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Bind and serve the holding handler before recovery: on a durable
+	// restart the port answers 503 {"status":"recovering"} while the
+	// manifest replays, so probers (and a fleet router) see readiness
+	// honestly instead of connection refused.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs, errc := serveHolding(ln)
 	srv, err := buildServer(serveConfig{
 		feeds: *feeds, seed: *seed, fps: *fps, frames: *frames,
 		policy: *policy, resultLog: *resultLog, maxQueries: *maxQueries,
 		spillDir: *spillDir, spillRetain: *spillRetain, stateDir: *stateDir,
 	})
 	if err != nil {
-		return err
-	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		srv.Close()
+		hs.Close()
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return runServe(ctx, srv, ln, *feeds, *drainTimeout, out)
+	return runServe(ctx, srv, hs, errc, ln.Addr().String(), *feeds, *drainTimeout, out)
 }
 
-// runServe serves the HTTP API on ln until ctx is cancelled (the signal
-// path), then shuts down gracefully: listener first, feeds drained with
-// their end events delivered, server closed. Split from cmdServe so
-// tests can drive the shutdown with a context instead of a signal.
-func runServe(ctx context.Context, srv *vmq.Server, ln net.Listener, feeds string, drainTimeout time.Duration, out io.Writer) error {
-	srv.Start()
-	fmt.Fprintf(out, "vmq serve: feeds [%s] on http://%s (try: curl -N -d 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' http://%s/queries)\n",
-		feeds, ln.Addr(), ln.Addr())
-	// ReadHeaderTimeout bounds how long an idle connection may sit in a
-	// half-sent request (slowloris); IdleTimeout reclaims keep-alive
-	// connections. No WriteTimeout: result streams are long-lived by
-	// design and must not be severed by a wall clock.
+// swapHandler serves 503 {"status":"recovering"} until Set swaps in the
+// real API — the readiness gate between binding the port and finishing
+// manifest recovery.
+type swapHandler struct {
+	h atomic.Value // holds hbox (atomic.Value wants one concrete type)
+}
+
+// hbox boxes handlers of differing concrete types for atomic.Value.
+type hbox struct{ h http.Handler }
+
+func newSwapHandler() *swapHandler {
+	sw := &swapHandler{}
+	sw.h.Store(hbox{h: http.HandlerFunc(serveRecovering)})
+	return sw
+}
+
+func (sw *swapHandler) Set(h http.Handler) { sw.h.Store(hbox{h: h}) }
+func (sw *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw.h.Load().(hbox).h.ServeHTTP(w, r)
+}
+
+// serveRecovering is the holding response: healthz paths get the status
+// body a readiness probe expects, everything else the error envelope.
+func serveRecovering(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	if strings.HasSuffix(r.URL.Path, "/healthz") {
+		io.WriteString(w, "{\"status\":\"recovering\"}\n")
+		return
+	}
+	io.WriteString(w, "{\"error\":{\"code\":\"recovering\",\"message\":\"server is recovering; retry shortly\"}}\n")
+}
+
+// serveHolding starts the HTTP server on ln behind a swapHandler.
+// ReadHeaderTimeout bounds how long an idle connection may sit in a
+// half-sent request (slowloris); IdleTimeout reclaims keep-alive
+// connections. No WriteTimeout: result streams are long-lived by
+// design and must not be severed by a wall clock.
+func serveHolding(ln net.Listener) (*http.Server, <-chan error) {
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           newSwapHandler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	return hs, errc
+}
+
+// runServe swaps the real API into the already-serving hs, starts the
+// feeds, and blocks until ctx is cancelled (the signal path), then
+// shuts down gracefully: listener first, feeds drained with their end
+// events delivered, server closed. Split from cmdServe so tests can
+// drive the shutdown with a context instead of a signal.
+func runServe(ctx context.Context, srv *vmq.Server, hs *http.Server, errc <-chan error, addr, feeds string, drainTimeout time.Duration, out io.Writer) error {
+	if sw, ok := hs.Handler.(*swapHandler); ok {
+		sw.Set(srv.Handler())
+	}
+	srv.Start()
+	fmt.Fprintf(out, "vmq serve: feeds [%s] on http://%s (try: curl -N -d 'SELECT FRAMES FROM jackson WHERE COUNT(car) = 1' http://%s/queries)\n",
+		feeds, addr, addr)
 	select {
 	case err := <-errc:
 		srv.Close()

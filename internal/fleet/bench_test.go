@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+
+	"vmq/internal/server"
+)
+
+// Relay overhead benchmarks: the same finished query history read
+// through the router's merged fan-in versus straight off a shard. The
+// merged case carries three shards' streams through one connection —
+// its per-event cost includes the relay goroutines, the fan-in
+// channel, and the StreamEvent re-encoding.
+
+const benchFrames = 500 // events per query: 500 matches + 1 end
+
+// benchDrain reads an NDJSON stream to EOF and returns the line count.
+func benchDrain(b *testing.B, url string) int {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("stream %s: HTTP %d", url, resp.StatusCode)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	n := 0
+	for scanner.Scan() {
+		if len(strings.TrimSpace(scanner.Text())) > 0 {
+			n++
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// benchQuery creates an unpaced finite feed owned by the wanted shard,
+// registers a match-all query on it, and waits for the runner to
+// finish so every iteration replays a complete, stable history.
+func benchQuery(b *testing.B, rt *Router, routerURL, shard string, taken map[string]bool) string {
+	b.Helper()
+	feed := feedOwnedBy(b, rt.ring, shard, taken)
+	createFeedVia(b, routerURL, map[string]any{
+		"name": feed, "profile": "jackson", "source": "sim", "max_frames": benchFrames,
+	})
+	id := registerVia(b, routerURL, "SELECT FRAMES FROM "+feed+" WHERE COUNT(car) >= 0",
+		map[string]any{"result_buffer": benchFrames + 8})
+	waitQueryDone(b, routerURL, id)
+	return id
+}
+
+// BenchmarkFleetRelayMerged measures one merged three-shard stream:
+// each iteration drains 3×(benchFrames+1) events through the router.
+func BenchmarkFleetRelayMerged(b *testing.B) {
+	d := newShardDirectory()
+	shards := []*testShard{
+		startShard(b, d, "alpha", "", server.Config{}),
+		startShard(b, d, "bravo", "", server.Config{}),
+		startShard(b, d, "charlie", "", server.Config{}),
+	}
+	for _, s := range shards {
+		defer s.srv.Close()
+		defer s.ts.Close()
+	}
+	rt, rts := startRouter(b, testRouterConfig(d, shards...))
+
+	taken := map[string]bool{}
+	var ids []string
+	for _, s := range shards {
+		ids = append(ids, benchQuery(b, rt, rts.URL, s.name, taken))
+	}
+	url := rts.URL + "/v1/stream?id=" + strings.Join(ids, "@0&id=") + "@0"
+	want := len(ids) * (benchFrames + 1)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := benchDrain(b, url); n < want {
+			b.Fatalf("merged stream delivered %d events, want >= %d", n, want)
+		}
+	}
+	b.ReportMetric(float64(want), "events/op")
+}
+
+// BenchmarkFleetDirect is the baseline: the same history read straight
+// off a single shard with no router in the path.
+func BenchmarkFleetDirect(b *testing.B) {
+	d := newShardDirectory()
+	s := startShard(b, d, "solo", "", server.Config{})
+	defer s.srv.Close()
+	defer s.ts.Close()
+	rt, rts := startRouter(b, testRouterConfig(d, s))
+
+	id := benchQuery(b, rt, rts.URL, "solo", map[string]bool{})
+	local := strings.TrimPrefix(id, "solo:")
+	url := s.ts.URL + "/v1/queries/" + local + "/results?from=0"
+	want := benchFrames + 1
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := benchDrain(b, url); n < want {
+			b.Fatalf("direct stream delivered %d events, want >= %d", n, want)
+		}
+	}
+	b.ReportMetric(float64(want), "events/op")
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState string
+
+const (
+	// BreakerClosed: the shard link is healthy; requests flow.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the link tripped after consecutive failures; requests
+	// are refused until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request
+	// is admitted to decide between closing and re-opening.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker is a consecutive-failure circuit breaker shared by a shard's
+// prober and its relays: any of them reporting outcomes moves the same
+// state, so one observed death stops every path hammering the shard.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures since the last success
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures (<=0 selects 3) and half-opens after cooldown
+// (<=0 selects 5s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// Allow reports whether a request may proceed. While open it returns
+// false until the cooldown elapses, then admits exactly one probe
+// (half-open); the probe's Success/Failure decides what happens next.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a healthy outcome: the breaker closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed outcome: a half-open probe re-opens
+// immediately, a closed breaker opens once the streak reaches the
+// threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.probing = false
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.fails >= b.threshold) {
+		if b.state != BreakerOpen {
+			b.trips++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the breaker's position (an open breaker past its
+// cooldown still reports open until the next Allow admits the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// ConsecutiveFailures returns the current failure streak.
+func (b *Breaker) ConsecutiveFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

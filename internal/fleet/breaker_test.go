@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if st := b.State(); st != BreakerClosed {
+			t.Fatalf("after %d failures state = %s, want closed", i+1, st)
+		}
+	}
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("after threshold state = %s, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("interleaved successes must reset the streak; state = %s", st)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(1, time.Hour)
+	now := time.Now()
+	b.now = func() time.Time { return now }
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+	now = now.Add(2 * time.Hour)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", st)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("probe success should close; state = %s", st)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := NewBreaker(2, time.Hour)
+	now := time.Now()
+	b.now = func() time.Time { return now }
+	b.Failure()
+	b.Failure()
+	now = now.Add(2 * time.Hour)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	b.Failure()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("probe failure should re-open immediately; state = %s", st)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+}

@@ -1,0 +1,339 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"vmq/internal/fault"
+	"vmq/internal/rlog"
+	"vmq/internal/server"
+)
+
+// shardEvent is the decoded core of a relayed shard payload.
+type shardEvent struct {
+	Kind      string `json:"kind"`
+	EventSeq  int64  `json:"event_seq"`
+	DroppedTo int64  `json:"dropped_to"`
+}
+
+func decodeShardEvent(t *testing.T, ev StreamEvent) shardEvent {
+	t.Helper()
+	var se shardEvent
+	if err := json.Unmarshal(ev.Event, &se); err != nil {
+		t.Fatalf("bad shard event %s: %v", ev.Event, err)
+	}
+	return se
+}
+
+// waitQueryDone polls a query's status row through the router until its
+// runner has finished (every event durable on the shard).
+func waitQueryDone(t testing.TB, routerURL, fleetID string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(routerURL + "/v1/queries/" + fleetID)
+		if err == nil {
+			var row struct {
+				Done bool `json:"done"`
+			}
+			derr := json.NewDecoder(resp.Body).Decode(&row)
+			resp.Body.Close()
+			if derr == nil && row.Done {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("query %s never finished", fleetID)
+}
+
+// referenceRun executes the acked query on a fresh single-process server
+// over an identical feed and returns its raw NDJSON event lines — the
+// byte-level ground truth an interrupted fleet relay must reproduce.
+func referenceRun(t *testing.T, feed string, maxFrames int) []string {
+	t.Helper()
+	d := newShardDirectory()
+	ref := startShard(t, d, "ref", t.TempDir(), server.Config{})
+	defer ref.srv.Close()
+	defer ref.ts.Close()
+	if err := ref.srv.CreateFeedSpec(server.FeedSpec{
+		Name: feed, Profile: "jackson", Source: "sim", MaxFrames: maxFrames,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ref.ts.URL+"/v1/queries", "application/json",
+		strings.NewReader(`{"query":"SELECT FRAMES FROM `+feed+` WHERE COUNT(car) >= 0","policy":"block","spill":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&created); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("reference register: HTTP %d", resp.StatusCode)
+	}
+	stream, err := http.Get(ref.ts.URL + "/v1/queries/" + created.ID + "/results?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var lines []string
+	scanner := bufio.NewScanner(stream.Body)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		lines = append(lines, line)
+		if strings.Contains(line, `"kind":"end"`) {
+			break
+		}
+	}
+	return lines
+}
+
+// TestFleetChaosKillRecover is the fleet resume acceptance bar: three
+// durable shards behind one router, one shard killed (SIGKILL
+// semantics) mid-relay and restarted from its state dir.
+//
+//   - The merged stream never stalls: the surviving shard's events keep
+//     flowing through the outage, bracketed by typed shard_down/shard_up.
+//   - The acked block-policy consumer's stream is gap-free across the
+//     kill and byte-identical to an uninterrupted single-process run.
+//   - An un-acked drop-oldest consumer resuming from an early sequence
+//     after the restart gets the honest typed gap, not silence.
+func TestFleetChaosKillRecover(t *testing.T) {
+	const (
+		ackedFrames = 600  // qAcked feed length: 600 matches + 1 end (~100KB)
+		gapFrames   = 2000 // qGap feed length: enough to blow the spill budget
+		killAtSeq   = 150  // kill once the relay has delivered this far
+		ackThrough  = 100
+	)
+	d := newShardDirectory()
+	// ~64KB/s shard-side read ceiling plus the 4KB socket buffers the
+	// harness pins: at most ~16KB (~100 events) can be in flight, so a
+	// kill at seq 150 of a ~100KB replay is reliably mid-relay.
+	d.setThrottle(256, 4*time.Millisecond)
+
+	// The victim's spill budget retains the acked query's entire history
+	// (gap-free resume) but not the gap query's (honest eviction).
+	victimCfg := server.Config{Spill: rlog.SpillConfig{SegmentBytes: 16 << 10, RetainBytes: 256 << 10}}
+	victim := startShard(t, d, "alpha", t.TempDir(), victimCfg)
+	surv := startShard(t, d, "bravo", t.TempDir(), server.Config{})
+	third := startShard(t, d, "charlie", t.TempDir(), server.Config{})
+	for _, sh := range []*testShard{surv, third} {
+		sh := sh
+		t.Cleanup(func() { sh.srv.Close(); sh.ts.Close() })
+	}
+	t.Cleanup(func() { victim.srv.Close(); victim.ts.Close() })
+
+	rt, rts := startRouter(t, testRouterConfig(d, victim, surv, third))
+
+	taken := map[string]bool{}
+	feedAcked := feedOwnedBy(t, rt.ring, "alpha", taken)
+	feedGap := feedOwnedBy(t, rt.ring, "alpha", taken)
+	feedSurv := feedOwnedBy(t, rt.ring, "bravo", taken)
+	createFeedVia(t, rts.URL, map[string]any{
+		"name": feedAcked, "profile": "jackson", "source": "sim", "max_frames": ackedFrames,
+	})
+	createFeedVia(t, rts.URL, map[string]any{
+		"name": feedGap, "profile": "jackson", "source": "sim", "max_frames": gapFrames,
+	})
+	createFeedVia(t, rts.URL, map[string]any{
+		"name": feedSurv, "profile": "jackson", "source": "sim", "fps": 100,
+	})
+
+	qAcked := registerVia(t, rts.URL, "SELECT FRAMES FROM "+feedAcked+" WHERE COUNT(car) >= 0",
+		map[string]any{"policy": "block", "spill": true})
+	qGap := registerVia(t, rts.URL, "SELECT FRAMES FROM "+feedGap+" WHERE COUNT(car) >= 0",
+		map[string]any{"policy": "drop-oldest", "spill": true, "result_buffer": 16})
+	qSurv := registerVia(t, rts.URL, "SELECT FRAMES FROM "+feedSurv+" WHERE COUNT(car) >= 0",
+		map[string]any{"policy": "block"})
+
+	// Every event must be durable on the victim before the kill —
+	// that is the contract under which resume is gap-free.
+	waitQueryDone(t, rts.URL, qAcked)
+	waitQueryDone(t, rts.URL, qGap)
+
+	ref := referenceRun(t, feedAcked, ackedFrames)
+	if len(ref) != ackedFrames+1 {
+		t.Fatalf("reference run produced %d events, want %d", len(ref), ackedFrames+1)
+	}
+
+	// Merged stream: the acked consumer plus the survivor, one relay each.
+	sc := openStream(t, rts.URL+"/v1/stream?id="+qAcked+"@0&id="+qSurv+"@0")
+
+	ackedEvents := make(map[int64]string) // seq -> raw payload line
+	var (
+		ackedEnd            bool
+		acked               bool
+		killed              bool
+		restarted           bool
+		sawDown, sawUp      bool
+		maxSeqPreKill       int64 = -1
+		survPostKill        int
+		downObservedAt      time.Time
+		deadline                  = time.Now().Add(60 * time.Second)
+		ackedSeqHigh        int64 = -1
+		resumeFromOnShardUp int64 = -1
+	)
+	for !(ackedEnd && killed && restarted && sawUp && survPostKill >= 20) {
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos run timed out: end=%v killed=%v restarted=%v up=%v survPostKill=%d",
+				ackedEnd, killed, restarted, sawUp, survPostKill)
+		}
+		ev, ok := sc.next(t, 15*time.Second)
+		if !ok {
+			t.Fatal("merged stream closed early")
+		}
+		switch ev.Kind {
+		case "shard_down":
+			if ev.Shard == "alpha" {
+				sawDown = true
+				downObservedAt = time.Now()
+			}
+			continue
+		case "shard_up":
+			if ev.Shard == "alpha" && killed {
+				sawUp = true
+				if ev.ResumeFrom > resumeFromOnShardUp {
+					resumeFromOnShardUp = ev.ResumeFrom
+				}
+			}
+			continue
+		case "relay_failed":
+			t.Fatalf("relay failed permanently: %+v", ev)
+		}
+		switch ev.QueryID {
+		case qAcked:
+			se := decodeShardEvent(t, ev)
+			if se.Kind == "gap" {
+				t.Fatalf("gap on the acked block-policy stream: %s", ev.Event)
+			}
+			if _, dup := ackedEvents[se.EventSeq]; dup {
+				t.Fatalf("event %d delivered twice on the acked stream", se.EventSeq)
+			}
+			ackedEvents[se.EventSeq] = strings.TrimSpace(string(ev.Event))
+			if se.EventSeq > ackedSeqHigh {
+				ackedSeqHigh = se.EventSeq
+			}
+			if se.Kind == "end" {
+				ackedEnd = true
+			}
+			if !killed {
+				maxSeqPreKill = ackedSeqHigh
+			}
+			if !acked && se.EventSeq >= ackThrough {
+				ackVia(t, rts.URL, qAcked, ackThrough)
+				acked = true
+			}
+			if !killed && se.EventSeq >= killAtSeq {
+				t.Logf("killing shard alpha at relayed seq %d", se.EventSeq)
+				victim.kill(d)
+				killed = true
+			}
+		case qSurv:
+			if killed {
+				survPostKill++
+			}
+		}
+		// Restart once the outage is visible in-band and the survivor has
+		// proven the merged stream does not stall on a dead shard.
+		if killed && !restarted && sawDown && survPostKill >= 10 &&
+			time.Since(downObservedAt) > 200*time.Millisecond {
+			t.Log("restarting shard alpha from its state dir")
+			victim.restart(t, d, victimCfg)
+			restarted = true
+		}
+	}
+
+	if maxSeqPreKill >= ackedFrames {
+		t.Fatalf("relay drained the whole stream (seq %d) before the kill — kill was not mid-relay", maxSeqPreKill)
+	}
+	if !sawDown {
+		t.Fatal("no shard_down event for the killed shard")
+	}
+	if resumeFromOnShardUp <= 0 {
+		t.Fatalf("shard_up resume_from = %d, want a mid-stream position", resumeFromOnShardUp)
+	}
+
+	// Gap-free and byte-identical: every sequence 0..ackedFrames present
+	// exactly once, each payload the same bytes an uninterrupted run
+	// produced.
+	for seq := int64(0); seq <= ackedFrames; seq++ {
+		got, ok := ackedEvents[seq]
+		if !ok {
+			t.Fatalf("acked stream is missing seq %d after the kill/restart", seq)
+		}
+		if got != ref[seq] {
+			t.Fatalf("event %d differs from the uninterrupted run:\n  got %s\n want %s", seq, got, ref[seq])
+		}
+	}
+
+	// The un-acked drop-oldest consumer resuming from the beginning gets
+	// the honest typed gap — eviction is reported, never papered over.
+	// The mid-relay pacing has done its job; lift it for the replay.
+	d.setThrottle(0, 0)
+	gapStream := openStream(t, rts.URL+"/v1/queries/"+qGap+"/results?from=0")
+	var gapSeen bool
+	var gapTo int64
+	for {
+		ev, ok := gapStream.next(t, 15*time.Second)
+		if !ok {
+			t.Fatal("gap stream closed before its end event")
+		}
+		if ev.Kind == "shard_down" || ev.Kind == "shard_up" {
+			continue
+		}
+		if ev.Kind == "relay_failed" {
+			t.Fatalf("gap relay failed permanently: %+v", ev)
+		}
+		se := decodeShardEvent(t, ev)
+		if se.Kind == "gap" {
+			gapSeen = true
+			gapTo = se.DroppedTo
+			continue
+		}
+		if !gapSeen {
+			t.Fatalf("first event on the evicted stream is %q (seq %d), want the typed gap", se.Kind, se.EventSeq)
+		}
+		if se.Kind == "end" {
+			break
+		}
+	}
+	if gapTo <= 0 {
+		t.Fatalf("gap dropped_to = %d, want the eviction horizon", gapTo)
+	}
+
+	// The router's telemetry recorded the outage and the resume.
+	var am ShardMetrics
+	for _, sm := range routerMetricsOf(t, rts.URL).Shards {
+		if sm.Name == "alpha" {
+			am = sm
+		}
+	}
+	if am.Resumes < 1 {
+		t.Fatalf("alpha resumes = %d, want >= 1", am.Resumes)
+	}
+	if am.Trips < 1 {
+		t.Fatalf("alpha breaker trips = %d, want >= 1", am.Trips)
+	}
+
+	// When the CI chaos job arms the fleet failpoints, prove they fired:
+	// the byte-identity above held even under injected relay read faults.
+	if fault.Enabled && strings.Contains(os.Getenv(fault.EnvVar), "fleet.relay.read") {
+		if fault.Fired("fleet.relay.read") == 0 {
+			t.Fatal("fleet.relay.read armed but never fired")
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vmq/internal/server"
+)
+
+// shardDirectory maps stable shard hostnames onto whatever listener
+// currently backs them, so a "restarted" shard (new httptest server,
+// new ephemeral port) keeps its fleet address — the router dials
+// http://<name>.shard and the directory resolves it.
+type shardDirectory struct {
+	mu    sync.Mutex
+	addrs map[string]string
+	// throttleBytes/throttleEvery rate-limit reads on dialed conns
+	// (bytes per interval). Chaos tests cap the relay's drain rate so a
+	// kill reliably lands mid-replay instead of racing a fully-buffered
+	// stream.
+	throttleBytes int
+	throttleEvery time.Duration
+}
+
+func newShardDirectory() *shardDirectory {
+	return &shardDirectory{addrs: make(map[string]string)}
+}
+
+func (d *shardDirectory) set(host, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[host] = addr
+}
+
+// transport dials through the directory. Keep-alives are off so a
+// shard restart cannot be papered over by a pooled connection to the
+// dead listener.
+func (d *shardDirectory) transport() http.RoundTripper {
+	return &http.Transport{
+		DisableKeepAlives: true,
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			host, _, err := net.SplitHostPort(addr)
+			if err != nil {
+				host = addr
+			}
+			d.mu.Lock()
+			real := d.addrs[host]
+			d.mu.Unlock()
+			if real == "" {
+				return nil, fmt.Errorf("shard %s: connection refused", host)
+			}
+			conn, err := (&net.Dialer{Timeout: time.Second}).DialContext(ctx, network, real)
+			if err != nil {
+				return conn, err
+			}
+			// A small receive buffer keeps the kernel from absorbing a
+			// whole replay ahead of the throttle below.
+			if tcp, ok := conn.(*net.TCPConn); ok {
+				_ = tcp.SetReadBuffer(4 << 10)
+			}
+			return &throttledConn{Conn: conn, d: d}, nil
+		},
+	}
+}
+
+// throttledConn caps read throughput at the directory's current
+// throttle (re-read every call, so tests can lift it mid-run).
+type throttledConn struct {
+	net.Conn
+	d *shardDirectory
+}
+
+func (c *throttledConn) Read(p []byte) (int, error) {
+	c.d.mu.Lock()
+	chunk, every := c.d.throttleBytes, c.d.throttleEvery
+	c.d.mu.Unlock()
+	if chunk <= 0 {
+		return c.Conn.Read(p)
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	n, err := c.Conn.Read(p)
+	if err == nil {
+		time.Sleep(every)
+	}
+	return n, err
+}
+
+// setThrottle adjusts the read throttle for current and future conns.
+func (d *shardDirectory) setThrottle(bytes int, every time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.throttleBytes, d.throttleEvery = bytes, every
+}
+
+// smallBufListener shrinks the send buffer of accepted conns so a
+// shard cannot park an entire replay in the kernel before a kill.
+type smallBufListener struct{ net.Listener }
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err == nil {
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			_ = tcp.SetWriteBuffer(4 << 10)
+		}
+	}
+	return conn, err
+}
+
+// serveShard exposes srv over HTTP with small socket send buffers.
+func serveShard(srv *server.Server) *httptest.Server {
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Listener = smallBufListener{ts.Listener}
+	ts.Start()
+	return ts
+}
+
+// testShard is one in-process shard behind an HTTP listener.
+type testShard struct {
+	name string
+	dir  string // state dir; "" = in-memory
+	srv  *server.Server
+	ts   *httptest.Server
+}
+
+func (s *testShard) host() string { return s.name + ".shard" }
+func (s *testShard) url() string  { return "http://" + s.host() }
+
+// startShard brings a shard up (durable when dir != "") and registers
+// its listener in the directory.
+func startShard(t testing.TB, d *shardDirectory, name, dir string, cfg server.Config) *testShard {
+	t.Helper()
+	var srv *server.Server
+	if dir != "" {
+		cfg.StateDir = dir
+		s, err := server.Recover(cfg)
+		if err != nil {
+			t.Fatalf("shard %s: recover: %v", name, err)
+		}
+		srv = s
+	} else {
+		srv = server.New(cfg)
+	}
+	srv.Start()
+	sh := &testShard{name: name, dir: dir, srv: srv, ts: serveShard(srv)}
+	d.set(sh.host(), sh.ts.Listener.Addr().String())
+	return sh
+}
+
+// kill simulates kill -9: the server crashes (no graceful flush), the
+// listener dies mid-connection, and the directory entry goes dark so
+// new dials fail like a dead host's would.
+func (s *testShard) kill(d *shardDirectory) {
+	d.set(s.host(), "")
+	s.srv.Crash()
+	s.ts.CloseClientConnections()
+	s.ts.Close()
+}
+
+// restart recovers the shard from its state dir onto a fresh listener
+// at the same fleet address.
+func (s *testShard) restart(t testing.TB, d *shardDirectory, cfg server.Config) {
+	t.Helper()
+	if s.dir == "" {
+		t.Fatal("restart needs a durable shard")
+	}
+	cfg.StateDir = s.dir
+	srv, err := server.Recover(cfg)
+	if err != nil {
+		t.Fatalf("shard %s: restart: %v", s.name, err)
+	}
+	srv.Start()
+	s.srv = srv
+	s.ts = serveShard(srv)
+	d.set(s.host(), s.ts.Listener.Addr().String())
+}
+
+// testRouterConfig is the fast-converging tuning fleet tests run under.
+func testRouterConfig(d *shardDirectory, shards ...*testShard) Config {
+	infos := make([]ShardInfo, len(shards))
+	for i, s := range shards {
+		infos[i] = ShardInfo{Name: s.name, URL: s.url()}
+	}
+	return Config{
+		Shards:          infos,
+		ProbeInterval:   50 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 150 * time.Millisecond,
+		BackoffBase:     10 * time.Millisecond,
+		BackoffMax:      150 * time.Millisecond,
+		DialTimeout:     time.Second,
+		RequestTimeout:  2 * time.Second,
+		Transport:       d.transport(),
+	}
+}
+
+// startRouter builds the router and serves its API.
+func startRouter(t testing.TB, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		rt.Close()
+	})
+	return rt, rts
+}
+
+// feedOwnedBy finds a camN feed name the ring places on the wanted
+// shard, skipping any names already taken.
+func feedOwnedBy(t testing.TB, ring *Ring, shard string, taken map[string]bool) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("cam%d", i)
+		if taken[name] {
+			continue
+		}
+		if ring.Owner(name) == shard {
+			taken[name] = true
+			return name
+		}
+	}
+	t.Fatalf("no cam* feed maps onto shard %q", shard)
+	return ""
+}
+
+// registerVia registers a query through the router and returns the
+// fleet id.
+func registerVia(t testing.TB, routerURL, query string, extra map[string]any) string {
+	t.Helper()
+	body := map[string]any{"query": query}
+	for k, v := range extra {
+		body[k] = v
+	}
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(routerURL+"/v1/queries", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var created struct {
+		ID    string `json:"id"`
+		Shard string `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register %q: HTTP %d", query, resp.StatusCode)
+	}
+	return created.ID
+}
+
+// createFeedVia creates a feed through the router.
+func createFeedVia(t testing.TB, routerURL string, spec map[string]any) {
+	t.Helper()
+	raw, _ := json.Marshal(spec)
+	resp, err := http.Post(routerURL+"/v1/feeds", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b := new(strings.Builder)
+		_, _ = bufio.NewReader(resp.Body).WriteTo(b)
+		t.Fatalf("create feed %v: HTTP %d: %s", spec, resp.StatusCode, b.String())
+	}
+}
+
+// ackVia acknowledges through the router; it reports success so chaos
+// paths can tolerate acks racing a shard death.
+func ackVia(t testing.TB, routerURL, fleetID string, seq int64) bool {
+	t.Helper()
+	raw, _ := json.Marshal(map[string]int64{"seq": seq})
+	resp, err := http.Post(routerURL+"/v1/queries/"+fleetID+"/ack", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// streamConn pumps a merged NDJSON stream into a channel so tests can
+// assert liveness with timeouts.
+type streamConn struct {
+	resp *http.Response
+	ch   chan StreamEvent
+	errc chan error
+}
+
+// openStream opens an NDJSON stream (router or shard) and starts the
+// pump.
+func openStream(t testing.TB, url string) *streamConn {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream %s: HTTP %d", url, resp.StatusCode)
+	}
+	sc := &streamConn{resp: resp, ch: make(chan StreamEvent, 256), errc: make(chan error, 1)}
+	go func() {
+		defer close(sc.ch)
+		scanner := bufio.NewScanner(resp.Body)
+		scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		for scanner.Scan() {
+			line := scanner.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var ev StreamEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				sc.errc <- fmt.Errorf("bad stream line %q: %w", line, err)
+				return
+			}
+			sc.ch <- ev
+		}
+		sc.errc <- scanner.Err()
+	}()
+	t.Cleanup(sc.close)
+	return sc
+}
+
+func (sc *streamConn) close() { sc.resp.Body.Close() }
+
+// next returns the next event, failing the test after the timeout —
+// the stalled-stream detector.
+func (sc *streamConn) next(t testing.TB, timeout time.Duration) (StreamEvent, bool) {
+	t.Helper()
+	select {
+	case ev, ok := <-sc.ch:
+		return ev, ok
+	case <-time.After(timeout):
+		t.Fatalf("stream produced nothing for %s — merged stream stalled", timeout)
+		return StreamEvent{}, false
+	}
+}

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"vmq/internal/fault"
+)
+
+// StreamEvent is one line of the merged fleet stream. Shard events pass
+// through verbatim in Event — the router never re-encodes a shard's
+// bytes, so a fleet consumer sees exactly what a direct consumer of the
+// shard would (byte-identical resume proofs hold fleet-wide). The
+// router adds its own typed kinds around them:
+//
+//	shard_down   the shard's link failed mid-stream; the relay is
+//	             backing off and will resume. Survivor shards keep
+//	             flowing — the merged stream never stalls on one death.
+//	shard_up     the link recovered; ResumeFrom is the event_seq the
+//	             relay re-asked for (its cursor after the last relayed
+//	             event), Resumes the link's reconnect count.
+//	relay_failed the shard answered with a permanent error (unknown
+//	             query, bad request): the relay ends, no retry.
+type StreamEvent struct {
+	Shard   string `json:"shard"`
+	QueryID string `json:"query_id,omitempty"` // fleet id: <shard>:<local id>
+	Kind    string `json:"kind"`
+	// Event is the shard's NDJSON line, verbatim, for pass-through
+	// kinds (match, window, gap, end).
+	Event json.RawMessage `json:"event,omitempty"`
+	// Error details shard_down / relay_failed.
+	Error string `json:"error,omitempty"`
+	// ResumeFrom and Resumes annotate shard_up.
+	ResumeFrom int64 `json:"resume_from,omitempty"`
+	Resumes    int64 `json:"resumes,omitempty"`
+}
+
+// relayConfig is the retry tuning a relay runs under.
+type relayConfig struct {
+	backoffBase time.Duration
+	backoffMax  time.Duration
+}
+
+// relay supervises one query's stream from its owning shard into the
+// merged output channel. It survives shard deaths: on a dial or read
+// failure it emits shard_down once, backs off exponentially with full
+// jitter (gated on the shard's breaker so a dead shard is not
+// hammered), reconnects with ?from=<cursor> — the event_seq after the
+// last event it relayed — and emits shard_up. For a block-policy query
+// whose history is durable the resumed stream continues gap-free; for
+// drop-oldest the shard answers with its honest typed gap event, which
+// passes through like any other.
+type relay struct {
+	sh      *shard
+	fleetID string
+	localID string
+	next    int64 // resume cursor: the next event_seq to ask for
+	cfg     relayConfig
+	rng     *rand.Rand
+
+	resumes int64
+	down    bool // an outage is open (shard_down emitted, shard_up pending)
+}
+
+func newRelay(sh *shard, fleetID, localID string, from int64, cfg relayConfig) *relay {
+	return &relay{
+		sh:      sh,
+		fleetID: fleetID,
+		localID: localID,
+		next:    from,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(int64(ringHash(fleetID)))),
+	}
+}
+
+// run relays until the query's end event arrives, a permanent error
+// ends the relay, or ctx is cancelled (the fleet consumer went away).
+func (rl *relay) run(ctx context.Context, out chan<- StreamEvent) {
+	rl.sh.relays.Add(1)
+	defer rl.sh.relays.Add(-1)
+	attempt := 0
+	for ctx.Err() == nil {
+		if !rl.sh.breaker.Allow() {
+			// Breaker open: the shard is known dead. Wait out a slice of
+			// the cooldown instead of dialing into the void.
+			if !sleepCtx(ctx, rl.backoff(attempt)) {
+				return
+			}
+			continue
+		}
+		done, err := rl.stream(ctx, out)
+		if done {
+			return
+		}
+		rl.sh.breaker.Failure()
+		if !rl.down {
+			rl.down = true
+			if !send(ctx, out, StreamEvent{
+				Shard: rl.sh.name, QueryID: rl.fleetID, Kind: "shard_down",
+				Error: err.Error(),
+			}) {
+				return
+			}
+		}
+		attempt++
+		if !sleepCtx(ctx, rl.backoff(attempt)) {
+			return
+		}
+	}
+}
+
+// stream opens one results connection at the resume cursor and relays
+// lines until the body ends. done=true means the relay is finished for
+// good (end event seen, permanent shard answer, or consumer gone).
+func (rl *relay) stream(ctx context.Context, out chan<- StreamEvent) (done bool, err error) {
+	path := fmt.Sprintf("/v1/queries/%s/results?from=%d", url.PathEscape(rl.localID), rl.next)
+	req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, rl.sh.baseURL+path, nil)
+	if rerr != nil {
+		return true, nil
+	}
+	resp, derr := rl.sh.sc.Do(req)
+	if derr != nil {
+		return false, derr
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			// Shard-side transient (recovering, shutting down): retry.
+			return false, fmt.Errorf("shard %s: HTTP %d", rl.sh.name, resp.StatusCode)
+		}
+		// Permanent answer (query unknown on a shard that lost in-memory
+		// state, bad request): surface it and stop.
+		if !send(ctx, out, StreamEvent{
+			Shard: rl.sh.name, QueryID: rl.fleetID, Kind: "relay_failed",
+			Error: fmt.Sprintf("shard %s: HTTP %d for %s", rl.sh.name, resp.StatusCode, path),
+		}) {
+			return true, nil
+		}
+		return true, nil
+	}
+	rl.sh.breaker.Success()
+	if rl.down {
+		// Reconnected after an outage: the open stream itself proves the
+		// shard is back, so the recovery marker goes out before whatever
+		// events follow (which may take a while on an idle query).
+		rl.down = false
+		rl.resumes++
+		rl.sh.resumes.Add(1)
+		if !send(ctx, out, StreamEvent{
+			Shard: rl.sh.name, QueryID: rl.fleetID, Kind: "shard_up",
+			ResumeFrom: rl.next, Resumes: rl.resumes,
+		}) {
+			return true, nil
+		}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if ferr := fault.Hit("fleet.relay.read"); ferr != nil {
+			return false, ferr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind      string `json:"kind"`
+			EventSeq  int64  `json:"event_seq"`
+			DroppedTo int64  `json:"dropped_to"`
+		}
+		if jerr := json.Unmarshal(line, &probe); jerr != nil {
+			return false, fmt.Errorf("shard %s: bad stream line: %w", rl.sh.name, jerr)
+		}
+		// Advance the resume cursor past what was relayed: a gap event
+		// covers [dropped_from, dropped_to) and positions the consumer at
+		// dropped_to; everything else occupies its event_seq.
+		if probe.Kind == "gap" {
+			rl.next = probe.DroppedTo
+		} else if probe.EventSeq >= rl.next {
+			rl.next = probe.EventSeq + 1
+		}
+		if probe.EventSeq > rl.sh.relaySeq.Load() {
+			rl.sh.relaySeq.Store(probe.EventSeq)
+		}
+		if !send(ctx, out, StreamEvent{
+			Shard: rl.sh.name, QueryID: rl.fleetID, Kind: probe.Kind,
+			Event: json.RawMessage(append([]byte(nil), line...)),
+		}) {
+			return true, nil
+		}
+		if probe.Kind == "end" {
+			return true, nil
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return false, serr
+	}
+	// A body that ends without the end event is a severed stream (shard
+	// shutdown closes streams cleanly mid-query): an outage, not an end.
+	return false, fmt.Errorf("shard %s: stream closed before end event", rl.sh.name)
+}
+
+// backoff returns the attempt's sleep: exponential from the base with
+// full jitter, capped at the max. Full jitter spreads a fleet of
+// relays reconnecting to one restarted shard instead of stampeding it.
+func (rl *relay) backoff(attempt int) time.Duration {
+	d := rl.cfg.backoffBase << uint(min(attempt, 16))
+	if d > rl.cfg.backoffMax || d <= 0 {
+		d = rl.cfg.backoffMax
+	}
+	return time.Duration(1 + rl.rng.Int63n(int64(d)))
+}
+
+// send delivers ev unless the consumer's context ends first.
+func send(ctx context.Context, out chan<- StreamEvent, ev StreamEvent) bool {
+	select {
+	case out <- ev:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// sleepCtx sleeps d unless ctx ends first; it reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runRelays drives one merged stream: one goroutine per relay, all
+// feeding out, which closes once every relay finishes or ctx ends.
+func runRelays(ctx context.Context, relays []*relay, buffer int) <-chan StreamEvent {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	out := make(chan StreamEvent, buffer)
+	var wg sync.WaitGroup
+	for _, rl := range relays {
+		wg.Add(1)
+		go func(rl *relay) {
+			defer wg.Done()
+			rl.run(ctx, out)
+		}(rl)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

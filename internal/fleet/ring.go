@@ -1,0 +1,103 @@
+// Package fleet is the cross-process sharding layer: a router that
+// consistent-hashes feed names onto shard processes (each a vmq server
+// with its own feeds, queries and durable state), proxies query
+// registration to the owning shard by FROM clause, and fans per-shard
+// result streams into one merged, shard-attributed NDJSON stream.
+//
+// The robustness contract is the point of the package. Each shard link
+// is a supervised relay: dial and read failures back off exponentially
+// with jitter, a circuit breaker fed by /v1/healthz probes stops the
+// router hammering a dead shard, and when a shard dies mid-stream the
+// relay resumes from its last relayed event_seq — gap-free for
+// block-policy queries whose history is durable, with an honest typed
+// gap event otherwise. The merged stream never stalls on one shard's
+// death: survivors keep flowing and typed shard_down/shard_up events
+// mark the outage in-band.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVNodes is each shard's virtual-node count on the ring. 64
+// points per shard keeps the worst-case load skew across a handful of
+// shards in the ~±20% range while the ring stays tiny (a few KB).
+const defaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over shard names: a feed
+// maps to the first virtual node clockwise of its hash, so adding or
+// removing one shard moves only ~1/N of the feeds.
+type Ring struct {
+	points []ringPoint // sorted ascending by hash
+	shards []string    // sorted shard names
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per shard (<=0
+// selects the default). Shard order does not matter: placement depends
+// only on the set of names.
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, len(shards)*vnodes),
+		shards: append([]string(nil), shards...),
+	}
+	sort.Strings(r.shards)
+	for _, s := range r.shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(s + "#" + strconv.Itoa(v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Identical hashes (vanishingly rare): break by name so the
+		// winner does not depend on sort order.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// Owner returns the shard owning the feed — the first virtual node at
+// or clockwise of the feed's hash, wrapping past the top.
+func (r *Ring) Owner(feed string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(feed)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the shard names on the ring, sorted.
+func (r *Ring) Shards() []string {
+	return append([]string(nil), r.shards...)
+}
+
+// ringHash is FNV-1a with a 64-bit avalanche finalizer. Raw FNV-1a
+// barely disperses the high bits of short strings with shared prefixes
+// ("a#0", "a#1", ... land in one contiguous arc), which collapses the
+// ring; the fmix64 finalizer spreads every input bit across the word.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndInputOrderFree(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"}, 0)
+	b := NewRing([]string{"c", "a", "b"}, 0)
+	for i := 0; i < 200; i++ {
+		feed := fmt.Sprintf("cam%d", i)
+		if a.Owner(feed) != b.Owner(feed) {
+			t.Fatalf("feed %q: owner depends on shard input order (%q vs %q)", feed, a.Owner(feed), b.Owner(feed))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[r.Owner(fmt.Sprintf("cam%d", i))]++
+	}
+	for _, s := range r.Shards() {
+		if counts[s] == 0 {
+			t.Fatalf("shard %q owns no feeds out of 300: %v", s, counts)
+		}
+	}
+}
+
+// Adding one shard must move only a minority of feeds — the property
+// consistent hashing exists for.
+func TestRingMinimalDisruption(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c"}, 0)
+	after := NewRing([]string{"a", "b", "c", "d"}, 0)
+	const feeds = 1000
+	moved, movedElsewhere := 0, 0
+	for i := 0; i < feeds; i++ {
+		feed := fmt.Sprintf("cam%d", i)
+		ob, oa := before.Owner(feed), after.Owner(feed)
+		if ob != oa {
+			moved++
+			if oa != "d" {
+				movedElsewhere++
+			}
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Fatalf("%d feeds moved between surviving shards; only moves onto the new shard are allowed", movedElsewhere)
+	}
+	if moved > feeds/2 {
+		t.Fatalf("%d/%d feeds moved when one shard joined — not consistent", moved, feeds)
+	}
+}
+
+func TestRingSingleShardOwnsAll(t *testing.T) {
+	r := NewRing([]string{"solo"}, 4)
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("cam%d", i)); got != "solo" {
+			t.Fatalf("owner = %q, want solo", got)
+		}
+	}
+}

@@ -82,7 +82,7 @@ func TestChaosKillRecoverLoop(t *testing.T) {
 		if sawEnd {
 			srv.Close()
 		} else {
-			srv.crash()
+			srv.Crash()
 		}
 	}
 	if !sawEnd {

@@ -149,7 +149,9 @@ func errorStatus(err error) (int, string) {
 // healthResponse answers GET /v1/healthz.
 type healthResponse struct {
 	// Status is "ok" while every running feed with subscribers pumped a
-	// frame within the watchdog window, "degraded" otherwise.
+	// frame within the watchdog window, "degraded" otherwise, and
+	// "recovering" while the server is replaying its manifest and not
+	// yet serving (readiness, distinct from liveness).
 	Status string `json:"status"`
 	// Stalled names the feeds the watchdog flagged.
 	Stalled []string `json:"stalled,omitempty"`
@@ -158,8 +160,16 @@ type healthResponse struct {
 // handleHealthz is the liveness/readiness probe: 200 {"status":"ok"}
 // while no feed is stalled, 503 {"status":"degraded","stalled":[...]}
 // when the watchdog flags one — a feed running with subscribers waiting
-// yet pumping no frames within Config.StallAfter.
+// yet pumping no frames within Config.StallAfter — and 503
+// {"status":"recovering"} between Recover and Start, so a router never
+// routes new queries to a shard still replaying its manifest.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(healthResponse{Status: "recovering"})
+		return
+	}
 	s.mu.Lock()
 	feeds := make([]*feed, 0, len(s.feeds))
 	for _, f := range s.feeds {

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Readiness/liveness split: between Recover and Start the process is
+// alive but not ready — /v1/healthz answers 503 {"status":"recovering"}
+// so a prober (or a fleet router) holds traffic instead of treating the
+// port as healthy or dead.
+func TestServerHealthzRecoveringUntilStart(t *testing.T) {
+	srv := recoverAt(t, t.TempDir(), Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if !srv.Recovering() {
+		t.Fatal("server not marked recovering between Recover and Start")
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || hr.Status != "recovering" {
+		t.Fatalf("healthz before Start = %d %+v, want 503 recovering", resp.StatusCode, hr)
+	}
+
+	srv.Start()
+	if srv.Recovering() {
+		t.Fatal("server still recovering after Start")
+	}
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("healthz after Start = %d %+v, want 200 ok", resp.StatusCode, hr)
+	}
+}
+
+// The WS results bridge keepalive: the server pings every
+// WSPingInterval; a client that pongs stays connected through an idle
+// stream, and one that goes silent is closed after the pong deadline —
+// a dead peer behind a TCP half-open is detected, not waited on
+// forever.
+func TestWSResultsBridgePingPong(t *testing.T) {
+	const interval = 25 * time.Millisecond
+	srv := New(Config{WSPingInterval: interval})
+	defer srv.Close()
+	// A push feed nobody publishes to: the stream is idle, so the only
+	// traffic is the keepalive itself.
+	if err := srv.CreateFeedSpec(FeedSpec{Name: "quiet", Profile: "jackson"}); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := srv.Register(parse(t, `SELECT FRAMES FROM quiet WHERE COUNT(car) >= 0`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	conn, br := wsDial(t, ts.URL, "/queries/"+reg.ID()+"/results")
+
+	// Answer three pings: the connection must survive well past the
+	// 2-interval pong deadline because the peer keeps proving liveness.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < 3; i++ {
+		op, payload := wsReadServerFrame(t, br)
+		if op != wsOpPing {
+			t.Fatalf("frame %d: op %#x, want ping", i, op)
+		}
+		if string(payload) != "vmq" {
+			t.Fatalf("ping payload = %q, want vmq", payload)
+		}
+		if _, err := conn.Write(wsClientFrame(wsOpPong, true, payload)); err != nil {
+			t.Fatalf("pong %d: %v", i, err)
+		}
+	}
+
+	// Go silent. The server must close the connection once two intervals
+	// pass without a client frame — reads drain the remaining pings and
+	// then fail, well before the 5s deadline.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatal("server never closed a silent peer's connection")
+		}
+		// A reset is as good as a FIN: the server tore the conn down.
+	}
+}

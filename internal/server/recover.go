@@ -37,6 +37,10 @@ func Recover(cfg Config) (*Server, error) {
 		return nil, errors.New("server: Recover needs Config.StateDir")
 	}
 	s := New(cfg)
+	// Readiness: until Start, /v1/healthz answers 503 recovering — the
+	// manifest replay below re-registers queries and resumes spills, and
+	// a router must not route new work at a half-rebuilt registry.
+	s.recovering.Store(true)
 	m, err := openManifest(s.cfg.StateDir)
 	if err != nil {
 		return nil, err
@@ -288,13 +292,14 @@ func sweepOrphanSpills(dir string, queries map[string]*QueryRecord) {
 	}
 }
 
-// crash simulates a process kill for tests: runners are cut without
-// end events (a killed process emits nothing), spills and the manifest
-// are closed without the graceful flush-and-compact, and spill
-// directories are left on disk — exactly the state a SIGKILL leaves,
-// minus the lost file descriptors. The server is unusable afterwards;
-// Recover over the same StateDir is the restart.
-func (s *Server) crash() {
+// Crash simulates a process kill for chaos drills and tests: runners
+// are cut without end events (a killed process emits nothing), spills
+// and the manifest are closed without the graceful flush-and-compact,
+// and spill directories are left on disk — exactly the state a SIGKILL
+// leaves, minus the lost file descriptors. The server is unusable
+// afterwards; Recover over the same StateDir is the restart. Exported
+// so fleet-level chaos tests can kill a shard in-process.
+func (s *Server) Crash() {
 	s.mu.Lock()
 	s.closed = true
 	feeds := make([]*feed, 0, len(s.feeds))

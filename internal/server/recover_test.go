@@ -89,7 +89,7 @@ func TestServerRecoverResumeByteIdentical(t *testing.T) {
 	if got := reg.Ack(ackThrough); got != ackThrough {
 		t.Fatalf("ack = %d, want %d", got, ackThrough)
 	}
-	srv.crash()
+	srv.Crash()
 
 	// Restart: the query recovers finished with its history durable, and
 	// the consumer resumes exactly where its acks left off.
@@ -184,7 +184,7 @@ func TestServerRecoverMidStreamCrash(t *testing.T) {
 	}
 	reader.Detach()
 	reg.Ack(ackThrough)
-	srv.crash()
+	srv.Crash()
 
 	srv2 := recoverAt(t, dir, Config{})
 	r2, ok := srv2.Get(id)
@@ -243,7 +243,7 @@ func TestServerRecoverDrainedFeedStaysDrained(t *testing.T) {
 	if err := srv.DrainFeed("jackson"); err != nil {
 		t.Fatal(err)
 	}
-	srv.crash()
+	srv.Crash()
 
 	srv2 := recoverAt(t, dir, Config{})
 	defer srv2.Close()

@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmq/internal/query"
@@ -154,6 +155,13 @@ type Config struct {
 	// /metrics, feed listings and /healthz. Default 10s; negative
 	// disables the watchdog.
 	StallAfter time.Duration
+	// WSPingInterval paces server-side pings on the WebSocket results
+	// bridge: the server pings every interval and closes the connection
+	// when no pong (or any other client frame) arrives within two
+	// intervals — so a relay or client can tell a dead peer from an idle
+	// stream instead of waiting on a silent TCP half-open. Default 30s;
+	// negative disables the pinger.
+	WSPingInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +202,9 @@ func (c Config) withDefaults() Config {
 	if c.StallAfter == 0 {
 		c.StallAfter = 10 * time.Second
 	}
+	if c.WSPingInterval == 0 {
+		c.WSPingInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -213,6 +224,11 @@ type Server struct {
 	started  bool
 	closed   bool
 	wg       sync.WaitGroup
+	// recovering is set by Recover for the manifest replay and cleared by
+	// Start: the readiness side of /v1/healthz. A recovering server
+	// answers 503 {"status":"recovering"} so a fleet router never routes
+	// new queries to a shard still rebuilding its registry.
+	recovering atomic.Bool
 }
 
 // retainFinished caps how many finished registrations the server keeps
@@ -403,9 +419,17 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
+	s.recovering.Store(false)
 	for _, f := range s.feeds {
 		f.start()
 	}
+}
+
+// Recovering reports whether the server was built by Recover and has not
+// started serving yet — the window in which /v1/healthz answers 503
+// {"status":"recovering"}.
+func (s *Server) Recovering() bool {
+	return s.recovering.Load()
 }
 
 // Register binds q against the feed its FROM clause names and starts its

@@ -24,6 +24,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vmq/internal/stream"
 )
@@ -141,6 +143,35 @@ func (s *Server) serveResultsWS(w http.ResponseWriter, r *http.Request, reg *Reg
 		defer wmu.Unlock()
 		return wsWriteFrame(conn, op, payload)
 	}
+	// Server-side keepalive: ping every WSPingInterval and close the
+	// connection when no client frame (pong or otherwise) lands within
+	// two intervals. An idle stream stays open — the peer keeps ponging
+	// — while a dead peer behind a silent TCP half-open is detected
+	// within a bounded window instead of never.
+	var lastPong atomic.Int64
+	lastPong.Store(time.Now().UnixNano())
+	if interval := s.cfg.WSPingInterval; interval > 0 {
+		pingStop := make(chan struct{})
+		defer close(pingStop)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-pingStop:
+					return
+				case <-t.C:
+					if time.Since(time.Unix(0, lastPong.Load())) > 2*interval {
+						conn.Close() // pong deadline missed: dead peer, not idle stream
+						return
+					}
+					if writeFrame(wsOpPing, []byte("vmq")) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
 	// The client loop owns the read side: acks advance the cursor's
 	// acknowledged position, pings are answered, and a close (or peer
 	// loss) aborts the event loop's blocking read via done.
@@ -153,6 +184,9 @@ func (s *Server) serveResultsWS(w http.ResponseWriter, r *http.Request, reg *Reg
 			if err != nil {
 				return
 			}
+			// Any frame proves the peer alive; the pinger's deadline only
+			// fires on total silence.
+			lastPong.Store(time.Now().UnixNano())
 			switch op {
 			case wsOpText, wsOpBinary:
 				var msg struct {
@@ -170,7 +204,7 @@ func (s *Server) serveResultsWS(w http.ResponseWriter, r *http.Request, reg *Reg
 					return
 				}
 			case wsOpPong:
-				// Unsolicited pong: ignore.
+				// Liveness already noted above; nothing else to do.
 			case wsOpClose:
 				if len(payload) > 125 {
 					payload = payload[:125]

@@ -22,6 +22,7 @@ import (
 
 	"vmq/internal/detect"
 	"vmq/internal/filters"
+	"vmq/internal/fleet"
 	"vmq/internal/query"
 	"vmq/internal/rlog"
 	"vmq/internal/server"
@@ -106,7 +107,24 @@ type (
 	// QueryMetrics is one registration's telemetry row within
 	// ServerMetrics (sequences, lag, acked position, spill footprint).
 	QueryMetrics = server.QueryMetrics
+	// Router fronts a fleet of shard servers with one query surface:
+	// consistent-hash feed routing, supervised resumable result relays
+	// merged into a shard-attributed stream, fleet-wide ack routing, and
+	// aggregated health/metrics.
+	Router = fleet.Router
+	// RouterConfig tunes a Router (shards, probe cadence, breaker
+	// thresholds, relay backoff).
+	RouterConfig = fleet.Config
+	// ShardInfo names one shard process behind a Router.
+	ShardInfo = fleet.ShardInfo
+	// StreamEvent is one line of a Router's merged stream: the shard's
+	// event verbatim, or a typed shard_down/shard_up/relay_failed marker.
+	StreamEvent = fleet.StreamEvent
 )
+
+// NewRouter builds a fleet router over the configured shards and starts
+// their health probers.
+func NewRouter(cfg RouterConfig) (*Router, error) { return fleet.New(cfg) }
 
 // Continuous-query event kinds.
 const (
