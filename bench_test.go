@@ -6,6 +6,7 @@
 package vmq_test
 
 import (
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -872,4 +873,21 @@ func BenchmarkRender(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		video.Render(f, 48, 48, 1)
 	}
+}
+
+// BenchmarkRenderBatch rasterises a 32-frame window into one batch
+// tensor through the rasteriser's bounded worker pool, sized to
+// GOMAXPROCS — so a -cpu 2,4,8 sweep shows the kernel-dispatched
+// rasteriser scaling across cores. Output is bitwise identical at every
+// worker count (each frame owns a disjoint slab and its own PCG noise
+// stream), so the sweep measures pure wall-clock.
+func BenchmarkRenderBatch(b *testing.B) {
+	frames := video.NewStream(video.Jackson(), 6).Take(32)
+	batch := tensor.New(len(frames), 3, 48, 48)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		video.RenderBatchInto(batch, frames, 1, workers)
+	}
+	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 }

@@ -142,6 +142,41 @@ func EvaluateBatchInto(b Backend, frames []*video.Frame, dst []*Output) []*Outpu
 	return dst
 }
 
+// Parallel is implemented by backends whose batched evaluation can fan
+// work (rasterisation, GEMMs) across a bounded number of workers. It is
+// how the server's coalescing broker hands each evaluator a slice of one
+// shared CPU budget instead of letting every merged batch oversubscribe
+// GOMAXPROCS.
+type Parallel interface {
+	Backend
+	// SetEvalWorkers bounds the workers one EvaluateBatch call may use;
+	// 0 restores the default (size to GOMAXPROCS). Worker count never
+	// affects output bytes — only wall-clock — so the scheduler may
+	// retune it between batches. Not safe to call concurrently with an
+	// in-flight evaluation.
+	SetEvalWorkers(n int)
+	// ForwardFlops estimates the multiply-add flops of evaluating one
+	// frame, the scheduler's threshold for when fanning a merged batch
+	// across cores pays for the coordination.
+	ForwardFlops() int64
+}
+
+// SetEvalWorkers applies the worker budget to b when it supports one.
+func SetEvalWorkers(b Backend, n int) {
+	if p, ok := b.(Parallel); ok {
+		p.SetEvalWorkers(n)
+	}
+}
+
+// ForwardFlopsOf returns b's per-frame flops estimate, or 0 when b does
+// not declare one.
+func ForwardFlopsOf(b Backend) int64 {
+	if p, ok := b.(Parallel); ok {
+		return p.ForwardFlops()
+	}
+	return 0
+}
+
 // ConcurrentBackend is implemented by backends whose Evaluate may be
 // called from multiple goroutines at once with per-frame deterministic
 // results (output depends only on the frame, not on call order).

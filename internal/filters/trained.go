@@ -242,6 +242,12 @@ func (t *TrainedCOF) Technique() Technique { return OD }
 // Grid implements Backend; COF produces no location maps.
 func (t *TrainedCOF) Grid() int { return 1 }
 
+// SetEvalWorkers implements Parallel (see Trained.SetEvalWorkers).
+func (t *TrainedCOF) SetEvalWorkers(n int) { t.arena.Workers = n }
+
+// ForwardFlops implements Parallel.
+func (t *TrainedCOF) ForwardFlops() int64 { return t.Net.ForwardFlops(3, t.Img, t.Img) }
+
 // Evaluate implements Backend: only the total count is populated. Like
 // Trained, it routes through the batched pass with a batch of one.
 func (t *TrainedCOF) Evaluate(f *video.Frame) *Output {
@@ -257,7 +263,7 @@ func (t *TrainedCOF) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Outp
 	}
 	t.Clock.Charge(OD.Cost(), int64(len(frames)))
 	var batch *tensor.Tensor
-	batch, t.batch = renderBatchInto(t.batch, frames, t.Img, t.NoiseSeed)
+	batch, t.batch = renderBatchInto(t.batch, frames, t.Img, t.NoiseSeed, t.arena.Workers)
 	t.arena.Reset()
 	totals := t.Net.ForwardBatch(&t.arena, batch)
 	for i := range frames {
@@ -309,6 +315,15 @@ func (t *Trained) Technique() Technique { return t.Tech }
 // Grid implements Backend.
 func (t *Trained) Grid() int { return t.Net.Grid() }
 
+// SetEvalWorkers implements Parallel: it bounds the workers one
+// EvaluateBatch may spend on rasterisation and GEMMs (0 restores the
+// GOMAXPROCS default). Worker count never changes output bytes.
+func (t *Trained) SetEvalWorkers(n int) { t.arena.Workers = n }
+
+// ForwardFlops implements Parallel: the per-frame multiply-add estimate
+// for one rasterised frame through the branch network.
+func (t *Trained) ForwardFlops() int64 { return t.Net.ForwardFlops(3, t.Img, t.Img) }
+
 // Evaluate implements Backend. It routes through the batched forward pass
 // with a batch of one, so chunked and per-frame execution produce
 // bit-identical outputs (the batched kernels accumulate in the same order
@@ -330,7 +345,7 @@ func (t *Trained) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output 
 	}
 	t.Clock.Charge(t.Tech.Cost(), int64(len(frames)))
 	var batch *tensor.Tensor
-	batch, t.batch = renderBatchInto(t.batch, frames, t.Img, t.NoiseSeed)
+	batch, t.batch = renderBatchInto(t.batch, frames, t.Img, t.NoiseSeed, t.arena.Workers)
 	t.arena.Reset()
 	counts, maps := t.Net.ForwardBatch(&t.arena, batch)
 	g := t.Net.Grid()
@@ -356,18 +371,14 @@ func (t *Trained) EvaluateBatch(frames []*video.Frame, dst []*Output) []*Output 
 // at n·3·img², so the rasteriser writes each frame in place with no
 // copies. It returns the N×3×img×img view over the frames just rendered
 // and the (possibly regrown) buffer for the caller to retain.
-func renderBatchInto(buf *tensor.Tensor, frames []*video.Frame, img int, noiseSeed uint64) (batch, store *tensor.Tensor) {
+func renderBatchInto(buf *tensor.Tensor, frames []*video.Frame, img int, noiseSeed uint64, workers int) (batch, store *tensor.Tensor) {
 	n := len(frames)
 	if buf == nil || buf.Shape[0] < n {
 		// Headroom for fluctuating coalesced batch widths, mirroring
 		// nn.Arena's regrowth policy.
 		buf = tensor.New(n+n/4+1, 3, img, img)
 	}
-	data := buf.Data[:n*3*img*img]
-	view := tensor.Tensor{Shape: []int{3, img, img}}
-	for i, f := range frames {
-		view.Data = data[i*3*img*img : (i+1)*3*img*img]
-		video.RenderInto(&view, f, noiseSeed)
-	}
-	return &tensor.Tensor{Shape: []int{n, 3, img, img}, Data: data}, buf
+	batch = &tensor.Tensor{Shape: []int{n, 3, img, img}, Data: buf.Data[:n*3*img*img]}
+	video.RenderBatchInto(batch, frames, noiseSeed, workers)
+	return batch, buf
 }

@@ -33,6 +33,14 @@ import (
 // shared between concurrent forward passes; results are valid until the
 // arena's next Reset.
 type Arena struct {
+	// Workers bounds the GEMM worker count for forward passes run through
+	// this arena: 0 (the zero value) lets the tensor kernels size
+	// themselves to GOMAXPROCS, matching the historical behaviour, while
+	// a positive value pins the budget — the hook the server's coalescing
+	// broker uses to split one CPU budget across concurrent evaluators
+	// instead of oversubscribing every merged GEMM.
+	Workers int
+
 	slots [][]float32
 	next  int
 }
@@ -166,7 +174,7 @@ func convForwardBatchFM(ar *Arena, l *Conv2D, x *tensor.Tensor, act Layer) *tens
 		kind, slope = tensor.ActLeakyReLU, a.Slope
 	}
 	out := tensor.MatMulBiasAct(ar.tensor(outC, n*oh*ow), l.W.Value.Reshape(outC, ckk), cols,
-		l.B.Value.Data, kind, slope, 0)
+		l.B.Value.Data, kind, slope, ar.Workers)
 	out.Shape = []int{outC, n, oh, ow}
 	return out
 }
@@ -197,8 +205,57 @@ func linearForwardBatchFM(ar *Arena, l *Linear, x *tensor.Tensor) *tensor.Tensor
 	if xm.Shape[0] != in {
 		panic(fmt.Sprintf("nn: ForwardBatch linear input %d vs weights %v", xm.Shape[0], l.W.Value.Shape))
 	}
-	return tensor.MatMulBiasAct(ar.tensor(out, n), l.W.Value, xm, l.B.Value.Data, tensor.ActNone, 0, 0)
+	return tensor.MatMulBiasAct(ar.tensor(out, n), l.W.Value, xm, l.B.Value.Data, tensor.ActNone, 0, ar.Workers)
 }
+
+// ForwardFlops estimates the multiply-add flops one frame of a c×h×w input
+// costs through the stack — the GEMM terms only, which dominate. The
+// coalescing broker multiplies this by the merged batch width to decide
+// whether a flush is worth fanning across cores.
+func (s *Sequential) ForwardFlops(c, h, w int) int64 {
+	fl, _, _, _ := stackFlops(s.Layers, c, h, w)
+	return fl
+}
+
+func stackFlops(layers []Layer, c, h, w int) (int64, int, int, int) {
+	var fl int64
+	for _, l := range layers {
+		switch l := l.(type) {
+		case *Conv2D:
+			outC := l.W.Value.Shape[0]
+			ckk := l.W.Value.Len() / outC
+			oh, ow := l.P.OutSize(h, w)
+			fl += 2 * int64(outC) * int64(ckk) * int64(oh) * int64(ow)
+			c, h, w = outC, oh, ow
+		case *MaxPool:
+			h, w = h/l.K, w/l.K
+		case *GlobalAvgPool:
+			h, w = 1, 1
+		case *Linear:
+			out, in := l.W.Value.Shape[0], l.W.Value.Shape[1]
+			fl += 2 * int64(out) * int64(in)
+			c, h, w = out, 1, 1
+		case *Sequential:
+			var sub int64
+			sub, c, h, w = stackFlops(l.Layers, c, h, w)
+			fl += sub
+		}
+	}
+	return fl, c, h, w
+}
+
+// ForwardFlops estimates the per-frame multiply-add flops of the backbone
+// plus the count head and the Eq. 1 class-activation accumulation.
+func (n *CountLocNet) ForwardFlops(c, h, w int) int64 {
+	fl, _, _, _ := stackFlops(n.Backbone.Layers, c, h, w)
+	head := 2 * int64(n.classes) * int64(n.d)
+	cam := 2 * int64(n.classes) * int64(n.d) * int64(n.g) * int64(n.g)
+	return fl + head + cam
+}
+
+// ForwardFlops estimates the per-frame multiply-add flops of the
+// count-only stack.
+func (n *CountOnlyNet) ForwardFlops(c, h, w int) int64 { return n.Net.ForwardFlops(c, h, w) }
 
 // ForwardBatch runs a batch of frames (N×C×H×W) through backbone and head,
 // returning per-class counts (N×classes, post-ReLU) and class activation

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 
@@ -150,5 +151,47 @@ func TestForwardBatchAllocs(t *testing.T) {
 	})
 	if batched*5 > perFrame {
 		t.Fatalf("batched pass allocates %.0f for %d frames vs %.0f per-frame — want >=5x fewer", batched, b, perFrame)
+	}
+}
+
+// A pinned arena worker budget must never change output bytes — workers
+// partition GEMM columns, and each column's accumulation order is fixed —
+// and ForwardFlops must track the architecture monotonically (it is the
+// broker's fan-out threshold).
+func TestArenaWorkersBitIdenticalAndForwardFlops(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 0))
+	const img, d, classes = 32, 16, 3
+	net := NewCountLocNet(rng, ODBackbone(rng, 3, img, d), d, img/4, classes)
+	batch, _ := randomFrames(rng, 6, 3, img)
+
+	ref := &Arena{}
+	wantCounts, wantMaps := net.ForwardBatch(ref, batch)
+	for _, workers := range []int{1, 2, 3, 7} {
+		ar := &Arena{Workers: workers}
+		counts, maps := net.ForwardBatch(ar, batch)
+		for i := range wantCounts.Data {
+			if math.Float32bits(counts.Data[i]) != math.Float32bits(wantCounts.Data[i]) {
+				t.Fatalf("workers=%d: counts[%d] = %v, want %v", workers, i, counts.Data[i], wantCounts.Data[i])
+			}
+		}
+		for i := range wantMaps.Data {
+			if math.Float32bits(maps.Data[i]) != math.Float32bits(wantMaps.Data[i]) {
+				t.Fatalf("workers=%d: maps[%d] = %v, want %v", workers, i, maps.Data[i], wantMaps.Data[i])
+			}
+		}
+	}
+
+	fl := net.ForwardFlops(3, img, img)
+	if fl <= 0 {
+		t.Fatalf("ForwardFlops = %d, want positive", fl)
+	}
+	// A deeper/wider net must cost more.
+	big := NewCountLocNet(rng, ODBackbone(rng, 3, img, 2*d), 2*d, img/4, classes)
+	if bfl := big.ForwardFlops(3, img, img); bfl <= fl {
+		t.Fatalf("wider backbone ForwardFlops %d not > %d", bfl, fl)
+	}
+	cof := NewCountOnlyNet(rng, 3, img)
+	if cfl := cof.ForwardFlops(3, img, img); cfl <= 0 {
+		t.Fatalf("CountOnlyNet.ForwardFlops = %d, want positive", cfl)
 	}
 }

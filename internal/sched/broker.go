@@ -22,6 +22,7 @@
 package sched
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -40,6 +41,27 @@ type Config struct {
 	// a group may wait for cross-feed batch-mates (default 2ms, matching
 	// the per-feed scan flush bound).
 	Flush time.Duration
+	// Shards is the number of independently locked sub-brokers that
+	// architecture groups hash into by coalesce key, so one group's flush
+	// bookkeeping (joins, departures, metrics) never serialises against
+	// another group's. Values < 1 select max(1, GOMAXPROCS/4) — one shard
+	// per few cores; a group only ever lives on one shard, so sharding
+	// never changes which frames coalesce together.
+	Shards int
+	// Workers sizes the evaluator's CPU budget for one merged flush,
+	// given the number of distinct submitters it coalesced. The broker
+	// applies it (via filters.SetEvalWorkers) only to flushes whose
+	// estimated cost reaches ParallelFlops — smaller merges evaluate
+	// single-threaded, where the GEMM is too small to pay for fan-out.
+	// nil leaves evaluator defaults untouched (size to GOMAXPROCS). The
+	// server wires this to its budgeter so coalesced GEMMs and per-feed
+	// scans share one CPU budget instead of oversubscribing.
+	Workers func(distinct int) int
+	// ParallelFlops is the estimated multiply-add count (batch frames ×
+	// the evaluator's per-frame ForwardFlops) at which a merged flush is
+	// worth fanning across cores. Values < 1 select the default (4M —
+	// roughly a dozen coalesced small-CNN frames).
+	ParallelFlops int64
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +71,15 @@ func (c Config) withDefaults() Config {
 	if c.Flush <= 0 {
 		c.Flush = 2 * time.Millisecond
 	}
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0) / 4
+		if c.Shards < 1 {
+			c.Shards = 1
+		}
+	}
+	if c.ParallelFlops < 1 {
+		c.ParallelFlops = 4 << 20
+	}
 	return c
 }
 
@@ -56,7 +87,20 @@ func (c Config) withDefaults() Config {
 // architecture identity. It never blocks a submission indefinitely:
 // every pending request is evaluated by the size trigger, the deadline
 // timer, or the submitter itself, so shutdown needs no coordination.
+//
+// Internally the broker is sharded: groups hash by coalesce key onto
+// independently locked sub-brokers, so concurrent joins, flush
+// bookkeeping and metric folds for unrelated architectures proceed
+// without sharing a lock.
 type Broker struct {
+	cfg    Config
+	shards []*brokerShard
+}
+
+// brokerShard owns the groups whose keys hash to it: a fixed key→shard
+// mapping means sharding is invisible to coalescing semantics — every
+// submission for one architecture still meets in the same group.
+type brokerShard struct {
 	cfg Config
 
 	mu     sync.Mutex
@@ -71,16 +115,30 @@ type Broker struct {
 }
 
 // retainRetired caps how many departed architecture keys keep their
-// accumulated counters in the metrics snapshot.
+// accumulated counters in the metrics snapshot (per shard).
 const retainRetired = 64
 
 // New creates a Broker.
 func New(cfg Config) *Broker {
-	return &Broker{
-		cfg:     cfg.withDefaults(),
-		groups:  make(map[string]*group),
-		retired: make(map[string]*GroupMetrics),
+	cfg = cfg.withDefaults()
+	br := &Broker{cfg: cfg, shards: make([]*brokerShard, cfg.Shards)}
+	for i := range br.shards {
+		br.shards[i] = &brokerShard{
+			cfg:     cfg,
+			groups:  make(map[string]*group),
+			retired: make(map[string]*GroupMetrics),
+		}
 	}
+	return br
+}
+
+// shardFor maps a coalesce key onto its owning shard (FNV-1a).
+func (br *Broker) shardFor(key string) *brokerShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return br.shards[h%uint32(len(br.shards))]
 }
 
 // Wrap returns a backend whose batch evaluations are coalesced with every
@@ -97,15 +155,22 @@ func (br *Broker) Wrap(b filters.Backend) filters.Backend {
 		return b
 	}
 	cb := b.(filters.Coalescable)
-	br.mu.Lock()
-	defer br.mu.Unlock()
-	g, ok := br.groups[key]
+	sh := br.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	g, ok := sh.groups[key]
 	if !ok {
 		// The first member becomes the group's evaluator: equal keys make
 		// member backends interchangeable, so one instance (one weight
 		// set, one arena) serves the whole group cache-hot.
-		g = &group{key: key, br: br, eval: cb, batch: br.cfg.Batch, flush: br.cfg.Flush}
-		br.groups[key] = g
+		g = &group{
+			key: key, sh: sh, eval: cb,
+			batch: sh.cfg.Batch, flush: sh.cfg.Flush,
+			workersFn:     sh.cfg.Workers,
+			parallelFlops: sh.cfg.ParallelFlops,
+			flopsPerFrame: filters.ForwardFlopsOf(cb),
+		}
+		sh.groups[key] = g
 	}
 	g.mu.Lock()
 	g.joined++
@@ -140,21 +205,24 @@ type GroupMetrics struct {
 }
 
 // Metrics snapshots every group — active ones plus the accumulated
-// counters of retired ones, merged per key — sorted by key.
+// counters of retired ones, merged per key across all shards — sorted by
+// key.
 func (br *Broker) Metrics() []GroupMetrics {
 	if br == nil {
 		return nil
 	}
-	br.mu.Lock()
-	byKey := make(map[string]GroupMetrics, len(br.groups)+len(br.retired))
-	for key, gm := range br.retired {
-		byKey[key] = *gm
+	byKey := make(map[string]GroupMetrics)
+	var groups []*group
+	for _, sh := range br.shards {
+		sh.mu.Lock()
+		for key, gm := range sh.retired {
+			byKey[key] = mergeGroupMetrics(byKey[key], *gm)
+		}
+		for _, g := range sh.groups {
+			groups = append(groups, g)
+		}
+		sh.mu.Unlock()
 	}
-	groups := make([]*group, 0, len(br.groups))
-	for _, g := range br.groups {
-		groups = append(groups, g)
-	}
-	br.mu.Unlock()
 	for _, g := range groups {
 		g.mu.Lock()
 		gm := g.snapshotLocked()
@@ -187,19 +255,19 @@ func mergeGroupMetrics(a, b GroupMetrics) GroupMetrics {
 	return a
 }
 
-// retireLocked folds a departing group's counters into the retired
-// accumulator (caller holds br.mu and g.mu).
-func (br *Broker) retireLocked(g *group) {
+// retireLocked folds a departing group's counters into the shard's
+// retired accumulator (caller holds sh.mu and g.mu).
+func (sh *brokerShard) retireLocked(g *group) {
 	gm := g.snapshotLocked()
-	if have, ok := br.retired[g.key]; ok {
+	if have, ok := sh.retired[g.key]; ok {
 		*have = mergeGroupMetrics(*have, gm)
 		return
 	}
-	br.retired[g.key] = &gm
-	br.retiredOrder = append(br.retiredOrder, g.key)
-	for len(br.retiredOrder) > retainRetired {
-		delete(br.retired, br.retiredOrder[0])
-		br.retiredOrder = br.retiredOrder[1:]
+	sh.retired[g.key] = &gm
+	sh.retiredOrder = append(sh.retiredOrder, g.key)
+	for len(sh.retiredOrder) > retainRetired {
+		delete(sh.retired, sh.retiredOrder[0])
+		sh.retiredOrder = sh.retiredOrder[1:]
 	}
 }
 
@@ -225,10 +293,17 @@ type request struct {
 // group is the pending state for one architecture identity.
 type group struct {
 	key   string
-	br    *Broker
+	sh    *brokerShard
 	eval  filters.BatchBackend
 	batch int
 	flush time.Duration
+
+	// workersFn/parallelFlops/flopsPerFrame drive the multicore routing
+	// of merged flushes (see Config.Workers): flopsPerFrame is the
+	// evaluator's per-frame estimate, captured once at group creation.
+	workersFn     func(distinct int) int
+	parallelFlops int64
+	flopsPerFrame int64
 
 	mu       sync.Mutex
 	members  int // actively submitting: gates the everyone-pending flush and the lone-member fast path
@@ -354,8 +429,32 @@ func (g *group) run(reqs []*request) {
 	}
 	g.evalMu.Lock()
 	all := g.all[:0]
-	for _, r := range reqs {
+	distinct := 0
+	for i, r := range reqs {
 		all = append(all, r.frames...)
+		dup := false
+		for _, q := range reqs[:i] {
+			if q.from == r.from {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			distinct++
+		}
+	}
+	if g.workersFn != nil {
+		// Route this flush's CPU budget: merges whose estimated GEMM work
+		// clears the threshold get the scheduler-granted share; smaller
+		// ones stay on one core, where fan-out costs more than it saves.
+		// Worker count never changes output bytes, only wall-clock.
+		workers := 1
+		if g.flopsPerFrame > 0 && int64(len(all))*g.flopsPerFrame >= g.parallelFlops {
+			if w := g.workersFn(distinct); w > workers {
+				workers = w
+			}
+		}
+		filters.SetEvalWorkers(g.eval, workers)
 	}
 	outs, pval := evalGuarded(g.eval, all, g.scratch[:0])
 	if pval == nil {
@@ -442,7 +541,7 @@ func (g *group) join() {
 // once its last proxy departs, so rotated-out architectures do not pin
 // their evaluator's weight tensors and scratch buffers forever.
 func (g *group) release(wasMember bool) {
-	g.br.mu.Lock()
+	g.sh.mu.Lock()
 	g.mu.Lock()
 	g.attached--
 	if wasMember && g.members > 0 {
@@ -453,13 +552,13 @@ func (g *group) release(wasMember bool) {
 		take = g.take()
 	}
 	if g.attached <= 0 && len(g.pending) == 0 {
-		if cur, ok := g.br.groups[g.key]; ok && cur == g {
-			delete(g.br.groups, g.key)
-			g.br.retireLocked(g)
+		if cur, ok := g.sh.groups[g.key]; ok && cur == g {
+			delete(g.sh.groups, g.key)
+			g.sh.retireLocked(g)
 		}
 	}
 	g.mu.Unlock()
-	g.br.mu.Unlock()
+	g.sh.mu.Unlock()
 	g.run(take)
 }
 

@@ -304,9 +304,12 @@ func TestBrokerRetiresAbandonedGroups(t *testing.T) {
 	idle := br.Wrap(newTrained(t, 12)) // different key, never submits
 	idle.(Member).Leave()
 
-	br.mu.Lock()
-	active := len(br.groups)
-	br.mu.Unlock()
+	active := 0
+	for _, sh := range br.shards {
+		sh.mu.Lock()
+		active += len(sh.groups)
+		sh.mu.Unlock()
+	}
 	if active != 0 {
 		t.Fatalf("%d groups still held after every proxy left", active)
 	}
@@ -414,5 +417,127 @@ func TestBrokerIsolatesPanickingMember(t *testing.T) {
 	}
 	for j := range again {
 		requireSameOutput(t, 1, j, again[j], want[j])
+	}
+}
+
+// parallelRecorder is a Coalescable evaluator that records every worker
+// budget the broker hands it before an evaluation.
+type parallelRecorder struct {
+	*filters.Trained
+	mu  sync.Mutex
+	set []int
+}
+
+func (p *parallelRecorder) SetEvalWorkers(n int) {
+	p.mu.Lock()
+	p.set = append(p.set, n)
+	p.mu.Unlock()
+	p.Trained.SetEvalWorkers(n)
+}
+
+// A configured Workers budget must be applied only to flushes whose
+// estimated GEMM work clears ParallelFlops; smaller flushes pin the
+// evaluator to one core. With no Workers configured the broker must not
+// touch the evaluator's worker setting at all.
+func TestBrokerRoutesFlushesThroughWorkerBudget(t *testing.T) {
+	rec := &parallelRecorder{Trained: newTrained(t, 21)}
+	perFrame := rec.ForwardFlops()
+	if perFrame <= 0 {
+		t.Fatalf("ForwardFlops = %d", perFrame)
+	}
+	var asked atomic.Int64
+	br := New(Config{
+		Batch: 64, Flush: time.Hour, Shards: 3,
+		ParallelFlops: 4 * perFrame, // 4+ frames fan out, fewer stay serial
+		Workers: func(distinct int) int {
+			asked.Add(1)
+			if distinct < 1 {
+				t.Errorf("Workers called with distinct=%d", distinct)
+			}
+			return 3
+		},
+	})
+	bk := br.Wrap(rec)
+	frames := video.NewStream(video.Jackson(), 5).Take(8)
+	// Single member: the sync fast path evaluates immediately, making the
+	// flush boundaries deterministic.
+	filters.EvaluateBatch(bk, frames)     // 8 frames ≥ threshold → budget
+	filters.EvaluateBatch(bk, frames[:2]) // 2 frames < threshold → 1 worker
+	rec.mu.Lock()
+	got := append([]int(nil), rec.set...)
+	rec.mu.Unlock()
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("worker budgets applied = %v, want [3 1]", got)
+	}
+	if asked.Load() != 1 {
+		t.Fatalf("Workers consulted %d times, want 1", asked.Load())
+	}
+
+	// No Workers configured: the evaluator's setting must stay untouched.
+	rec2 := &parallelRecorder{Trained: newTrained(t, 22)}
+	br2 := New(Config{Batch: 64, Flush: time.Hour})
+	filters.EvaluateBatch(br2.Wrap(rec2), frames)
+	rec2.mu.Lock()
+	defer rec2.mu.Unlock()
+	if len(rec2.set) != 0 {
+		t.Fatalf("broker without Workers touched the evaluator: %v", rec2.set)
+	}
+}
+
+// Feeds joining and draining across shards while deadline flushes run:
+// the sharded broker's bookkeeping (join, flush, leave, retire, metrics
+// folds) must stay race-free and account for every frame exactly once.
+// Run under -race this is the churn proof for the shard split.
+func TestBrokerShardChurn(t *testing.T) {
+	p := video.Jackson()
+	const arches, workers, rounds, perFeed = 5, 8, 6, 24
+	br := New(Config{Batch: 6, Flush: 200 * time.Microsecond, Shards: 4})
+
+	stop := make(chan struct{})
+	var snapshots sync.WaitGroup
+	snapshots.Add(1)
+	go func() {
+		defer snapshots.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				br.Metrics()
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			frames := video.NewStream(p, uint64(500+w)).Take(perFeed)
+			for round := 0; round < rounds; round++ {
+				arch := (w + round) % arches // keys spread across shards
+				bk := br.Wrap(newTrained(t, uint64(30+arch)))
+				var outs []*filters.Output
+				for off := 0; off+2 <= len(frames); off += 2 {
+					outs = filters.EvaluateBatchInto(bk, frames[off:off+2], outs)
+				}
+				if len(outs) != perFeed {
+					t.Errorf("worker %d round %d: %d outputs, want %d", w, round, len(outs), perFeed)
+				}
+				bk.(Member).Leave()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapshots.Wait()
+
+	var frames int64
+	for _, gm := range br.Metrics() {
+		frames += gm.Frames
+	}
+	if want := int64(workers * rounds * perFeed); frames != want {
+		t.Fatalf("metrics account %d frames, want %d", frames, want)
 	}
 }

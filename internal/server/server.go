@@ -248,7 +248,14 @@ func New(cfg Config) *Server {
 	}
 	s.budget = newBudgeter(s.cfg.WorkerBudget, budgetTick)
 	if s.cfg.CoalesceBatch > 1 {
-		s.broker = sched.New(sched.Config{Batch: s.cfg.CoalesceBatch, Flush: s.cfg.CoalesceFlush})
+		// Merged batches big enough to parallelise draw workers from the
+		// same budget the per-feed gates split, so coalescing never
+		// oversubscribes the machine the budgeter is metering.
+		s.broker = sched.New(sched.Config{
+			Batch:   s.cfg.CoalesceBatch,
+			Flush:   s.cfg.CoalesceFlush,
+			Workers: s.budget.coalesceShare,
+		})
 	}
 	return s
 }

@@ -46,6 +46,33 @@ func maxPool2RowGeneric(dst, r0, r1 []float32) {
 	}
 }
 
+// fillRowGeneric sets every element of dst to v — the reference for the
+// rasteriser's row/rectangle fills. No arithmetic, so every level's output
+// is identical by construction.
+func fillRowGeneric(dst []float32, v float32) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// addClampRowGeneric computes dst[i] = clamp01(dst[i] + add[i]) with the
+// rasteriser's exact select chain: add, then `if v < 0 { v = 0 } else if
+// v > 1 { v = 1 }`. NaN fails both comparisons and passes through. The
+// SIMD variants implement the same chain with compare+blend selects in the
+// same order, so outputs stay bit-identical.
+func addClampRowGeneric(dst, add []float32) {
+	dst = dst[:len(add)]
+	for i, a := range add {
+		v := dst[i] + a
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		dst[i] = v
+	}
+}
+
 // epilogueRowGeneric applies the bias and activation to one L1-hot dst
 // segment. The AVX2 variant implements the same select semantics with
 // compare+blend (not arithmetic identities), so outputs stay bit-identical

@@ -12,6 +12,7 @@ import (
 // bit-identical, which is what keeps the batched inference path
 // result-identical to the sequential reference at the engine level.
 func TestMatMulIntoMatchesNaive(t *testing.T) {
+	ensureBitExact(t)
 	rng := rand.New(rand.NewPCG(11, 0))
 	for trial := 0; trial < 40; trial++ {
 		m := 1 + rng.IntN(70)

@@ -2,37 +2,58 @@ package tensor
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Micro-kernel dispatch
 //
-// The blocked GEMM's inner loops route through the two function pointers
-// below. On amd64 the package selects the widest instruction set the CPU
-// supports at process start (runtime CPUID feature detection, no build
-// flags): "avx2" (8-wide mul+add axpy and compare+blend epilogues, no FMA)
-// when available, else "sse" (4-wide axpy, scalar epilogue — the amd64
-// baseline). Everywhere else the portable "generic" kernels run.
+// The blocked GEMM's inner loops — and the rasteriser's row primitives —
+// route through the function pointers below. On amd64 the package selects
+// the widest instruction set the CPU supports at process start (runtime
+// CPUID feature detection, no build flags): "avx512" (16-wide mul+add axpy,
+// opmask epilogues and pooling) when the OS enables ZMM state, else "avx2"
+// (8-wide mul+add axpy and compare+blend epilogues), else "sse" (4-wide
+// axpy, scalar epilogue — the amd64 baseline). Everywhere else the portable
+// "generic" kernels run.
 //
-// All variants perform the exact IEEE operation sequence of the generic
-// loops — elementwise multiply-then-add, select-based activations — so
-// outputs are bit-identical across kernels, which is what lets the batched
-// and coalesced inference paths keep their result-identity guarantees no
-// matter which machine they land on.
+// All of those variants perform the exact IEEE operation sequence of the
+// generic loops — elementwise multiply-then-add, select-based activations —
+// so outputs are bit-identical across kernels, which is what lets the
+// batched and coalesced inference paths keep their result-identity
+// guarantees no matter which machine they land on.
+//
+// One level deliberately breaks that contract: "fma" fuses each
+// multiply-add pair into a single correctly-rounded operation
+// (VFMADD231PS), dropping the intermediate product rounding. It is faster
+// and usually more accurate, but not bit-identical, so it is never
+// auto-selected and cannot be pinned without an explicit opt-in: call
+// SetTolerance with a positive ULP budget first (VMQ_KERNEL=fma counts as
+// that opt-in and sets a budget of 1). Its correctness suite asserts a ULP
+// bound against an exactly-fused reference instead of bit equality.
 //
 // The VMQ_KERNEL environment variable pins a kernel at start
 // (GODEBUG-style, for debugging and for CI to exercise the pure-Go path):
 //
 //	VMQ_KERNEL=generic go test ./...
 //
-// Unknown or unavailable values are ignored. SetKernel does the same at
-// runtime for tests and benchmarks.
+// Unknown or unavailable values fall back to the default level with a
+// one-line warning on stderr naming the levels this CPU offers. SetKernel
+// does the same selection at runtime for tests and benchmarks.
 var (
 	axpyQuad    = axpyQuadGeneric
 	epilogueRow = epilogueRowGeneric
 	maxPool2Row = maxPool2RowGeneric
+	fillRow     = fillRowGeneric
+	addClampRow = addClampRowGeneric
 	kernelName  = "generic"
+
+	// kernelTolerance is the caller-declared ULP budget. Zero (the
+	// default) means "bit-exact results required", which hides the
+	// tolerant levels from selection entirely.
+	kernelTolerance = 0
 )
 
 // kernelImpl bundles one instruction-set level's micro-kernels.
@@ -40,37 +61,95 @@ type kernelImpl struct {
 	axpy     func(d0, d1, d2, d3, b []float32, v0, v1, v2, v3 float32)
 	epilogue func(seg []float32, b float32, act Act, slope float32)
 	pool2    func(dst, r0, r1 []float32)
+	fill     func(dst []float32, v float32)
+	addClamp func(dst, add []float32)
+
+	// tolerant marks levels whose arithmetic is not bit-identical to
+	// generic (fused multiply-add). Selecting one requires a positive
+	// SetTolerance budget, and defaultKernelName never picks one.
+	tolerant bool
 }
 
-// kernelTable lists the kernels this process can run: generic everywhere,
-// plus whatever archKernels detects on this CPU.
+// kernelTable lists the kernels this process can select right now: generic
+// everywhere, plus whatever archKernels detects on this CPU — minus the
+// tolerant levels while no ULP budget is in effect.
 func kernelTable() map[string]kernelImpl {
-	ks := map[string]kernelImpl{"generic": {axpyQuadGeneric, epilogueRowGeneric, maxPool2RowGeneric}}
+	ks := map[string]kernelImpl{"generic": {
+		axpy:     axpyQuadGeneric,
+		epilogue: epilogueRowGeneric,
+		pool2:    maxPool2RowGeneric,
+		fill:     fillRowGeneric,
+		addClamp: addClampRowGeneric,
+	}}
 	for name, impl := range archKernels() {
+		if impl.tolerant && kernelTolerance <= 0 {
+			continue
+		}
 		ks[name] = impl
 	}
 	return ks
 }
 
-func init() {
-	name := defaultKernelName()
-	if env := os.Getenv("VMQ_KERNEL"); env != "" {
-		if _, ok := kernelTable()[env]; ok {
-			name = env
+// pickKernel resolves the startup kernel level from a VMQ_KERNEL value. A
+// valid env value pins that level (a tolerant level counts as the explicit
+// opt-in and returns the default ULP budget of 1); an unknown or
+// unavailable value falls back to the CPU default and returns a one-line
+// warning naming every level this CPU offers.
+func pickKernel(env string) (name string, ulps int, warning string) {
+	name = defaultKernelName()
+	if env == "" {
+		return name, 0, ""
+	}
+	if impl, ok := archKernels()[env]; ok {
+		if impl.tolerant {
+			return env, 1, ""
 		}
+		return env, 0, ""
+	}
+	if env == "generic" {
+		return "generic", 0, ""
+	}
+	avail := make([]string, 0, 8)
+	avail = append(avail, "generic")
+	for n := range archKernels() {
+		avail = append(avail, n)
+	}
+	sort.Strings(avail)
+	warning = fmt.Sprintf("vmq/tensor: VMQ_KERNEL=%q is unknown or unavailable on this CPU; using %q (available: %s)",
+		env, name, strings.Join(avail, ", "))
+	return name, 0, warning
+}
+
+func init() {
+	initKernel(os.Getenv("VMQ_KERNEL"), os.Stderr)
+}
+
+// initKernel applies the VMQ_KERNEL startup selection, writing the
+// unknown-value warning (if any) to warn. Factored out of init so tests
+// can drive it with a buffer.
+func initKernel(env string, warn io.Writer) {
+	name, ulps, warning := pickKernel(env)
+	if warning != "" {
+		fmt.Fprintln(warn, warning)
+	}
+	if ulps > 0 {
+		SetTolerance(ulps)
 	}
 	if err := SetKernel(name); err != nil {
 		panic(err) // unreachable: name came from the table
 	}
 }
 
-// Kernel reports the active micro-kernel level ("generic", "sse" or
-// "avx2").
+// Kernel reports the active micro-kernel level ("generic", "sse", "avx2",
+// "avx512" or — under a tolerance opt-in — "fma").
 func Kernel() string { return kernelName }
 
-// Kernels lists the kernel levels available on this CPU, sorted.
+// Kernels lists the kernel levels selectable on this CPU right now,
+// sorted. Tolerant levels (fma) appear only while a positive SetTolerance
+// budget is in effect — without the opt-in they are not selectable and so
+// not listed.
 func Kernels() []string {
-	names := make([]string, 0, 3)
+	names := make([]string, 0, 5)
 	for name := range kernelTable() {
 		names = append(names, name)
 	}
@@ -81,15 +160,59 @@ func Kernels() []string {
 // SetKernel pins the micro-kernel level for this process — a debugging and
 // testing hook, not a hot-path switch: it must not race a running GEMM.
 // It returns an error (and changes nothing) if the level is unknown or
-// unavailable on this CPU.
+// unavailable on this CPU, or if it is a tolerant level (fma) and no
+// SetTolerance budget is in effect.
 func SetKernel(name string) error {
 	impl, ok := kernelTable()[name]
 	if !ok {
+		if locked, present := archKernels()[name]; present && locked.tolerant {
+			return fmt.Errorf("tensor: kernel %q is not bit-exact (fused multiply-add); opt in with SetTolerance or VMQ_KERNEL=%s first", name, name)
+		}
 		return fmt.Errorf("tensor: unknown kernel %q (available: %v)", name, Kernels())
 	}
 	axpyQuad = impl.axpy
 	epilogueRow = impl.epilogue
 	maxPool2Row = impl.pool2
+	fillRow = impl.fill
+	addClampRow = impl.addClamp
 	kernelName = name
 	return nil
 }
+
+// SetTolerance declares how many float32 ULPs of divergence from the
+// bit-exact kernels the caller accepts, and returns the previous budget.
+// A positive budget unlocks the tolerant kernel levels (fma) for SetKernel
+// and lists them in Kernels; it never switches kernels by itself. Setting
+// the budget back to zero re-imposes the bit-exactness contract: if a
+// tolerant kernel is active it is replaced by the default bit-exact level.
+// Like SetKernel, this is a configuration hook, not a hot-path switch.
+func SetTolerance(ulps int) int {
+	prev := kernelTolerance
+	if ulps < 0 {
+		ulps = 0
+	}
+	kernelTolerance = ulps
+	if ulps == 0 {
+		if impl, ok := archKernels()[kernelName]; ok && impl.tolerant {
+			if err := SetKernel(defaultKernelName()); err != nil {
+				panic(err) // unreachable: default is always in the table
+			}
+		}
+	}
+	return prev
+}
+
+// Tolerance reports the current ULP budget (0 = bit-exact required).
+func Tolerance() int { return kernelTolerance }
+
+// Fill sets every element of dst to v through the active kernel level's
+// row-fill primitive. All levels produce identical bytes (a fill has no
+// arithmetic); the rasteriser's background and rectangle fills route
+// through here.
+func Fill(dst []float32, v float32) { fillRow(dst, v) }
+
+// AddClamp01 computes dst[i] = clamp(dst[i]+add[i]) into [0, 1] with the
+// scalar select order (add, then low clamp, then high clamp; NaN passes
+// through). All non-tolerant levels are bit-identical to generic; the
+// rasteriser's sensor-noise epilogue routes through here.
+func AddClamp01(dst, add []float32) { addClampRow(dst, add) }

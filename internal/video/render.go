@@ -2,6 +2,8 @@ package video
 
 import (
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 
 	"vmq/internal/tensor"
 )
@@ -16,10 +18,27 @@ func Render(f *Frame, h, w int, noiseSeed uint64) *tensor.Tensor {
 	return RenderInto(tensor.New(3, h, w), f, noiseSeed)
 }
 
+// noiseChunks recycles the scratch buffers the sensor-noise pass fills
+// from each frame's PCG stream before handing them to the dispatched
+// add+clamp row kernel, keeping RenderInto allocation-free at steady
+// state.
+var noiseChunks = sync.Pool{New: func() any {
+	buf := make([]float32, 1024)
+	return &buf
+}}
+
 // RenderInto rasterises like Render but into the caller's 3×h×w tensor,
 // the allocation-free path the batched filter backends use. Every pixel is
 // overwritten (the background fill covers the full frame), so img may be a
 // dirty reused buffer. It returns img.
+//
+// The row fills and the sensor-noise epilogue route through the tensor
+// package's dispatched row kernels (Fill, AddClamp01). Those are
+// bit-identical across every non-tolerant kernel level, and the noise pass
+// consumes the per-frame PCG stream in pixel order and applies
+// add/clamp-low/clamp-high in the scalar loop's IEEE order, so rendered
+// bytes depend only on (frame index, noiseSeed) — never on the machine or
+// the selected kernel.
 func RenderInto(img *tensor.Tensor, f *Frame, noiseSeed uint64) *tensor.Tensor {
 	if img.Rank() != 3 || img.Shape[0] != 3 {
 		panic("video: RenderInto needs a 3xHxW tensor")
@@ -28,28 +47,83 @@ func RenderInto(img *tensor.Tensor, f *Frame, noiseSeed uint64) *tensor.Tensor {
 	// Background: muted grey with a slight vertical gradient, like asphalt.
 	for y := 0; y < h; y++ {
 		shade := 0.35 + 0.1*float32(y)/float32(h)
-		for x := 0; x < w; x++ {
-			img.Data[0*h*w+y*w+x] = shade
-			img.Data[1*h*w+y*w+x] = shade
-			img.Data[2*h*w+y*w+x] = shade
-		}
+		row := y * w
+		tensor.Fill(img.Data[row:row+w], shade)
+		tensor.Fill(img.Data[h*w+row:h*w+row+w], shade)
+		tensor.Fill(img.Data[2*h*w+row:2*h*w+row+w], shade)
 	}
 	sx := float64(w) / f.Bounds.W()
 	sy := float64(h) / f.Bounds.H()
 	for _, o := range f.Objects {
 		drawObject(img, o, sx, sy, h, w)
 	}
-	// Sensor noise.
+	// Sensor noise: one Gaussian per pixel, drawn in pixel order from the
+	// frame-keyed stream into a chunk buffer, then added and clamped by
+	// the row kernel.
 	rng := rand.New(rand.NewPCG(noiseSeed, uint64(f.Index)+1))
-	for i := range img.Data {
-		img.Data[i] += float32(rng.NormFloat64() * 0.02)
-		if img.Data[i] < 0 {
-			img.Data[i] = 0
-		} else if img.Data[i] > 1 {
-			img.Data[i] = 1
+	chunkp := noiseChunks.Get().(*[]float32)
+	noise := *chunkp
+	data := img.Data
+	for off := 0; off < len(data); off += len(noise) {
+		chunk := data[off:]
+		if len(chunk) > len(noise) {
+			chunk = chunk[:len(noise)]
 		}
+		for i := range chunk {
+			noise[i] = float32(rng.NormFloat64() * 0.02)
+		}
+		tensor.AddClamp01(chunk, noise[:len(chunk)])
 	}
+	noiseChunks.Put(chunkp)
 	return img
+}
+
+// RenderBatchInto rasterises frames[i] into the i'th contiguous 3×H×W slab
+// of batch (shape N×3×H×W with N ≥ len(frames)), fanning the frames across
+// at most workers goroutines. Each frame writes only its own disjoint slab
+// and each frame's noise stream is keyed by (frame index, noiseSeed)
+// alone, so the rendered bytes are identical to sequential RenderInto
+// calls regardless of worker count or completion order. workers <= 1
+// renders inline on the caller's goroutine. It returns batch.
+func RenderBatchInto(batch *tensor.Tensor, frames []*Frame, noiseSeed uint64, workers int) *tensor.Tensor {
+	if batch.Rank() != 4 || batch.Shape[1] != 3 {
+		panic("video: RenderBatchInto needs an Nx3xHxW tensor")
+	}
+	if batch.Shape[0] < len(frames) {
+		panic("video: RenderBatchInto batch is smaller than the frame set")
+	}
+	h, w := batch.Shape[2], batch.Shape[3]
+	slab := 3 * h * w
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+	if workers <= 1 {
+		view := tensor.Tensor{Shape: []int{3, h, w}}
+		for i, f := range frames {
+			view.Data = batch.Data[i*slab : (i+1)*slab]
+			RenderInto(&view, f, noiseSeed)
+		}
+		return batch
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			view := tensor.Tensor{Shape: []int{3, h, w}}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frames) {
+					return
+				}
+				view.Data = batch.Data[i*slab : (i+1)*slab]
+				RenderInto(&view, frames[i], noiseSeed)
+			}
+		}()
+	}
+	wg.Wait()
+	return batch
 }
 
 func drawObject(img *tensor.Tensor, o Object, sx, sy float64, h, w int) {
@@ -91,11 +165,13 @@ func fillRect(img *tensor.Tensor, x0, y0, x1, y1, h, w int, r, g, b float32) {
 	if y1 > h {
 		y1 = h
 	}
+	if x1 <= x0 {
+		return
+	}
 	for y := y0; y < y1; y++ {
-		for x := x0; x < x1; x++ {
-			img.Data[0*h*w+y*w+x] = r
-			img.Data[1*h*w+y*w+x] = g
-			img.Data[2*h*w+y*w+x] = b
-		}
+		row := y * w
+		tensor.Fill(img.Data[row+x0:row+x1], r)
+		tensor.Fill(img.Data[h*w+row+x0:h*w+row+x1], g)
+		tensor.Fill(img.Data[2*h*w+row+x0:2*h*w+row+x1], b)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"vmq/internal/tensor"
 )
 
 func TestClassAndColorParsing(t *testing.T) {
@@ -275,5 +277,71 @@ func TestProfileByName(t *testing.T) {
 	}
 	if _, ok := ProfileByName("nope"); ok {
 		t.Error("ProfileByName accepted unknown name")
+	}
+}
+
+// RenderBatchInto must produce bytes identical to sequential RenderInto
+// calls for every worker count: frames own disjoint slabs and each noise
+// stream is keyed by (frame index, noiseSeed) alone, so parallel
+// rasterisation cannot perturb a single pixel.
+func TestRenderBatchIntoDeterministicAcrossWorkers(t *testing.T) {
+	s := NewStream(Jackson(), 4)
+	frames := make([]*Frame, 13) // odd count: exercises uneven worker splits
+	for i := range frames {
+		frames[i] = s.Next()
+	}
+	const img = 32
+	slab := 3 * img * img
+	want := make([]float32, len(frames)*slab)
+	view := tensor.Tensor{Shape: []int{3, img, img}}
+	for i, f := range frames {
+		view.Data = want[i*slab : (i+1)*slab]
+		RenderInto(&view, f, 7)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 32} {
+		batch := tensor.New(len(frames), 3, img, img)
+		batch.Fill(999) // dirty buffer: every pixel must be overwritten
+		RenderBatchInto(batch, frames, 7, workers)
+		for i := range want {
+			if math.Float32bits(batch.Data[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("workers=%d: pixel %d = %v, want %v", workers, i, batch.Data[i], want[i])
+			}
+		}
+	}
+	// A larger batch tensor than the frame set is allowed (coalesced
+	// buffers carry headroom); the extra slabs stay untouched.
+	big := tensor.New(len(frames)+3, 3, img, img)
+	big.Fill(-5)
+	RenderBatchInto(big, frames, 7, 4)
+	for i := len(frames) * slab; i < len(big.Data); i++ {
+		if big.Data[i] != -5 {
+			t.Fatal("RenderBatchInto wrote past the frame set's slabs")
+		}
+	}
+}
+
+// Rendered bytes must not depend on the selected kernel level: the row
+// fills are pure stores and the noise epilogue is a bit-exact select
+// chain on every non-tolerant level.
+func TestRenderBitIdenticalAcrossKernels(t *testing.T) {
+	s := NewStream(Jackson(), 4)
+	f := s.Next()
+	prev := tensor.Kernel()
+	defer tensor.SetKernel(prev)
+	var want []float32
+	for _, name := range tensor.Kernels() {
+		if err := tensor.SetKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		img := Render(f, 33, 47, 3) // odd sizes: every row hits a lane tail
+		if want == nil {
+			want = img.Data
+			continue
+		}
+		for i := range want {
+			if math.Float32bits(img.Data[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("kernel %s: pixel %d = %v, want %v", name, i, img.Data[i], want[i])
+			}
+		}
 	}
 }

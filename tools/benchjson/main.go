@@ -39,7 +39,11 @@ type Report struct {
 type Benchmark struct {
 	Pkg  string `json:"pkg,omitempty"`
 	Name string `json:"name"`
-	// Procs is the GOMAXPROCS suffix of the benchmark name (0 if absent).
+	// Procs is the GOMAXPROCS suffix of the benchmark name. The bench
+	// runner omits the suffix when GOMAXPROCS is 1, so a suffix-less line
+	// normalises to Procs=1 — and artifacts written before that
+	// normalisation (Procs 0) are fixed up on load — keeping -cpu sweeps
+	// and single-core runs comparable like for like.
 	Procs      int `json:"procs,omitempty"`
 	Iterations int `json:"iterations"`
 	// Metrics maps unit to value: "ns/op", "B/op", "allocs/op" plus any
@@ -126,6 +130,8 @@ func parseLine(line string) (Benchmark, bool) {
 		Iterations: iters,
 		Metrics:    make(map[string]float64, (len(fields)-2)/2),
 	}
+	// No -procs suffix means the run was at GOMAXPROCS=1.
+	b.Procs = 1
 	if name, procs, ok := splitProcs(fields[0]); ok {
 		b.Name, b.Procs = name, procs
 	}
@@ -165,6 +171,14 @@ func loadReport(path string) (*Report, error) {
 	var r Report
 	if err := json.NewDecoder(f).Decode(&r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// Artifacts written before suffix-less names normalised to Procs=1
+	// recorded them as 0; fix them up so -compare matches them against
+	// fresh single-core runs instead of treating every one as changed.
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Procs == 0 {
+			r.Benchmarks[i].Procs = 1
+		}
 	}
 	return &r, nil
 }

@@ -47,9 +47,10 @@ func TestParse(t *testing.T) {
 	if !(report.Benchmarks[1].Metrics["ns/op"] < seq.Metrics["ns/op"]) {
 		t.Fatal("sample lost the stream-vs-sequential ordering")
 	}
-	// A name without a -procs suffix and a line from a later pkg header.
+	// A name without a -procs suffix (a GOMAXPROCS=1 run) normalises to
+	// Procs=1, and a line from a later pkg header picks up that pkg.
 	dilate := report.Benchmarks[3]
-	if dilate.Name != "BenchmarkDilate" || dilate.Procs != 0 || dilate.Pkg != "vmq/internal/grid" {
+	if dilate.Name != "BenchmarkDilate" || dilate.Procs != 1 || dilate.Pkg != "vmq/internal/grid" {
 		t.Fatalf("dilate = %+v", dilate)
 	}
 }
@@ -228,6 +229,43 @@ func TestCompareNewDroppedMetricDoesNotWarn(t *testing.T) {
 	}
 	if !strings.Contains(out, "1 benchmarks compared, 0 regression warning(s)") {
 		t.Fatalf("summary wrong:\n%s", out)
+	}
+}
+
+// -compare diffs only matching cpu counts: a -cpu sweep's 1-proc leg
+// matches a legacy suffix-less artifact entry (Procs 0, normalised to 1
+// on load), while its 8-proc leg is a distinct benchmark — never diffed
+// against the single-core timing.
+func TestCompareMatchesCPUCounts(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", &Report{
+		Benchmarks: []Benchmark{
+			// Legacy artifact entry: suffix-less run recorded as Procs 0.
+			{Pkg: "vmq", Name: "BenchmarkScan", Procs: 0, Metrics: map[string]float64{"ns/op": 1000}},
+		},
+	})
+	// New run is a -cpu 1,8 sweep parsed from bench output.
+	newRep, err := parse(strings.NewReader(`pkg: vmq
+BenchmarkScan   	100	1010 ns/op
+BenchmarkScan-8 	100	 200 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath := writeArtifact(t, dir, "new.json", newRep)
+	var buf bytes.Buffer
+	if err := runCompare(&buf, oldPath, newPath, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkScan-1: ns/op 1000 -> 1010") {
+		t.Fatalf("1-proc legs did not match across the normalisation:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkScan-8: new benchmark") {
+		t.Fatalf("8-proc leg was diffed against a different cpu count:\n%s", out)
+	}
+	if strings.Contains(out, "removed") || strings.Contains(out, "::warning::") {
+		t.Fatalf("cross-cpu mismatch produced phantom removals or warnings:\n%s", out)
 	}
 }
 
